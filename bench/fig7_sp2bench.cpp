@@ -1,0 +1,56 @@
+// Reproduces Figure 7 (SP2Bench performance, log scale) and the SP2Bench
+// rows of the compliance discussion in §6.2, plus the full per-query dump
+// of Table 11. Systems: SparqLog (translation + Datalog engine), Fuseki
+// (reference direct evaluator), Virtuoso (quirk-injected evaluator).
+//
+// Flags: --triples=N (default 10000), --timeout-ms=N (default 10000).
+
+#include <cstdio>
+
+#include "workloads/report.h"
+#include "workloads/sp2bench.h"
+#include "workloads/systems.h"
+
+using namespace sparqlog;
+using namespace sparqlog::workloads;
+
+int main(int argc, char** argv) {
+  Sp2bOptions options;
+  options.target_triples =
+      static_cast<size_t>(FlagValue(argc, argv, "triples", 5000));
+  Limits limits;
+  limits.timeout_ms = static_cast<int>(FlagValue(argc, argv, "timeout-ms", 20000));
+
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  GenerateSp2b(options, &dataset);
+  std::printf("SP2Bench dataset: %zu triples, %zu predicates\n",
+              dataset.default_graph().size(),
+              dataset.default_graph().Predicates().size());
+
+  Workload workload;
+  workload.name = "SP2Bench";
+  workload.dataset = &dataset;
+  for (auto& [name, text] : Sp2bQueries()) {
+    workload.query_names.push_back(name);
+    workload.queries.push_back(text);
+  }
+
+  auto sparqlog_sys = MakeSparqLogSystem(&dataset, &dict, limits);
+  auto fuseki = MakeFusekiSystem(&dataset, &dict, limits);
+  auto virtuoso = MakeVirtuosoSystem(&dataset, &dict, limits);
+  std::vector<System*> systems{fuseki.get(), sparqlog_sys.get(),
+                               virtuoso.get()};
+
+  ComparisonOptions copts;
+  copts.reference = 0;  // Fuseki is the compliance oracle
+  auto summaries = RunComparison(workload, systems, copts);
+  PrintSummary(summaries, workload.queries.size());
+
+  std::printf(
+      "\nPaper's Figure 7 shape to verify: SparqLog competitive with "
+      "Virtuoso,\nsignificantly faster than Fuseki on most queries; all "
+      "three agree on all\n17 results (§6.2) except where Virtuoso's "
+      "duplicate quirks fire.\n");
+  return 0;
+}

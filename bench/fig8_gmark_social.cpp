@@ -1,0 +1,53 @@
+// Reproduces Figure 8 / Tables 7 and 9 (gMark "social" scenario): 50 path
+// queries over the social graph, three systems, per-query timings and the
+// failure-count summary. The expected shape (§6.3): Virtuoso cannot
+// (correctly) answer a large share (unsupported two-variable recursive
+// paths + incomplete results), Fuseki times out on a sizable fraction,
+// SparqLog answers nearly everything within budget.
+//
+// Flags: --timeout-ms=N (default 3000), --edges=N.
+
+#include <cstdio>
+
+#include "workloads/gmark.h"
+#include "workloads/report.h"
+#include "workloads/systems.h"
+
+using namespace sparqlog;
+using namespace sparqlog::workloads;
+
+int main(int argc, char** argv) {
+  GmarkScenario scenario = GmarkSocial();
+  scenario.edges =
+      static_cast<size_t>(FlagValue(argc, argv, "edges", scenario.edges));
+  Limits limits;
+  limits.timeout_ms = static_cast<int>(FlagValue(argc, argv, "timeout-ms", 10000));
+
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  GenerateGmarkGraph(scenario, &dataset);
+  std::printf("gMark %s: %zu triples, %zu predicates, 50 queries\n",
+              scenario.name.c_str(), dataset.default_graph().size(),
+              dataset.default_graph().Predicates().size());
+
+  Workload workload;
+  workload.name = "gMark-social";
+  workload.dataset = &dataset;
+  auto queries = GenerateGmarkQueries(scenario);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    workload.query_names.push_back("q" + std::to_string(i));
+    workload.queries.push_back(queries[i]);
+  }
+
+  auto fuseki = MakeFusekiSystem(&dataset, &dict, limits);
+  auto sparqlog_sys = MakeSparqLogSystem(&dataset, &dict, limits);
+  auto virtuoso = MakeVirtuosoSystem(&dataset, &dict, limits);
+  std::vector<System*> systems{fuseki.get(), sparqlog_sys.get(),
+                               virtuoso.get()};
+
+  ComparisonOptions copts;
+  copts.reference = 0;
+  auto summaries = RunComparison(workload, systems, copts);
+  PrintSummary(summaries, workload.queries.size());
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Micro-ablations (google-benchmark) for the design choices DESIGN.md
+// calls out: semi-naive vs naive fixpoint (the mechanism behind the
+// Figure 10 gap), indexed joins, term-dictionary interning, Skolem-term
+// interning (the duplicate-preservation machinery of §4.3), and the
+// translated-pipeline evaluation of a transitive closure vs the direct
+// per-source search of the reference evaluator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "datalog/evaluator.h"
+#include "eval/algebra_eval.h"
+#include "rdf/dictionary.h"
+#include "sparql/parser.h"
+#include "util/hash.h"
+
+namespace {
+
+using namespace sparqlog;
+
+/// Chain-with-shortcuts graph: n nodes, edges i->i+1 plus skips.
+void BuildChainGraph(size_t n, rdf::TermDictionary* dict,
+                     rdf::Dataset* dataset) {
+  rdf::TermId p = dict->InternIri("http://b.org/p");
+  auto node = [&](size_t i) {
+    return dict->InternIri("http://b.org/n" + std::to_string(i));
+  };
+  for (size_t i = 0; i + 1 < n; ++i) {
+    dataset->default_graph().Add(node(i), p, node(i + 1));
+    if (i % 7 == 0 && i + 5 < n) {
+      dataset->default_graph().Add(node(i), p, node(i + 5));
+    }
+  }
+}
+
+/// Transitive closure program: tc(X,Y) :- edge(X,Y); tc(X,Z) :- edge(X,Y), tc(Y,Z).
+datalog::Program ClosureProgram(datalog::Database* edb,
+                                const rdf::Dataset& dataset,
+                                rdf::TermDictionary* dict) {
+  datalog::Program program;
+  datalog::PredicateId edge = program.predicates.Intern("edge", 2);
+  for (const auto& t : dataset.default_graph().triples()) {
+    edb->relation(edge, 2).Insert(
+        {datalog::ValueFromTerm(t.s), datalog::ValueFromTerm(t.o)}, 0);
+  }
+  (void)dict;
+  datalog::RuleBuilder rb(&program.predicates);
+  rb.Head("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("tc", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("tc", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+  program.output.predicate = *program.predicates.Lookup("tc");
+  program.output.has_graph_column = false;
+  return program;
+}
+
+void BM_TransitiveClosure_SemiNaive(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  BuildChainGraph(static_cast<size_t>(state.range(0)), &dict, &dataset);
+  for (auto _ : state) {
+    datalog::Database edb;
+    datalog::Program program = ClosureProgram(&edb, dataset, &dict);
+    datalog::SkolemStore skolems;
+    datalog::Evaluator evaluator(&dict, &skolems);
+    datalog::Database idb;
+    ExecContext ctx;
+    auto st = evaluator.Evaluate(program, &edb, &idb, &ctx);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(idb.TotalTuples());
+  }
+}
+BENCHMARK(BM_TransitiveClosure_SemiNaive)->Arg(200)->Arg(400);
+
+void BM_TransitiveClosure_Naive(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  BuildChainGraph(static_cast<size_t>(state.range(0)), &dict, &dataset);
+  for (auto _ : state) {
+    datalog::Database edb;
+    datalog::Program program = ClosureProgram(&edb, dataset, &dict);
+    datalog::SkolemStore skolems;
+    datalog::Evaluator evaluator(&dict, &skolems);
+    evaluator.set_mode(datalog::FixpointMode::kNaive);
+    datalog::Database idb;
+    ExecContext ctx;
+    auto st = evaluator.Evaluate(program, &edb, &idb, &ctx);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(idb.TotalTuples());
+  }
+}
+BENCHMARK(BM_TransitiveClosure_Naive)->Arg(200)->Arg(400);
+
+void BM_DictionaryIntern(benchmark::State& state) {
+  std::vector<std::string> iris;
+  for (int i = 0; i < 10000; ++i) {
+    iris.push_back("http://bench.example.org/entity/" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    rdf::TermDictionary dict;
+    for (const auto& iri : iris) benchmark::DoNotOptimize(dict.InternIri(iri));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DictionaryIntern);
+
+void BM_SkolemIntern(benchmark::State& state) {
+  datalog::SkolemStore skolems;
+  uint32_t fn = skolems.InternFunction("f1");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(skolems.Intern(fn, {i % 1000, (i / 7) % 997}));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkolemIntern);
+
+void BM_PipelineOneOrMore_SparqLog(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  BuildChainGraph(500, &dict, &dataset);
+  const std::string query =
+      "SELECT ?x ?y WHERE { ?x <http://b.org/p>+ ?y }";
+  for (auto _ : state) {
+    core::Engine engine(&dataset, &dict);
+    auto result = engine.ExecuteText(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+}
+BENCHMARK(BM_PipelineOneOrMore_SparqLog);
+
+void BM_PipelineOneOrMore_Reference(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  BuildChainGraph(500, &dict, &dataset);
+  auto query = sparql::ParseQuery(
+      "SELECT ?x ?y WHERE { ?x <http://b.org/p>+ ?y }", &dict);
+  for (auto _ : state) {
+    ExecContext ctx;
+    eval::AlgebraEvaluator evaluator(dataset, &dict, &ctx);
+    auto result = evaluator.EvalQuery(*query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+}
+BENCHMARK(BM_PipelineOneOrMore_Reference);
+
+void BM_TranslateSp2bQ2(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  datalog::SkolemStore skolems;
+  const std::string query =
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> "
+      "PREFIX bench: <http://localhost/vocabulary/bench/> "
+      "PREFIX dc: <http://purl.org/dc/elements/1.1/> "
+      "PREFIX dcterms: <http://purl.org/dc/terms/> "
+      "PREFIX swrc: <http://swrc.ontoware.org/ontology#> "
+      "SELECT ?inproc ?author ?title WHERE { "
+      "?inproc rdf:type bench:Inproceedings . ?inproc dc:creator ?author . "
+      "?inproc dcterms:partOf ?proc . ?inproc dc:title ?title . "
+      "?inproc swrc:pages ?page . OPTIONAL { ?inproc bench:abstract ?a } } "
+      "ORDER BY ?inproc";
+  auto parsed = sparql::ParseQuery(query, &dict);
+  for (auto _ : state) {
+    core::QueryTranslator translator(&dict, &skolems);
+    auto program = translator.Translate(*parsed);
+    if (!program.ok()) state.SkipWithError(program.status().ToString().c_str());
+    benchmark::DoNotOptimize(program->rules.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TranslateSp2bQ2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Reproduces Table 2 (feature coverage of SPARQL benchmarks): statically
+// analyzes every query of the bundled benchmark suites and prints the
+// percentage of queries using each feature, in the paper's column layout
+// (DIST FILT REG OPT UN GRA PSeq PAlt GRO). The analysis follows the
+// paper's counting conventions (Appendix D.1): DISTINCT counts only when
+// applied to the whole query; ORDER BY / LIMIT / OFFSET / ASK are not
+// displayed.
+
+#include <cstdio>
+
+#include "sparql/features.h"
+#include "sparql/parser.h"
+#include "util/string_util.h"
+#include "workloads/beseppi.h"
+#include "workloads/feasible.h"
+#include "workloads/gmark.h"
+#include "workloads/ontobench.h"
+#include "workloads/report.h"
+#include "workloads/sp2bench.h"
+
+using namespace sparqlog;
+using namespace sparqlog::workloads;
+
+namespace {
+
+std::vector<double> AnalyzeSuite(const std::vector<std::string>& queries,
+                                 rdf::TermDictionary* dict,
+                                 std::vector<std::string>* columns) {
+  std::vector<sparql::FeatureSet> sets;
+  for (const auto& text : queries) {
+    auto parsed = sparql::ParseQuery(text, dict);
+    if (!parsed.ok()) continue;  // unsupported features: skip like [33]
+    sets.push_back(sparql::AnalyzeFeatures(*parsed));
+  }
+  return sparql::FeatureUsageRow(sets, columns);
+}
+
+}  // namespace
+
+int main() {
+  rdf::TermDictionary dict;
+
+  struct Suite {
+    std::string name;
+    std::vector<std::string> queries;
+  };
+  std::vector<Suite> suites;
+
+  {
+    Suite s{"SP2Bench", {}};
+    for (auto& [name, text] : Sp2bQueries()) s.queries.push_back(text);
+    suites.push_back(std::move(s));
+  }
+  {
+    Suite s{"gMark-social", GenerateGmarkQueries(GmarkSocial())};
+    suites.push_back(std::move(s));
+  }
+  {
+    Suite s{"gMark-test", GenerateGmarkQueries(GmarkTest())};
+    suites.push_back(std::move(s));
+  }
+  {
+    Suite s{"FEASIBLE(S)", {}};
+    for (auto& [name, text] : FeasibleQueries()) s.queries.push_back(text);
+    suites.push_back(std::move(s));
+  }
+  {
+    Suite s{"BeSEPPI", {}};
+    for (auto& q : BeseppiQueries()) s.queries.push_back(q.text);
+    suites.push_back(std::move(s));
+  }
+  {
+    Suite s{"SP2B-ontology", {}};
+    for (auto& [name, text] : OntoBenchQueries()) s.queries.push_back(text);
+    suites.push_back(std::move(s));
+  }
+
+  std::printf("== Table 2: feature coverage of the bundled benchmarks ==\n");
+  std::vector<std::string> columns;
+  TablePrinter* table = nullptr;
+  std::vector<std::vector<std::string>> rows;
+  for (const Suite& suite : suites) {
+    auto row = AnalyzeSuite(suite.queries, &dict, &columns);
+    std::vector<std::string> cells{suite.name};
+    for (double v : row) cells.push_back(StringPrintf("%.1f", v));
+    rows.push_back(std::move(cells));
+  }
+  std::vector<std::string> headers{"Benchmark"};
+  headers.insert(headers.end(), columns.begin(), columns.end());
+  TablePrinter printer(headers);
+  for (auto& r : rows) printer.AddRow(std::move(r));
+  printer.Print();
+  (void)table;
+
+  std::printf(
+      "\nPaper's Table 2 shape: FEASIBLE leads on DIST/FILT/REG/GRA "
+      "coverage;\nSP2Bench covers FILT/OPT/UN; only the gMark suites "
+      "exercise\nrecursive property paths (no classic benchmark does).\n");
+  return 0;
+}

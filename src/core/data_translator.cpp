@@ -1,0 +1,101 @@
+#include "core/data_translator.h"
+
+#include <unordered_set>
+
+namespace sparqlog::core {
+
+using datalog::Database;
+using datalog::PredicateTable;
+using datalog::Relation;
+using datalog::Value;
+using datalog::ValueFromTerm;
+using rdf::TermDictionary;
+using rdf::TermId;
+
+EdbPredicates InternEdbPredicates(PredicateTable* table) {
+  EdbPredicates out;
+  out.triple = table->Intern("triple", 4);
+  out.named = table->Intern("named", 1);
+  out.iri = table->Intern("iri", 1);
+  out.literal = table->Intern("literal", 1);
+  out.bnode = table->Intern("bnode", 1);
+  out.term = table->Intern("term", 1);
+  out.null_pred = table->Intern("null", 1);
+  out.subject_or_object = table->Intern("subjectOrObject", 2);
+  return out;
+}
+
+rdf::TermId DefaultGraphTerm(TermDictionary* dict) {
+  return dict->InternString("default");
+}
+
+namespace {
+
+void AddTermFacts(TermId id, const TermDictionary& dict,
+                  const EdbPredicates& preds,
+                  std::unordered_set<TermId>* seen, Database* edb) {
+  if (!seen->insert(id).second) return;
+  Value v = ValueFromTerm(id);
+  const rdf::Term& t = dict.get(id);
+  datalog::PredicateId kind_pred = preds.iri;
+  switch (t.kind) {
+    case rdf::TermKind::kIri:
+      kind_pred = preds.iri;
+      break;
+    case rdf::TermKind::kLiteral:
+      kind_pred = preds.literal;
+      break;
+    case rdf::TermKind::kBlank:
+      kind_pred = preds.bnode;
+      break;
+    case rdf::TermKind::kUndef:
+      return;  // the null marker is not an RDF term
+  }
+  edb->relation(kind_pred, 1).Insert({v}, 0);
+  edb->relation(preds.term, 1).Insert({v}, 0);
+}
+
+void TranslateGraph(const rdf::Graph& graph, Value graph_value,
+                    const TermDictionary& dict, const EdbPredicates& preds,
+                    std::unordered_set<TermId>* seen, Database* edb) {
+  Relation& triples = edb->relation(preds.triple, 4);
+  Relation& so = edb->relation(preds.subject_or_object, 2);
+  for (const rdf::Triple& t : graph.triples()) {
+    triples.Insert({ValueFromTerm(t.s), ValueFromTerm(t.p),
+                    ValueFromTerm(t.o), graph_value},
+                   0);
+    AddTermFacts(t.s, dict, preds, seen, edb);
+    AddTermFacts(t.p, dict, preds, seen, edb);
+    AddTermFacts(t.o, dict, preds, seen, edb);
+  }
+  for (TermId n : graph.SubjectsAndObjects()) {
+    so.Insert({ValueFromTerm(n), graph_value}, 0);
+  }
+}
+
+}  // namespace
+
+Status DataTranslator::Translate(const rdf::Dataset& dataset,
+                                 TermDictionary* dict, Database* edb) {
+  PredicateTable scratch;
+  EdbPredicates preds = InternEdbPredicates(&scratch);
+
+  std::unordered_set<TermId> seen;
+  Value default_graph = ValueFromTerm(DefaultGraphTerm(dict));
+  TranslateGraph(dataset.default_graph(), default_graph, *dict, preds, &seen,
+                 edb);
+  for (const auto& [name, graph] : dataset.named_graphs()) {
+    edb->relation(preds.named, 1).Insert({ValueFromTerm(name)}, 0);
+    AddTermFacts(name, *dict, preds, &seen, edb);
+    TranslateGraph(graph, ValueFromTerm(name), *dict, preds, &seen, edb);
+  }
+  // null("null"): the distinguished unbound marker (the undef term).
+  edb->relation(preds.null_pred, 1).Insert({datalog::kNullValue}, 0);
+  // Ensure core relations exist even for empty datasets.
+  edb->relation(preds.triple, 4);
+  edb->relation(preds.term, 1);
+  edb->relation(preds.subject_or_object, 2);
+  return Status::OK();
+}
+
+}  // namespace sparqlog::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "datalog/ast.h"
+#include "datalog/relation.h"
+#include "rdf/graph.h"
+#include "util/status.h"
+
+/// \file data_translator.h
+/// The paper's data translation method T_D (§4.1.1, Appendix A.1): maps an
+/// RDF dataset to Datalog facts —
+///   triple(s, p, o, g)       one fact per triple (g = "default" or IRI)
+///   named(g)                 one fact per named graph
+///   iri(x) / literal(x) / bnode(x)   one fact per RDF term
+///   term(x)                  union of the three (materialized)
+///   null("null")             the distinguished unbound marker
+///   subjectOrObject(x, g)    zero-length-path support, graph-scoped
+///                            (Def A.17 + the graph argument; see DESIGN.md)
+///
+/// The `term` and `subjectOrObject` predicates are materialized at load
+/// time rather than re-derived per query; the comp predicate stays a set
+/// of rules emitted by the query translation (Figure 5), since it is only
+/// needed by queries with JOIN / OPTIONAL / MINUS.
+///
+/// Predicate-id convention: T_D interns the EDB predicates in a fixed
+/// order; the query translator does the same, so EDB predicate ids agree
+/// between the shared EDB database and every per-query program.
+
+namespace sparqlog::core {
+
+/// Fixed EDB predicate ids shared between T_D and T_Q.
+struct EdbPredicates {
+  datalog::PredicateId triple;
+  datalog::PredicateId named;
+  datalog::PredicateId iri;
+  datalog::PredicateId literal;
+  datalog::PredicateId bnode;
+  datalog::PredicateId term;
+  datalog::PredicateId null_pred;
+  datalog::PredicateId subject_or_object;
+};
+
+/// Interns the EDB predicates into `table` in the canonical order.
+EdbPredicates InternEdbPredicates(datalog::PredicateTable* table);
+
+/// The graph constant used for the default graph ("default" in Figure 2).
+rdf::TermId DefaultGraphTerm(rdf::TermDictionary* dict);
+
+class DataTranslator {
+ public:
+  /// Materializes the EDB facts for `dataset` into `edb`.
+  static Status Translate(const rdf::Dataset& dataset,
+                          rdf::TermDictionary* dict, datalog::Database* edb);
+};
+
+}  // namespace sparqlog::core

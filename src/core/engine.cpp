@@ -1,0 +1,74 @@
+#include "core/engine.h"
+
+#include "datalog/printer.h"
+
+namespace sparqlog::core {
+
+Engine::Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict,
+               Options options)
+    : dataset_(dataset), dict_(dict), options_(options) {}
+
+Status Engine::Load() {
+  if (loaded_) return Status::OK();
+  SPARQLOG_RETURN_NOT_OK(DataTranslator::Translate(*dataset_, dict_, &edb_));
+  loaded_ = true;
+  return Status::OK();
+}
+
+Result<datalog::Program> Engine::Translate(const sparql::Query& query) {
+  QueryTranslator translator(dict_, &skolems_, options_.ontology);
+  return translator.Translate(query);
+}
+
+Result<eval::QueryResult> Engine::Execute(const sparql::Query& query) {
+  SPARQLOG_RETURN_NOT_OK(Load());
+  // FROM / FROM NAMED construct a query-specific dataset; translate its
+  // data on the fly (the paper's engine likewise demands the query dataset
+  // to be loaded for answering, §4.3).
+  if (!query.from.empty() || !query.from_named.empty()) {
+    rdf::Dataset scoped =
+        dataset_->WithClauses(query.from, query.from_named);
+    datalog::Database scoped_edb;
+    SPARQLOG_RETURN_NOT_OK(
+        DataTranslator::Translate(scoped, dict_, &scoped_edb));
+    std::swap(edb_, scoped_edb);
+    auto result = ExecuteInternal(query);
+    std::swap(edb_, scoped_edb);
+    return result;
+  }
+  return ExecuteInternal(query);
+}
+
+Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query) {
+  SPARQLOG_ASSIGN_OR_RETURN(datalog::Program program, Translate(query));
+
+  ExecContext ctx;
+  if (options_.timeout.count() > 0) ctx.set_deadline_after(options_.timeout);
+  if (options_.tuple_budget > 0) ctx.set_tuple_budget(options_.tuple_budget);
+
+  datalog::Database idb;
+  datalog::Evaluator evaluator(dict_, &skolems_);
+  SPARQLOG_RETURN_NOT_OK(evaluator.Evaluate(program, &edb_, &idb, &ctx));
+  last_stats_ = evaluator.stats();
+
+  return SolutionTranslator::Translate(program, query, idb, dict_, &ctx);
+}
+
+Result<eval::QueryResult> Engine::ExecuteText(std::string_view sparql_text) {
+  sparql::ParserOptions popts;
+  popts.extensions = options_.extensions;
+  SPARQLOG_ASSIGN_OR_RETURN(sparql::Query query,
+                            sparql::ParseQuery(sparql_text, dict_, popts));
+  return Execute(query);
+}
+
+Result<std::string> Engine::TranslateToText(std::string_view sparql_text) {
+  sparql::ParserOptions popts;
+  popts.extensions = options_.extensions;
+  SPARQLOG_ASSIGN_OR_RETURN(sparql::Query query,
+                            sparql::ParseQuery(sparql_text, dict_, popts));
+  SPARQLOG_ASSIGN_OR_RETURN(datalog::Program program, Translate(query));
+  return datalog::ToString(program, *dict_, skolems_);
+}
+
+}  // namespace sparqlog::core

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string_view>
+
+#include "core/data_translator.h"
+#include "core/query_translator.h"
+#include "core/solution_translator.h"
+#include "datalog/evaluator.h"
+#include "eval/binding.h"
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+#include "util/exec_context.h"
+
+/// \file engine.h
+/// The SparqLog engine facade (§4): wires the three translation methods
+/// T_D / T_Q / T_S around the Datalog± evaluator. Usable in the paper's
+/// two senses (§7): as a stand-alone SPARQL-to-Warded-Datalog± translator
+/// (TranslateToText) and as a full Knowledge Graph engine (Execute).
+
+namespace sparqlog::core {
+
+class Engine {
+ public:
+  struct Options {
+    /// Enables the RDFS-subset inference rules (subClassOf /
+    /// subPropertyOf / domain / range) over the loaded data.
+    bool ontology = false;
+    /// Per-query wall-clock budget; zero means unlimited.
+    std::chrono::milliseconds timeout{0};
+    /// Per-query materialized-tuple budget ("mem-out"); zero = unlimited.
+    uint64_t tuple_budget = 0;
+    /// Accepts the extension features beyond the published engine
+    /// (FILTER EXISTS / NOT EXISTS, BIND, VALUES; the paper's §7 roadmap).
+    bool extensions = false;
+  };
+
+  /// The engine keeps references to the dataset and dictionary; both must
+  /// outlive it.
+  Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict,
+         Options options);
+  Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict)
+      : Engine(dataset, dict, Options()) {}
+
+  /// T_D: materializes the EDB. Called lazily by Execute, but exposed so
+  /// benchmarks can measure loading separately (the paper's loading time).
+  Status Load();
+
+  bool loaded() const { return loaded_; }
+
+  /// Full pipeline on a parsed query.
+  Result<eval::QueryResult> Execute(const sparql::Query& query);
+
+  /// Convenience: parse + execute.
+  Result<eval::QueryResult> ExecuteText(std::string_view sparql_text);
+
+  /// T_Q only: the generated Datalog± program (for tests / the warded
+  /// analysis / the translator-CLI example).
+  Result<datalog::Program> Translate(const sparql::Query& query);
+
+  /// Vadalog-style rendering of the translated program (Figure 2 / 4).
+  Result<std::string> TranslateToText(std::string_view sparql_text);
+
+  /// Stats of the last Execute call (for benchmarks).
+  const datalog::EvalStats& last_stats() const { return last_stats_; }
+  datalog::SkolemStore* skolems() { return &skolems_; }
+
+ private:
+  Result<eval::QueryResult> ExecuteInternal(const sparql::Query& query);
+
+  const rdf::Dataset* dataset_;
+  rdf::TermDictionary* dict_;
+  Options options_;
+  datalog::SkolemStore skolems_;
+  datalog::Database edb_;
+  bool loaded_ = false;
+  datalog::EvalStats last_stats_;
+};
+
+}  // namespace sparqlog::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "datalog/ast.h"
+#include "datalog/relation.h"
+#include "eval/binding.h"
+#include "eval/expr_eval.h"
+#include "sparql/ast.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+/// \file solution_translator.h
+/// The paper's solution translation method T_S (§4.1.3): reads the ground
+/// atoms of the program's output predicate, projects out the tuple ID and
+/// graph columns (each TID-tagged tuple is one solution of the multiset),
+/// maps the "null" constant back to SPARQL's unbound, and applies the
+/// @post directives (ORDER BY including complex keys, DISTINCT, LIMIT,
+/// OFFSET) and — for aggregate queries — GROUP BY with the aggregate
+/// functions over the duplicate-preserving tuples.
+
+namespace sparqlog::core {
+
+class SolutionTranslator {
+ public:
+  /// Builds the final SPARQL result from the evaluated IDB.
+  static Result<eval::QueryResult> Translate(const datalog::Program& program,
+                                             const sparql::Query& query,
+                                             const datalog::Database& idb,
+                                             rdf::TermDictionary* dict,
+                                             ExecContext* ctx);
+};
+
+}  // namespace sparqlog::core

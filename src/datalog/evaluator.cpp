@@ -1,0 +1,465 @@
+#include "datalog/evaluator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sparqlog::datalog {
+
+namespace {
+constexpr uint32_t kNoDelta = 0xffffffffu;
+}
+
+/// Per-rule-invocation execution state: one backtracking join over the
+/// rule's positive body with interleaved builtin execution, negation
+/// checks at the leaves, and head emission.
+struct Evaluator::RuleRun {
+  Evaluator* eval = nullptr;
+  const Rule* rule = nullptr;
+  Database* edb = nullptr;
+  Database* idb = nullptr;
+  ExecContext* ctx = nullptr;
+  uint32_t insert_round = 0;
+  uint32_t delta_round = 0;
+  uint32_t delta_atom = kNoDelta;
+
+  std::vector<Value> vals;
+  std::vector<bool> bound;
+  std::vector<bool> builtin_done;
+  std::vector<uint32_t> order;
+  std::vector<VarId> trail;
+  std::vector<std::vector<uint32_t>> scratch_cols;
+  std::vector<std::vector<Value>> scratch_keys;
+  std::vector<Value> head_scratch;
+  Status status;
+  uint64_t inserted = 0;
+
+  size_t RelSizeOf(PredicateId pred) const {
+    size_t n = 0;
+    if (const Relation* r = edb->Find(pred)) n += r->size();
+    if (const Relation* r = idb->Find(pred)) n += r->size();
+    return n;
+  }
+
+  void ComputeOrder() {
+    const auto& atoms = rule->positive;
+    std::vector<bool> used(atoms.size(), false);
+    std::vector<bool> var_known(rule->var_names.size(), false);
+    order.clear();
+    if (delta_atom != kNoDelta) {
+      order.push_back(delta_atom);
+      used[delta_atom] = true;
+      for (const RuleTerm& t : atoms[delta_atom].args) {
+        if (t.is_var) var_known[t.var] = true;
+      }
+    }
+    while (order.size() < atoms.size()) {
+      int best = -1;
+      size_t best_bound = 0;
+      size_t best_size = 0;
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (used[i]) continue;
+        size_t nbound = 0;
+        for (const RuleTerm& t : atoms[i].args) {
+          if (!t.is_var || var_known[t.var]) ++nbound;
+        }
+        size_t sz = RelSizeOf(atoms[i].predicate);
+        if (best < 0 || nbound > best_bound ||
+            (nbound == best_bound && sz < best_size)) {
+          best = static_cast<int>(i);
+          best_bound = nbound;
+          best_size = sz;
+        }
+      }
+      used[best] = true;
+      order.push_back(static_cast<uint32_t>(best));
+      for (const RuleTerm& t : atoms[best].args) {
+        if (t.is_var) var_known[t.var] = true;
+      }
+    }
+  }
+
+  bool ResolveTerm(const RuleTerm& t, Value* out) const {
+    if (!t.is_var) {
+      *out = t.constant;
+      return true;
+    }
+    if (!bound[t.var]) return false;
+    *out = vals[t.var];
+    return true;
+  }
+
+  void Bind(VarId v, Value value, std::vector<VarId>* local_trail) {
+    vals[v] = value;
+    bound[v] = true;
+    local_trail->push_back(v);
+  }
+
+  void Unbind(std::vector<VarId>* local_trail, size_t from) {
+    while (local_trail->size() > from) {
+      bound[local_trail->back()] = false;
+      local_trail->pop_back();
+    }
+  }
+
+  /// Runs every builtin whose inputs are available; returns false when a
+  /// check fails (binding rejected). Bound variables and completed flags
+  /// are recorded so the caller can restore them.
+  bool RunBuiltins(std::vector<VarId>* bound_trail,
+                   std::vector<uint32_t>* done_trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t bi = 0; bi < rule->builtins.size(); ++bi) {
+        if (builtin_done[bi]) continue;
+        const BuiltinLit& b = rule->builtins[bi];
+        switch (b.kind) {
+          case BuiltinKind::kEq: {
+            Value lhs = 0, rhs = 0;
+            bool l = ResolveTerm(b.lhs, &lhs);
+            bool r = ResolveTerm(b.rhs, &rhs);
+            if (l && r) {
+              if (lhs != rhs) return false;
+            } else if (l && b.rhs.is_var) {
+              Bind(b.rhs.var, lhs, bound_trail);
+            } else if (r && b.lhs.is_var) {
+              Bind(b.lhs.var, rhs, bound_trail);
+            } else {
+              continue;  // not ready
+            }
+            builtin_done[bi] = true;
+            done_trail->push_back(bi);
+            changed = true;
+            break;
+          }
+          case BuiltinKind::kNe: {
+            Value lhs = 0, rhs = 0;
+            if (!ResolveTerm(b.lhs, &lhs) || !ResolveTerm(b.rhs, &rhs)) {
+              continue;
+            }
+            if (lhs == rhs) return false;
+            builtin_done[bi] = true;
+            done_trail->push_back(bi);
+            changed = true;
+            break;
+          }
+          case BuiltinKind::kSkolem: {
+            std::vector<Value> args;
+            args.reserve(b.skolem_args.size());
+            bool ready = true;
+            for (const RuleTerm& t : b.skolem_args) {
+              Value v = 0;
+              if (!ResolveTerm(t, &v)) {
+                ready = false;
+                break;
+              }
+              args.push_back(v);
+            }
+            if (!ready) continue;
+            Value sk = eval->skolems_->Intern(b.skolem_fn, std::move(args));
+            Value target;
+            if (ResolveTerm(b.target, &target)) {
+              if (target != sk) return false;
+            } else {
+              Bind(b.target.var, sk, bound_trail);
+            }
+            builtin_done[bi] = true;
+            done_trail->push_back(bi);
+            changed = true;
+            break;
+          }
+          case BuiltinKind::kFilterExpr:
+          case BuiltinKind::kAssignExpr: {
+            bool ready = true;
+            for (const auto& [name, var] : b.expr_vars) {
+              if (!bound[var]) {
+                ready = false;
+                break;
+              }
+            }
+            if (!ready) continue;
+            auto lookup = [&](const std::string& name) -> rdf::TermId {
+              for (const auto& [n, var] : b.expr_vars) {
+                if (n == name) {
+                  Value v = vals[var];
+                  // Skolem values never carry SPARQL-visible data; they
+                  // surface as unbound (comparison against them errors).
+                  return IsSkolemValue(v) ? rdf::TermDictionary::kUndef
+                                          : TermFromValue(v);
+                }
+              }
+              return rdf::TermDictionary::kUndef;
+            };
+            if (b.kind == BuiltinKind::kFilterExpr) {
+              if (eval->expr_eval_.EvalEBV(*b.expr, lookup) !=
+                  eval::EBV::kTrue) {
+                return false;
+              }
+            } else {
+              // BIND: evaluation errors bind the null constant (SPARQL's
+              // "remains unbound").
+              auto value = eval->expr_eval_.EvalTerm(*b.expr, lookup);
+              Value v = ValueFromTerm(
+                  value.value_or(rdf::TermDictionary::kUndef));
+              Value target;
+              if (ResolveTerm(b.target, &target)) {
+                if (target != v) return false;
+              } else {
+                Bind(b.target.var, v, bound_trail);
+              }
+            }
+            builtin_done[bi] = true;
+            done_trail->push_back(bi);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  bool CheckNegatives() {
+    for (const Atom& atom : rule->negative) {
+      std::vector<Value> tuple;
+      tuple.reserve(atom.args.size());
+      for (const RuleTerm& t : atom.args) {
+        Value v = 0;
+        ResolveTerm(t, &v);  // validation guarantees boundness
+        tuple.push_back(v);
+      }
+      if (const Relation* r = edb->Find(atom.predicate)) {
+        if (r->Contains(tuple)) return false;
+      }
+      if (const Relation* r = idb->Find(atom.predicate)) {
+        if (r->Contains(tuple)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Returns false on fatal error (status set).
+  bool EmitHead() {
+    head_scratch.clear();
+    for (const RuleTerm& t : rule->head.args) {
+      Value v = 0;
+      ResolveTerm(t, &v);
+      head_scratch.push_back(v);
+    }
+    Relation& rel =
+        idb->relation(rule->head.predicate,
+                      static_cast<uint32_t>(rule->head.args.size()));
+    if (rel.Insert(head_scratch, insert_round)) {
+      ++inserted;
+      ++eval->stats_.tuples_derived;
+      ctx->AddTuples(1);
+    }
+    ++eval->stats_.rules_fired;
+    status = ctx->CheckBudget();
+    return status.ok();
+  }
+
+  bool TryRow(const Relation* rel, uint32_t row_id, size_t depth) {
+    const Atom& atom = rule->positive[order[depth]];
+    size_t trail_start = trail.size();
+    const std::vector<Value>& row = rel->row(row_id);
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const RuleTerm& t = atom.args[i];
+      if (!t.is_var) {
+        if (row[i] != t.constant) {
+          ok = false;
+          break;
+        }
+      } else if (bound[t.var]) {
+        if (row[i] != vals[t.var]) {
+          ok = false;
+          break;
+        }
+      } else {
+        Bind(t.var, row[i], &trail);
+      }
+    }
+    if (ok && !JoinStep(depth + 1)) {
+      Unbind(&trail, trail_start);
+      return false;
+    }
+    Unbind(&trail, trail_start);
+    return true;
+  }
+
+  /// Returns false on fatal error.
+  bool JoinStep(size_t depth) {
+    status = ctx->CheckBudget();
+    if (!status.ok()) return false;
+
+    size_t btrail_start = trail.size();
+    std::vector<uint32_t> done_trail;
+    bool accepted = RunBuiltins(&trail, &done_trail);
+    bool result = true;
+    if (accepted) {
+      if (depth == order.size()) {
+        if (CheckNegatives()) result = EmitHead();
+      } else {
+        result = MatchAtom(depth);
+      }
+    }
+    for (uint32_t bi : done_trail) builtin_done[bi] = false;
+    Unbind(&trail, btrail_start);
+    return result;
+  }
+
+  bool MatchAtom(size_t depth) {
+    const Atom& atom = rule->positive[order[depth]];
+    bool is_delta = (order[depth] == delta_atom);
+
+    // Bound columns for index probing (per-depth scratch buffers, sized in
+    // Run(), keep the inner loop allocation-free).
+    std::vector<uint32_t>& cols = scratch_cols[depth];
+    std::vector<Value>& key = scratch_keys[depth];
+    cols.clear();
+    key.clear();
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      Value v = 0;
+      if (ResolveTerm(atom.args[i], &v)) {
+        cols.push_back(static_cast<uint32_t>(i));
+        key.push_back(v);
+      }
+    }
+
+    if (is_delta) {
+      Relation* rel = idb->FindMutable(atom.predicate);
+      if (rel == nullptr) return true;
+      auto [lo, hi] = rel->RoundRange(delta_round);
+      for (uint32_t id = lo; id < hi; ++id) {
+        if (!TryRow(rel, id, depth)) return false;
+      }
+      return true;
+    }
+
+    bool self_recursive = (atom.predicate == rule->head.predicate);
+    Relation* sources[2] = {edb->FindMutable(atom.predicate),
+                            idb->FindMutable(atom.predicate)};
+    for (Relation* rel : sources) {
+      if (rel == nullptr || rel->size() == 0) continue;
+      if (!cols.empty()) {
+        const std::vector<uint32_t>* ids = rel->Probe(cols, key);
+        if (ids == nullptr) continue;
+        if (self_recursive && rel == sources[1]) {
+          // Recursive rules may insert into this relation (and its index
+          // buckets) while we iterate: copy the bucket first.
+          std::vector<uint32_t> snapshot(*ids);
+          for (uint32_t id : snapshot) {
+            if (!TryRow(rel, id, depth)) return false;
+          }
+        } else {
+          for (uint32_t id : *ids) {
+            if (!TryRow(rel, id, depth)) return false;
+          }
+        }
+      } else {
+        size_t n = rel->size();  // snapshot; new rows belong to next round
+        for (uint32_t id = 0; id < n; ++id) {
+          if (!TryRow(rel, id, depth)) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  Status Run() {
+    vals.assign(rule->var_names.size(), 0);
+    bound.assign(rule->var_names.size(), false);
+    builtin_done.assign(rule->builtins.size(), false);
+    trail.clear();
+    status = Status::OK();
+    ComputeOrder();
+    scratch_cols.assign(order.size(), {});
+    scratch_keys.assign(order.size(), {});
+    JoinStep(0);
+    return status;
+  }
+};
+
+Status Evaluator::Evaluate(const Program& program, Database* edb,
+                           Database* idb, ExecContext* ctx) {
+  stats_ = EvalStats();
+  SPARQLOG_RETURN_NOT_OK(program.Validate());
+  SPARQLOG_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
+  stats_.strata = strat.num_strata;
+
+  // Seed program facts (round 0).
+  for (const Fact& f : program.facts) {
+    Relation& rel = idb->relation(
+        f.predicate, static_cast<uint32_t>(f.tuple.size()));
+    if (rel.Insert(f.tuple, 0)) ctx->AddTuples(1);
+  }
+  SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+
+  uint32_t round = 1;
+  for (uint32_t s = 0; s < strat.num_strata; ++s) {
+    const std::vector<uint32_t>& rule_ids = strat.strata_rules[s];
+    if (rule_ids.empty()) continue;
+
+    // Head predicates defined in this stratum (delta candidates).
+    std::unordered_set<PredicateId> stratum_heads;
+    for (uint32_t ri : rule_ids) {
+      stratum_heads.insert(program.rules[ri].head.predicate);
+    }
+
+    auto run_rule = [&](uint32_t ri, uint32_t delta_atom,
+                        uint32_t delta_round) -> Result<uint64_t> {
+      RuleRun run;
+      run.eval = this;
+      run.rule = &program.rules[ri];
+      run.edb = edb;
+      run.idb = idb;
+      run.ctx = ctx;
+      run.insert_round = round;
+      run.delta_round = delta_round;
+      run.delta_atom = delta_atom;
+      SPARQLOG_RETURN_NOT_OK(run.Run());
+      return run.inserted;
+    };
+
+    // Initial (naive) pass over the current database state.
+    uint64_t new_tuples = 0;
+    for (uint32_t ri : rule_ids) {
+      SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_rule(ri, kNoDelta, 0));
+      new_tuples += n;
+    }
+    ++stats_.rounds;
+    ++round;
+
+    // Non-recursive strata are complete after the single pass.
+    if (!strat.stratum_recursive[s]) continue;
+
+    // Fixpoint iterations.
+    while (new_tuples > 0) {
+      new_tuples = 0;
+      if (mode_ == FixpointMode::kNaive) {
+        for (uint32_t ri : rule_ids) {
+          SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_rule(ri, kNoDelta, 0));
+          new_tuples += n;
+        }
+      } else {
+        uint32_t delta_round = round - 1;
+        for (uint32_t ri : rule_ids) {
+          const Rule& rule = program.rules[ri];
+          for (uint32_t ai = 0; ai < rule.positive.size(); ++ai) {
+            if (stratum_heads.count(rule.positive[ai].predicate) == 0) {
+              continue;
+            }
+            SPARQLOG_ASSIGN_OR_RETURN(uint64_t n,
+                                      run_rule(ri, ai, delta_round));
+            new_tuples += n;
+          }
+        }
+      }
+      ++stats_.rounds;
+      ++round;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sparqlog::datalog

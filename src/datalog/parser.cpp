@@ -1,0 +1,381 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace sparqlog::datalog {
+
+namespace {
+
+/// Character-level reader for the rule syntax.
+class ProgramReader {
+ public:
+  ProgramReader(std::string_view text, rdf::TermDictionary* dict,
+                SkolemStore* skolems)
+      : text_(text), dict_(dict), skolems_(skolems) {}
+
+  Result<Program> Run() {
+    while (true) {
+      SkipWs();
+      if (AtEnd()) break;
+      if (Peek() == '@') {
+        SPARQLOG_RETURN_NOT_OK(Directive());
+      } else {
+        SPARQLOG_RETURN_NOT_OK(Statement());
+      }
+    }
+    SPARQLOG_RETURN_NOT_OK(program_.Validate());
+    return std::move(program_);
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t k = 0) const {
+    return pos_ + k < text_.size() ? text_[pos_ + k] : '\0';
+  }
+  void Advance() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '%' || c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+  Status Err(const std::string& what) {
+    return Status::ParseError("datalog line " + std::to_string(line_) + ": " +
+                              what);
+  }
+  bool ConsumeChar(char c) {
+    SkipWs();
+    if (Peek() != c) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectChar(char c) {
+    if (!ConsumeChar(c)) {
+      return Err(std::string("expected '") + c + "', got '" + Peek() + "'");
+    }
+    return Status::OK();
+  }
+  bool ConsumeToken(std::string_view tok) {
+    SkipWs();
+    if (text_.substr(pos_, tok.size()) != tok) return false;
+    for (size_t i = 0; i < tok.size(); ++i) Advance();
+    return true;
+  }
+
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  Result<std::string> Identifier() {
+    SkipWs();
+    if (!IsIdentStart(Peek())) return Err("expected identifier");
+    std::string out;
+    while (!AtEnd() && IsIdentChar(Peek())) {
+      out += Peek();
+      Advance();
+    }
+    return out;
+  }
+
+  Result<std::string> QuotedString() {
+    SkipWs();
+    if (Peek() != '"') return Err("expected string");
+    Advance();
+    std::string out;
+    while (!AtEnd() && Peek() != '"') {
+      if (Peek() == '\\') {
+        Advance();
+        char e = Peek();
+        Advance();
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          default: out += e;
+        }
+        continue;
+      }
+      out += Peek();
+      Advance();
+    }
+    if (AtEnd()) return Err("unterminated string");
+    Advance();
+    return out;
+  }
+
+  /// Constant term: <iri>, "literal"(@lang|^^<dt>)?, number.
+  Result<Value> ConstantTerm() {
+    SkipWs();
+    char c = Peek();
+    if (c == '<') {
+      Advance();
+      std::string iri;
+      while (!AtEnd() && Peek() != '>') {
+        iri += Peek();
+        Advance();
+      }
+      if (AtEnd()) return Err("unterminated IRI");
+      Advance();
+      return ValueFromTerm(dict_->InternIri(iri));
+    }
+    if (c == '"') {
+      SPARQLOG_ASSIGN_OR_RETURN(std::string lex, QuotedString());
+      if (Peek() == '@') {
+        Advance();
+        std::string lang;
+        while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                            Peek() == '-')) {
+          lang += Peek();
+          Advance();
+        }
+        return ValueFromTerm(dict_->InternLiteral(lex, "", lang));
+      }
+      if (Peek() == '^' && Peek(1) == '^') {
+        Advance();
+        Advance();
+        if (Peek() != '<') return Err("expected <datatype> after ^^");
+        Advance();
+        std::string dt;
+        while (!AtEnd() && Peek() != '>') {
+          dt += Peek();
+          Advance();
+        }
+        Advance();
+        return ValueFromTerm(dict_->InternLiteral(lex, dt));
+      }
+      return ValueFromTerm(dict_->InternLiteral(lex));
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      if (c == '-') {
+        num += c;
+        Advance();
+      }
+      bool is_double = false;
+      while (!AtEnd()) {
+        char d = Peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          num += d;
+          Advance();
+        } else if (d == '.' &&
+                   std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+          is_double = true;
+          num += d;
+          Advance();
+        } else {
+          break;
+        }
+      }
+      return ValueFromTerm(is_double
+                               ? dict_->InternLiteral(num, rdf::xsd::kDouble)
+                               : dict_->InternLiteral(num, rdf::xsd::kInteger));
+    }
+    if (ConsumeToken("true")) return ValueFromTerm(dict_->InternBoolean(true));
+    if (ConsumeToken("false")) {
+      return ValueFromTerm(dict_->InternBoolean(false));
+    }
+    return Err("expected constant term");
+  }
+
+  /// A rule term: variable (identifier) or constant.
+  Result<RuleTerm> Term(RuleBuilder* rb) {
+    SkipWs();
+    if (IsIdentStart(Peek()) && !StartsKeywordConstant()) {
+      SPARQLOG_ASSIGN_OR_RETURN(std::string name, Identifier());
+      return rb->Var(name);
+    }
+    SPARQLOG_ASSIGN_OR_RETURN(Value v, ConstantTerm());
+    return RuleBuilder::Const(v);
+  }
+
+  bool StartsKeywordConstant() {
+    return text_.substr(pos_, 4) == "true" || text_.substr(pos_, 5) == "false";
+  }
+
+  struct ParsedAtom {
+    std::string predicate;
+    std::vector<RuleTerm> args;
+  };
+
+  Result<ParsedAtom> ParseAtom(RuleBuilder* rb) {
+    ParsedAtom out;
+    SPARQLOG_ASSIGN_OR_RETURN(out.predicate, Identifier());
+    SPARQLOG_RETURN_NOT_OK(ExpectChar('('));
+    SkipWs();
+    if (Peek() != ')') {
+      while (true) {
+        SPARQLOG_ASSIGN_OR_RETURN(RuleTerm t, Term(rb));
+        out.args.push_back(t);
+        if (!ConsumeChar(',')) break;
+      }
+    }
+    SPARQLOG_RETURN_NOT_OK(ExpectChar(')'));
+    return out;
+  }
+
+  /// Skolem list: ["fn" (, term)*].
+  Status SkolemAssignment(RuleBuilder* rb, RuleTerm target) {
+    SPARQLOG_RETURN_NOT_OK(ExpectChar('['));
+    SPARQLOG_ASSIGN_OR_RETURN(std::string fn, QuotedString());
+    std::vector<RuleTerm> args;
+    while (ConsumeChar(',')) {
+      SPARQLOG_ASSIGN_OR_RETURN(RuleTerm t, Term(rb));
+      args.push_back(t);
+    }
+    SPARQLOG_RETURN_NOT_OK(ExpectChar(']'));
+    rb->Skolem(target, skolems_->InternFunction(fn), std::move(args));
+    return Status::OK();
+  }
+
+  Status Statement() {
+    RuleBuilder rb(&program_.predicates);
+    SPARQLOG_ASSIGN_OR_RETURN(ParsedAtom head, ParseAtom(&rb));
+
+    SkipWs();
+    if (ConsumeChar('.')) {
+      // A ground fact.
+      std::vector<Value> tuple;
+      for (const RuleTerm& t : head.args) {
+        if (t.is_var) return Err("facts must be ground");
+        tuple.push_back(t.constant);
+      }
+      Fact fact;
+      fact.predicate = program_.predicates.Intern(
+          head.predicate, static_cast<uint32_t>(tuple.size()));
+      fact.tuple = std::move(tuple);
+      program_.facts.push_back(std::move(fact));
+      return Status::OK();
+    }
+
+    if (!ConsumeToken(":-")) return Err("expected '.' or ':-'");
+    rb.Head(head.predicate, std::move(head.args));
+
+    while (true) {
+      SkipWs();
+      if (ConsumeToken("not ")) {
+        SPARQLOG_ASSIGN_OR_RETURN(ParsedAtom atom, ParseAtom(&rb));
+        rb.NegBody(atom.predicate, std::move(atom.args));
+      } else if (IsIdentStart(Peek()) && !StartsKeywordConstant() &&
+                 LooksLikeAtom()) {
+        SPARQLOG_ASSIGN_OR_RETURN(ParsedAtom atom, ParseAtom(&rb));
+        rb.Body(atom.predicate, std::move(atom.args));
+      } else {
+        // Builtin: term (= | !=) (term | skolem-list).
+        SPARQLOG_ASSIGN_OR_RETURN(RuleTerm lhs, Term(&rb));
+        SkipWs();
+        if (ConsumeToken("!=")) {
+          SPARQLOG_ASSIGN_OR_RETURN(RuleTerm rhs, Term(&rb));
+          rb.Ne(lhs, rhs);
+        } else if (ConsumeChar('=')) {
+          SkipWs();
+          if (Peek() == '[') {
+            SPARQLOG_RETURN_NOT_OK(SkolemAssignment(&rb, lhs));
+          } else {
+            SPARQLOG_ASSIGN_OR_RETURN(RuleTerm rhs, Term(&rb));
+            rb.Eq(lhs, rhs);
+          }
+        } else {
+          return Err("expected '=' or '!=' in builtin literal");
+        }
+      }
+      if (ConsumeChar(',')) continue;
+      SPARQLOG_RETURN_NOT_OK(ExpectChar('.'));
+      break;
+    }
+    program_.rules.push_back(rb.Build());
+    return Status::OK();
+  }
+
+  /// Lookahead: identifier followed by '(' (atom) vs builtin operand.
+  bool LooksLikeAtom() {
+    size_t k = pos_;
+    while (k < text_.size() && IsIdentChar(text_[k])) ++k;
+    while (k < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[k]))) {
+      ++k;
+    }
+    return k < text_.size() && text_[k] == '(';
+  }
+
+  Status Directive() {
+    Advance();  // '@'
+    SPARQLOG_ASSIGN_OR_RETURN(std::string name, Identifier());
+    SPARQLOG_RETURN_NOT_OK(ExpectChar('('));
+    SPARQLOG_ASSIGN_OR_RETURN(std::string pred, QuotedString());
+    auto id = program_.predicates.Lookup(pred);
+    if (!id) return Err("unknown predicate in directive: " + pred);
+    if (name == "output") {
+      program_.output.predicate = *id;
+      program_.output.has_graph_column = false;
+      program_.output.has_tid_column = false;
+      // Column names default to c0..cN over the full tuple.
+      uint32_t arity = program_.predicates.Arity(*id);
+      program_.output.columns.clear();
+      for (uint32_t i = 0; i < arity; ++i) {
+        program_.output.columns.push_back("c" + std::to_string(i));
+      }
+    } else if (name == "post") {
+      SPARQLOG_RETURN_NOT_OK(ExpectChar(','));
+      SPARQLOG_ASSIGN_OR_RETURN(std::string spec, QuotedString());
+      if (StartsWith(spec, "limit(")) {
+        program_.output.limit = static_cast<uint64_t>(
+            ParseInt64(spec.substr(6, spec.size() - 7)).value_or(0));
+      } else if (StartsWith(spec, "offset(")) {
+        program_.output.offset = static_cast<uint64_t>(
+            ParseInt64(spec.substr(7, spec.size() - 8)).value_or(0));
+      } else if (spec == "distinct") {
+        program_.output.distinct = true;
+      } else if (StartsWith(spec, "orderby(")) {
+        std::string arg = spec.substr(8, spec.size() - 9);
+        OrderSpec key;
+        if (StartsWith(arg, "-")) {
+          key.descending = true;
+          arg = arg.substr(1);
+        }
+        key.column =
+            static_cast<uint32_t>(ParseInt64(arg).value_or(0));
+        key.expr = sparql::Expr::MakeVar("c" + arg);
+        program_.output.order_by.push_back(std::move(key));
+      } else {
+        return Err("unknown @post spec: " + spec);
+      }
+    } else {
+      return Err("unknown directive @" + name);
+    }
+    SPARQLOG_RETURN_NOT_OK(ExpectChar(')'));
+    return ExpectChar('.');
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  rdf::TermDictionary* dict_;
+  SkolemStore* skolems_;
+  Program program_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text, rdf::TermDictionary* dict,
+                             SkolemStore* skolems) {
+  ProgramReader reader(text, dict, skolems);
+  return reader.Run();
+}
+
+}  // namespace sparqlog::datalog

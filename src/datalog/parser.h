@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "datalog/value.h"
+#include "rdf/dictionary.h"
+#include "util/status.h"
+
+/// \file parser.h
+/// Text frontend for the Datalog± engine, accepting the Vadalog-style
+/// surface syntax the printer emits (and the paper's figures use):
+///
+///   edge(<http://a>, <http://b>).
+///   tc(X, Y) :- edge(X, Y).
+///   tc(X, Z) :- edge(X, Y), tc(Y, Z), X != Z.
+///   ans(ID, X) :- tc(X, Y), not sink(Y), ID = ["f1", X, Y].
+///   @post("ans", "limit(10)").
+///   @output("ans").
+///
+/// Terms: variables are bare identifiers; constants are <IRIs>, quoted
+/// literals (with optional @lang / ^^<datatype>), integers, or doubles.
+/// Skolem lists `["fn", args...]` build the engine's TID terms. The
+/// embedded-SPARQL builtins (filter / assignment expressions) have no
+/// textual form and are not parsed; programs using them round-trip
+/// through the C++ API instead.
+///
+/// This makes the Datalog engine usable standalone — the paper's "view 1"
+/// of SparqLog as a translator producing programs a Datalog engine runs.
+
+namespace sparqlog::datalog {
+
+/// Parses `text` into a Program; constants are interned into `dict`,
+/// Skolem function names into `skolems`.
+Result<Program> ParseProgram(std::string_view text,
+                             rdf::TermDictionary* dict, SkolemStore* skolems);
+
+}  // namespace sparqlog::datalog

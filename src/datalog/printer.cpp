@@ -1,0 +1,116 @@
+#include "datalog/printer.h"
+
+#include "sparql/printer.h"
+#include "util/string_util.h"
+
+namespace sparqlog::datalog {
+
+namespace {
+
+std::string RenderRuleTerm(const RuleTerm& t, const Rule& rule,
+                           const rdf::TermDictionary& dict,
+                           const SkolemStore& skolems) {
+  if (t.is_var) return rule.var_names[t.var];
+  return RenderValue(t.constant, dict, skolems);
+}
+
+std::string RenderAtom(const Atom& atom, const Rule& rule,
+                       const Program& program,
+                       const rdf::TermDictionary& dict,
+                       const SkolemStore& skolems) {
+  std::string out = program.predicates.Name(atom.predicate) + "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += RenderRuleTerm(atom.args[i], rule, dict, skolems);
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+std::string ToString(const Rule& rule, const Program& program,
+                     const rdf::TermDictionary& dict,
+                     const SkolemStore& skolems) {
+  std::string out = RenderAtom(rule.head, rule, program, dict, skolems);
+  bool first = true;
+  auto sep = [&]() -> std::string {
+    if (first) {
+      first = false;
+      return " :- ";
+    }
+    return ", ";
+  };
+  for (const Atom& a : rule.positive) {
+    out += sep() + RenderAtom(a, rule, program, dict, skolems);
+  }
+  for (const Atom& a : rule.negative) {
+    out += sep() + "not " + RenderAtom(a, rule, program, dict, skolems);
+  }
+  for (const BuiltinLit& b : rule.builtins) {
+    switch (b.kind) {
+      case BuiltinKind::kEq:
+        out += sep() + RenderRuleTerm(b.lhs, rule, dict, skolems) + " = " +
+               RenderRuleTerm(b.rhs, rule, dict, skolems);
+        break;
+      case BuiltinKind::kNe:
+        out += sep() + RenderRuleTerm(b.lhs, rule, dict, skolems) + " != " +
+               RenderRuleTerm(b.rhs, rule, dict, skolems);
+        break;
+      case BuiltinKind::kSkolem: {
+        std::string sk = "[\"" + skolems.FunctionName(b.skolem_fn) + "\"";
+        for (const RuleTerm& t : b.skolem_args) {
+          sk += ", " + RenderRuleTerm(t, rule, dict, skolems);
+        }
+        sk += "]";
+        out += sep() + RenderRuleTerm(b.target, rule, dict, skolems) + " = " +
+               sk;
+        break;
+      }
+      case BuiltinKind::kFilterExpr:
+        out += sep() + sparql::ToString(*b.expr, dict);
+        break;
+      case BuiltinKind::kAssignExpr:
+        out += sep() + RenderRuleTerm(b.target, rule, dict, skolems) +
+               " := " + sparql::ToString(*b.expr, dict);
+        break;
+    }
+  }
+  return out + ".";
+}
+
+std::string ToString(const Program& program, const rdf::TermDictionary& dict,
+                     const SkolemStore& skolems) {
+  std::string out;
+  for (const Fact& f : program.facts) {
+    out += program.predicates.Name(f.predicate) + "(";
+    for (size_t i = 0; i < f.tuple.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RenderValue(f.tuple[i], dict, skolems);
+    }
+    out += ").\n";
+  }
+  for (const Rule& rule : program.rules) {
+    out += ToString(rule, program, dict, skolems) + "\n";
+  }
+  const OutputSpec& spec = program.output;
+  if (spec.predicate < program.predicates.size()) {
+    const std::string& name = program.predicates.Name(spec.predicate);
+    for (const OrderSpec& key : spec.order_by) {
+      out += StringPrintf("@post(\"%s\", \"orderby(%s%u)\").\n", name.c_str(),
+                          key.descending ? "-" : "", key.column);
+    }
+    if (spec.distinct) out += "@post(\"" + name + "\", \"distinct\").\n";
+    if (spec.limit) {
+      out += StringPrintf("@post(\"%s\", \"limit(%llu)\").\n", name.c_str(),
+                          static_cast<unsigned long long>(*spec.limit));
+    }
+    if (spec.offset) {
+      out += StringPrintf("@post(\"%s\", \"offset(%llu)\").\n", name.c_str(),
+                          static_cast<unsigned long long>(*spec.offset));
+    }
+    out += "@output(\"" + name + "\").\n";
+  }
+  return out;
+}
+
+}  // namespace sparqlog::datalog

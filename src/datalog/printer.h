@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "datalog/value.h"
+#include "rdf/dictionary.h"
+
+/// \file printer.h
+/// Renders Datalog± programs in the Vadalog-style surface syntax used by
+/// the paper's figures (e.g. Figure 2/4): rules with `:-`, Skolem-ID
+/// assignments as `ID = ["f1", X, ...]`, negation as `not p(...)`, and
+/// `@output` / `@post` directives.
+
+namespace sparqlog::datalog {
+
+std::string ToString(const Rule& rule, const Program& program,
+                     const rdf::TermDictionary& dict,
+                     const SkolemStore& skolems);
+
+std::string ToString(const Program& program, const rdf::TermDictionary& dict,
+                     const SkolemStore& skolems);
+
+}  // namespace sparqlog::datalog

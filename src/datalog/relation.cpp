@@ -1,0 +1,74 @@
+#include "datalog/relation.h"
+
+#include <algorithm>
+
+namespace sparqlog::datalog {
+
+bool Relation::Insert(const std::vector<Value>& row, uint32_t round) {
+  if (set_.find(row) != set_.end()) return false;
+  auto [it, inserted] = set_.emplace(row, static_cast<uint32_t>(rows_.size()));
+  uint32_t id = it->second;
+  rows_.push_back(&it->first);
+  rounds_.push_back(round);
+  // Maintain built indexes.
+  for (auto& [cols, index] : indexes_) {
+    std::vector<Value> key;
+    key.reserve(cols.size());
+    for (uint32_t c : cols) key.push_back((*rows_[id])[c]);
+    index[std::move(key)].push_back(id);
+  }
+  return true;
+}
+
+std::pair<uint32_t, uint32_t> Relation::RoundRange(uint32_t round) const {
+  auto lo = std::lower_bound(rounds_.begin(), rounds_.end(), round);
+  auto hi = std::upper_bound(rounds_.begin(), rounds_.end(), round);
+  return {static_cast<uint32_t>(lo - rounds_.begin()),
+          static_cast<uint32_t>(hi - rounds_.begin())};
+}
+
+Relation::Index& Relation::GetOrBuildIndex(const std::vector<uint32_t>& cols) {
+  auto it = indexes_.find(cols);
+  if (it != indexes_.end()) return it->second;
+  Index& index = indexes_[cols];
+  for (uint32_t id = 0; id < rows_.size(); ++id) {
+    std::vector<Value> key;
+    key.reserve(cols.size());
+    for (uint32_t c : cols) key.push_back((*rows_[id])[c]);
+    index[std::move(key)].push_back(id);
+  }
+  return index;
+}
+
+const std::vector<uint32_t>* Relation::Probe(
+    const std::vector<uint32_t>& cols, const std::vector<Value>& key) {
+  Index& index = GetOrBuildIndex(cols);
+  auto it = index.find(key);
+  return it == index.end() ? nullptr : &it->second;
+}
+
+Relation& Database::relation(uint32_t pred, uint32_t arity) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) {
+    it = relations_.emplace(pred, Relation(arity)).first;
+  }
+  return it->second;
+}
+
+const Relation* Database::Find(uint32_t pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(uint32_t pred) {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [_, rel] : relations_) n += rel.size();
+  return n;
+}
+
+}  // namespace sparqlog::datalog

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/value.h"
+#include "util/hash.h"
+
+/// \file relation.h
+/// Tuple storage for the Datalog engine: a deduplicated, insertion-ordered
+/// tuple set per predicate with lazily-built hash indexes on arbitrary
+/// column subsets, plus per-row round numbers for semi-naive evaluation.
+
+namespace sparqlog::datalog {
+
+/// A set of same-arity tuples.
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+
+  const std::vector<Value>& row(uint32_t id) const { return *rows_[id]; }
+  uint32_t row_round(uint32_t id) const { return rounds_[id]; }
+
+  /// Inserts `row` tagged with `round`; returns true if it was new.
+  /// Maintains any already-built indexes incrementally. The duplicate
+  /// path performs no allocation (hot in transitive closures, where most
+  /// derivation attempts re-derive existing tuples).
+  bool Insert(const std::vector<Value>& row, uint32_t round);
+
+  bool Contains(const std::vector<Value>& row) const {
+    return set_.count(row) > 0;
+  }
+
+  /// Row ids whose values at `cols` equal `key`; builds the index on first
+  /// use. `cols` must be sorted ascending. Returns nullptr when no row
+  /// matches.
+  const std::vector<uint32_t>* Probe(const std::vector<uint32_t>& cols,
+                                     const std::vector<Value>& key);
+
+  /// Iteration support: row pointers in insertion order. The pointed-to
+  /// vectors are the node-stable keys of the dedup map.
+  const std::vector<const std::vector<Value>*>& rows() const { return rows_; }
+
+  /// Half-open row-id range of rows inserted in `round`. Valid because
+  /// round tags are non-decreasing in insertion order.
+  std::pair<uint32_t, uint32_t> RoundRange(uint32_t round) const;
+
+ private:
+  using Index = std::unordered_map<std::vector<Value>, std::vector<uint32_t>,
+                                   VectorHash>;
+
+  Index& GetOrBuildIndex(const std::vector<uint32_t>& cols);
+
+  uint32_t arity_;
+  // Single-copy storage: the dedup map owns the tuples (unordered_map keys
+  // are node-stable); rows_ provides insertion-ordered access by id.
+  std::unordered_map<std::vector<Value>, uint32_t, VectorHash> set_;
+  std::vector<const std::vector<Value>*> rows_;
+  std::vector<uint32_t> rounds_;
+  std::map<std::vector<uint32_t>, Index> indexes_;
+};
+
+/// Named relation store shared by EDB facts and derived IDB tuples.
+class Database {
+ public:
+  /// Relation for `pred`, created with `arity` if absent.
+  Relation& relation(uint32_t pred, uint32_t arity);
+
+  const Relation* Find(uint32_t pred) const;
+  Relation* FindMutable(uint32_t pred);
+
+  size_t TotalTuples() const;
+
+ private:
+  std::unordered_map<uint32_t, Relation> relations_;
+};
+
+}  // namespace sparqlog::datalog

@@ -1,0 +1,144 @@
+#include "datalog/stratify.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace sparqlog::datalog {
+
+namespace {
+
+/// Iterative Tarjan SCC over the predicate dependency graph.
+class Tarjan {
+ public:
+  explicit Tarjan(const std::vector<std::vector<uint32_t>>& adj)
+      : adj_(adj),
+        index_(adj.size(), kUnvisited),
+        low_(adj.size(), 0),
+        on_stack_(adj.size(), false),
+        scc_of_(adj.size(), 0) {}
+
+  void Run() {
+    for (uint32_t v = 0; v < adj_.size(); ++v) {
+      if (index_[v] == kUnvisited) Visit(v);
+    }
+  }
+
+  uint32_t scc_of(uint32_t v) const { return scc_of_[v]; }
+  uint32_t num_sccs() const { return num_sccs_; }
+
+ private:
+  static constexpr uint32_t kUnvisited = 0xffffffffu;
+
+  void Visit(uint32_t root) {
+    // Explicit stack to avoid deep recursion on long predicate chains.
+    struct Frame {
+      uint32_t v;
+      size_t edge = 0;
+    };
+    std::vector<Frame> frames{{root}};
+    StartNode(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj_[f.v].size()) {
+        uint32_t w = adj_[f.v][f.edge++];
+        if (index_[w] == kUnvisited) {
+          StartNode(w);
+          frames.push_back({w});
+        } else if (on_stack_[w]) {
+          low_[f.v] = std::min(low_[f.v], index_[w]);
+        }
+      } else {
+        if (low_[f.v] == index_[f.v]) {
+          // Pop an SCC.
+          while (true) {
+            uint32_t w = stack_.back();
+            stack_.pop_back();
+            on_stack_[w] = false;
+            scc_of_[w] = num_sccs_;
+            if (w == f.v) break;
+          }
+          ++num_sccs_;
+        }
+        uint32_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low_[frames.back().v] = std::min(low_[frames.back().v], low_[v]);
+        }
+      }
+    }
+  }
+
+  void StartNode(uint32_t v) {
+    index_[v] = low_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const std::vector<std::vector<uint32_t>>& adj_;
+  std::vector<uint32_t> index_, low_;
+  std::vector<bool> on_stack_;
+  std::vector<uint32_t> scc_of_;
+  std::vector<uint32_t> stack_;
+  uint32_t counter_ = 0;
+  uint32_t num_sccs_ = 0;
+};
+
+}  // namespace
+
+Result<Stratification> Stratify(const Program& program) {
+  const size_t num_preds = program.predicates.size();
+
+  // Dependency edges head -> body predicate.
+  std::vector<std::vector<uint32_t>> adj(num_preds);
+  struct NegEdge {
+    uint32_t from, to;
+  };
+  std::vector<NegEdge> neg_edges;
+  for (const Rule& rule : program.rules) {
+    for (const Atom& a : rule.positive) {
+      adj[rule.head.predicate].push_back(a.predicate);
+    }
+    for (const Atom& a : rule.negative) {
+      adj[rule.head.predicate].push_back(a.predicate);
+      neg_edges.push_back({rule.head.predicate, a.predicate});
+    }
+  }
+
+  Tarjan tarjan(adj);
+  tarjan.Run();
+
+  // Recursion through negation: a negative edge inside one SCC.
+  for (const NegEdge& e : neg_edges) {
+    if (tarjan.scc_of(e.from) == tarjan.scc_of(e.to)) {
+      return Status::InvalidArgument(
+          "program is not stratifiable (recursion through negation)");
+    }
+  }
+
+  // Tarjan numbers SCCs in reverse topological order of the condensation
+  // for edges head -> body: an SCC gets its number only after all SCCs it
+  // depends on are numbered. Hence evaluating strata in ascending SCC id
+  // evaluates dependencies first.
+  Stratification out;
+  out.num_strata = tarjan.num_sccs();
+  out.predicate_stratum.resize(num_preds);
+  for (uint32_t p = 0; p < num_preds; ++p) {
+    out.predicate_stratum[p] = tarjan.scc_of(p);
+  }
+  out.strata_rules.resize(out.num_strata);
+  out.stratum_recursive.assign(out.num_strata, false);
+  for (uint32_t ri = 0; ri < program.rules.size(); ++ri) {
+    const Rule& rule = program.rules[ri];
+    uint32_t s = out.predicate_stratum[rule.head.predicate];
+    out.strata_rules[s].push_back(ri);
+    for (const Atom& a : rule.positive) {
+      if (out.predicate_stratum[a.predicate] == s) {
+        out.stratum_recursive[s] = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sparqlog::datalog

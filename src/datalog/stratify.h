@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+/// \file stratify.h
+/// Stratification of Datalog programs with negation: computes a stratum
+/// number per predicate such that positive dependencies stay within or
+/// below a stratum and negative dependencies point strictly below.
+/// Programs with negative cycles (recursion through negation) are
+/// rejected — the SparqLog translation never produces them (negation is
+/// used acyclically for OPTIONAL / MINUS / ASK, Defs A.7-A.10, A.22).
+
+namespace sparqlog::datalog {
+
+struct Stratification {
+  /// Stratum per predicate id. Strata are the SCCs of the predicate
+  /// dependency graph in topological (dependency-first) order, so each
+  /// non-recursive stratum can be evaluated with a single pass and only
+  /// genuinely recursive components pay for the semi-naive fixpoint.
+  std::vector<uint32_t> predicate_stratum;
+  /// Rule indices grouped by stratum, ascending.
+  std::vector<std::vector<uint32_t>> strata_rules;
+  /// True for strata containing recursion (a rule whose body mentions a
+  /// predicate of the same stratum).
+  std::vector<bool> stratum_recursive;
+  uint32_t num_strata = 0;
+};
+
+/// Stratifies `program`. Fails with InvalidArgument if a predicate depends
+/// negatively on itself through a cycle.
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace sparqlog::datalog

@@ -1,0 +1,44 @@
+#include "datalog/value.h"
+
+namespace sparqlog::datalog {
+
+uint32_t SkolemStore::InternFunction(const std::string& name) {
+  auto it = fn_index_.find(name);
+  if (it != fn_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(fn_names_.size());
+  fn_names_.push_back(name);
+  fn_index_.emplace(name, id);
+  return id;
+}
+
+Value SkolemStore::Intern(uint32_t fn, std::vector<Value> args) {
+  SkolemTerm term{fn, std::move(args)};
+  auto it = term_index_.find(term);
+  if (it != term_index_.end()) {
+    return (static_cast<uint64_t>(it->second) + 1) << 32;
+  }
+  uint32_t id = static_cast<uint32_t>(terms_.size());
+  term_index_.emplace(term, id);
+  terms_.push_back(std::move(term));
+  return (static_cast<uint64_t>(id) + 1) << 32;
+}
+
+std::string SkolemStore::Render(Value v,
+                                const rdf::TermDictionary& dict) const {
+  const SkolemTerm& t = get(v);
+  std::string out = "[\"" + FunctionName(t.fn) + "\"";
+  for (Value a : t.args) {
+    out += ", ";
+    out += RenderValue(a, dict, *this);
+  }
+  out += "]";
+  return out;
+}
+
+std::string RenderValue(Value v, const rdf::TermDictionary& dict,
+                        const SkolemStore& skolems) {
+  if (IsSkolemValue(v)) return skolems.Render(v, dict);
+  return dict.Render(TermFromValue(v));
+}
+
+}  // namespace sparqlog::datalog

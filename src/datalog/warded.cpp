@@ -1,0 +1,154 @@
+#include "datalog/warded.h"
+
+#include <set>
+
+namespace sparqlog::datalog {
+
+namespace {
+
+using Position = std::pair<PredicateId, uint32_t>;
+
+/// True if `var` is existential in `rule` (bound by a Skolem builtin, the
+/// engine's realization of ∃ in rule heads).
+bool IsExistential(const Rule& rule, VarId var) {
+  for (const BuiltinLit& b : rule.builtins) {
+    if (b.kind == BuiltinKind::kSkolem && b.target.is_var &&
+        b.target.var == var) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+WardedReport AnalyzeWarded(const Program& program) {
+  WardedReport report;
+
+  // --- 1. affected positions (fixpoint) -----------------------------------
+  // A position is affected if some rule head writes an existential variable
+  // there, or writes a body variable all of whose body occurrences are at
+  // affected positions.
+  std::set<Position> affected;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules) {
+      for (uint32_t hi = 0; hi < rule.head.args.size(); ++hi) {
+        const RuleTerm& t = rule.head.args[hi];
+        if (!t.is_var) continue;
+        Position pos{rule.head.predicate, hi};
+        if (affected.count(pos)) continue;
+        bool make_affected = false;
+        if (IsExistential(rule, t.var)) {
+          make_affected = true;
+        } else {
+          // All body occurrences at affected positions (and at least one
+          // body occurrence; variables bound by plain builtins do not
+          // propagate nulls).
+          bool occurs = false;
+          bool all_affected = true;
+          for (const Atom& a : rule.positive) {
+            for (uint32_t ai = 0; ai < a.args.size(); ++ai) {
+              if (a.args[ai].is_var && a.args[ai].var == t.var) {
+                occurs = true;
+                if (!affected.count({a.predicate, ai})) all_affected = false;
+              }
+            }
+          }
+          make_affected = occurs && all_affected;
+        }
+        if (make_affected) {
+          affected.insert(pos);
+          changed = true;
+        }
+      }
+    }
+  }
+  report.affected_positions.assign(affected.begin(), affected.end());
+
+  // --- 2. dangerous variables & ward check ---------------------------------
+  for (size_t ri = 0; ri < program.rules.size(); ++ri) {
+    const Rule& rule = program.rules[ri];
+    // A body variable is dangerous if it appears in the head and all of its
+    // body occurrences are at affected positions.
+    std::set<VarId> head_vars;
+    for (const RuleTerm& t : rule.head.args) {
+      if (t.is_var && !IsExistential(rule, t.var)) head_vars.insert(t.var);
+    }
+    std::set<VarId> dangerous;
+    for (VarId v : head_vars) {
+      bool occurs = false, all_affected = true;
+      for (const Atom& a : rule.positive) {
+        for (uint32_t ai = 0; ai < a.args.size(); ++ai) {
+          if (a.args[ai].is_var && a.args[ai].var == v) {
+            occurs = true;
+            if (!affected.count({a.predicate, ai})) all_affected = false;
+          }
+        }
+      }
+      if (occurs && all_affected) dangerous.insert(v);
+    }
+    if (dangerous.empty()) continue;
+
+    // All dangerous variables must occur in a single body atom (the ward).
+    int ward = -1;
+    bool single = false;
+    for (size_t ai = 0; ai < rule.positive.size(); ++ai) {
+      std::set<VarId> in_atom;
+      for (const RuleTerm& t : rule.positive[ai].args) {
+        if (t.is_var && dangerous.count(t.var)) in_atom.insert(t.var);
+      }
+      if (in_atom.size() == dangerous.size()) {
+        ward = static_cast<int>(ai);
+        single = true;
+        break;
+      }
+    }
+    if (!single) {
+      report.warded = false;
+      report.violations.push_back(
+          "rule " + std::to_string(ri) +
+          ": dangerous variables not confined to a single body atom");
+      continue;
+    }
+    // Variables shared between the ward and the rest of the body must have
+    // a non-affected occurrence in the rest of the body.
+    const Atom& ward_atom = rule.positive[static_cast<size_t>(ward)];
+    std::set<VarId> ward_vars;
+    for (const RuleTerm& t : ward_atom.args) {
+      if (t.is_var) ward_vars.insert(t.var);
+    }
+    for (size_t ai = 0; ai < rule.positive.size(); ++ai) {
+      if (static_cast<int>(ai) == ward) continue;
+      const Atom& a = rule.positive[ai];
+      for (uint32_t pi = 0; pi < a.args.size(); ++pi) {
+        const RuleTerm& t = a.args[pi];
+        if (!t.is_var || !ward_vars.count(t.var)) continue;
+        // Shared variable: needs at least one non-affected occurrence
+        // outside the ward.
+        bool has_safe = false;
+        for (size_t aj = 0; aj < rule.positive.size(); ++aj) {
+          if (static_cast<int>(aj) == ward) continue;
+          const Atom& b = rule.positive[aj];
+          for (uint32_t pj = 0; pj < b.args.size(); ++pj) {
+            if (b.args[pj].is_var && b.args[pj].var == t.var &&
+                !affected.count({b.predicate, pj})) {
+              has_safe = true;
+            }
+          }
+        }
+        if (!has_safe) {
+          report.warded = false;
+          report.violations.push_back(
+              "rule " + std::to_string(ri) + ": variable '" +
+              rule.var_names[t.var] +
+              "' shared with the ward can propagate nulls");
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sparqlog::datalog

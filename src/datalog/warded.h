@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+/// \file warded.h
+/// Warded Datalog± analysis (Arenas/Gottlob/Pieris, §3.2 of the paper):
+/// computes affected positions and dangerous variables, and checks the
+/// ward condition. Head variables whose value is produced by a Skolem
+/// builtin are treated as existentially quantified — that is exactly the
+/// abstraction the paper applies when realizing TIDs as Skolem terms
+/// (Appendix C / E).
+///
+/// The paper claims every program produced by the SparqLog translation is
+/// warded; the test suite verifies this property for all translated
+/// programs, and the analyzer is available to callers as a safety check
+/// before evaluation.
+
+namespace sparqlog::datalog {
+
+struct WardedReport {
+  bool warded = true;
+  /// Affected positions as (predicate, column) pairs.
+  std::vector<std::pair<PredicateId, uint32_t>> affected_positions;
+  /// One message per violating rule.
+  std::vector<std::string> violations;
+};
+
+/// Analyzes `program` for wardedness.
+WardedReport AnalyzeWarded(const Program& program);
+
+}  // namespace sparqlog::datalog

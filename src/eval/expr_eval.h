@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+/// \file expr_eval.h
+/// SPARQL 1.1 expression evaluation with the standard's three-valued
+/// logic (value / error) and effective boolean value (EBV) rules. This
+/// single evaluator backs FILTER in the reference engine, ORDER BY keys,
+/// and the Datalog engine's embedded filter-expression builtins ("letting
+/// Vadalog take care of complex filter constraints", §5.1).
+
+namespace sparqlog::eval {
+
+/// Outcome of evaluating an expression to an effective boolean value.
+enum class EBV : int8_t { kFalse = 0, kTrue = 1, kError = -1 };
+
+/// Variable resolution callback: returns the bound term or kUndef.
+using VarLookup = std::function<rdf::TermId(const std::string&)>;
+
+/// Expression evaluator. Non-const because value-producing builtins
+/// (STR, UCASE, arithmetic, ...) intern fresh literals.
+class ExprEvaluator {
+ public:
+  explicit ExprEvaluator(rdf::TermDictionary* dict) : dict_(dict) {}
+
+  /// Evaluates `e` and coerces to an effective boolean value.
+  EBV EvalEBV(const sparql::Expr& e, const VarLookup& lookup);
+
+  /// Evaluates `e` to a term. nullopt = error. kUndef = unbound variable
+  /// (only a variable reference can produce it).
+  std::optional<rdf::TermId> EvalTerm(const sparql::Expr& e,
+                                      const VarLookup& lookup);
+
+  rdf::TermDictionary* dict() { return dict_; }
+
+ private:
+  EBV TermToEBV(rdf::TermId id) const;
+  EBV Compare(sparql::CompareOp op, rdf::TermId a, rdf::TermId b) const;
+  std::optional<rdf::TermId> Arith(sparql::ArithOp op, rdf::TermId a,
+                                   rdf::TermId b);
+  std::optional<rdf::TermId> EvalBuiltin(const sparql::Expr& e,
+                                         const VarLookup& lookup);
+
+  rdf::TermDictionary* dict_;
+};
+
+/// SPARQL operator-level comparison of two terms. Returns nullopt when the
+/// comparison is a type error (e.g. `<` between IRIs).
+std::optional<int> CompareTermsSparql(const rdf::TermDictionary& dict,
+                                      rdf::TermId a, rdf::TermId b);
+
+/// Total order for ORDER BY per the SPARQL spec's ordering recipe:
+/// unbound < blank nodes < IRIs < literals; numeric literals by value,
+/// string-ish literals lexically, everything else by rendered form.
+int CompareForOrder(const rdf::TermDictionary& dict, rdf::TermId a,
+                    rdf::TermId b);
+
+}  // namespace sparqlog::eval

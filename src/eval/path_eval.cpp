@@ -1,0 +1,333 @@
+#include "eval/path_eval.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace sparqlog::eval {
+
+using rdf::TermId;
+using sparql::Path;
+using sparql::PathKind;
+using sparql::PathPtr;
+
+namespace {
+
+/// Non-owning PathPtr view of a node we already hold a reference to.
+PathPtr NonOwning(const Path& p) {
+  return PathPtr(std::shared_ptr<const Path>(), &p);
+}
+
+}  // namespace
+
+void PathEvaluator::Dedup(PairList* pairs) {
+  std::sort(pairs->begin(), pairs->end());
+  pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
+}
+
+PairList PathEvaluator::ZeroPairs(std::optional<TermId> s,
+                                  std::optional<TermId> o) const {
+  PairList out;
+  if (s && o) {
+    if (*s == *o) out.emplace_back(*s, *s);
+    return out;
+  }
+  if (s) {
+    // (s, s): holds whether or not s occurs in the graph (Table 5 rules
+    // 2/4/6 — the constant-endpoint case previous translations missed).
+    out.emplace_back(*s, *s);
+    return out;
+  }
+  if (o) {
+    out.emplace_back(*o, *o);
+    return out;
+  }
+  for (TermId n : graph_.SubjectsAndObjects()) out.emplace_back(n, n);
+  return out;
+}
+
+Status PathEvaluator::StepFrom(const Path& path, TermId x,
+                               std::vector<TermId>* out) {
+  SPARQLOG_ASSIGN_OR_RETURN(PairList pairs, EvalImpl(path, x, std::nullopt));
+  std::unordered_set<TermId> seen;
+  for (const auto& [from, to] : pairs) {
+    if (from == x && seen.insert(to).second) out->push_back(to);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TermId>> PathEvaluator::ReachOneOrMore(const Path& path,
+                                                          TermId start) {
+  std::vector<TermId> reached;
+  std::unordered_set<TermId> visited;
+  std::vector<TermId> frontier{start};
+  bool first = true;
+  while (!frontier.empty()) {
+    SPARQLOG_RETURN_NOT_OK(ctx_->CheckBudget());
+    std::vector<TermId> next;
+    for (TermId x : frontier) {
+      std::vector<TermId> step;
+      SPARQLOG_RETURN_NOT_OK(StepFrom(path, x, &step));
+      cost_.Charge(step.size());
+      for (TermId y : step) {
+        if (visited.insert(y).second) {
+          reached.push_back(y);
+          next.push_back(y);
+          ctx_->AddTuples(1);
+        }
+      }
+    }
+    frontier = std::move(next);
+    first = false;
+  }
+  (void)first;
+  return reached;
+}
+
+Result<PairList> PathEvaluator::Eval(const Path& path,
+                                     std::optional<TermId> s,
+                                     std::optional<TermId> o) {
+  SPARQLOG_ASSIGN_OR_RETURN(PairList pairs, EvalImpl(path, s, o));
+  // EvalImpl may over-produce when only one endpoint could be pushed down;
+  // enforce both here.
+  PairList out;
+  out.reserve(pairs.size());
+  for (const auto& p : pairs) {
+    if (s && p.first != *s) continue;
+    if (o && p.second != *o) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+Result<PairList> PathEvaluator::EvalImpl(const Path& path,
+                                         std::optional<TermId> s,
+                                         std::optional<TermId> o) {
+  SPARQLOG_RETURN_NOT_OK(ctx_->CheckBudget());
+  switch (path.kind) {
+    case PathKind::kLink: {
+      PairList out;
+      graph_.Match(s, path.iri, o, [&](const rdf::Triple& t) {
+        out.emplace_back(t.s, t.o);
+      });
+      ctx_->AddTuples(out.size());
+      cost_.Charge(out.size());
+      return out;
+    }
+    case PathKind::kInverse: {
+      SPARQLOG_ASSIGN_OR_RETURN(PairList inner, EvalImpl(*path.left, o, s));
+      PairList out;
+      out.reserve(inner.size());
+      for (const auto& [x, y] : inner) out.emplace_back(y, x);
+      return out;
+    }
+    case PathKind::kSequence: {
+      SPARQLOG_ASSIGN_OR_RETURN(PairList left,
+                                EvalImpl(*path.left, s, std::nullopt));
+      PairList out;
+      std::map<TermId, PairList> cache;
+      for (const auto& [x, mid] : left) {
+        SPARQLOG_RETURN_NOT_OK(ctx_->CheckBudget());
+        auto it = cache.find(mid);
+        if (it == cache.end()) {
+          SPARQLOG_ASSIGN_OR_RETURN(PairList right,
+                                    EvalImpl(*path.right, mid, o));
+          it = cache.emplace(mid, std::move(right)).first;
+        }
+        for (const auto& [m2, z] : it->second) {
+          if (m2 != mid) continue;
+          out.emplace_back(x, z);
+          ctx_->AddTuples(1);
+        }
+        cost_.Charge(it->second.size());
+      }
+      return out;
+    }
+    case PathKind::kAlternative: {
+      SPARQLOG_ASSIGN_OR_RETURN(PairList a, EvalImpl(*path.left, s, o));
+      SPARQLOG_ASSIGN_OR_RETURN(PairList b, EvalImpl(*path.right, s, o));
+      a.insert(a.end(), b.begin(), b.end());
+      // Quirk: Virtuoso loses the duplicates an alternative path should
+      // produce (Appendix D.2.3).
+      if (quirks_.alternative_dedup) Dedup(&a);
+      return a;
+    }
+    case PathKind::kZeroOrOne: {
+      if (quirks_.error_on_two_var_recursive_path && !s && !o) {
+        return Status::NotSupported("transitive start not given");
+      }
+      SPARQLOG_ASSIGN_OR_RETURN(PairList one, EvalImpl(*path.left, s, o));
+      PairList out = ZeroPairs(s, o);
+      one.insert(one.end(), out.begin(), out.end());
+      Dedup(&one);  // always set semantics (Table 5)
+      return one;
+    }
+    case PathKind::kOneOrMore: {
+      if (quirks_.error_on_two_var_recursive_path && !s && !o) {
+        return Status::NotSupported("transitive start not given");
+      }
+      if (quirks_.plus_drops_reflexive) {
+        // Quirk: p+ computed as p* minus reflexive pairs — loses (x, x)
+        // results on cyclic paths.
+        auto star = Path::ZeroOrMore(path.left);
+        EngineQuirks saved = quirks_;
+        quirks_.plus_drops_reflexive = false;
+        auto star_pairs = EvalImpl(*star, s, o);
+        quirks_ = saved;
+        SPARQLOG_RETURN_NOT_OK(star_pairs.status());
+        PairList filtered;
+        for (const auto& p : *star_pairs) {
+          if (p.first != p.second) filtered.push_back(p);
+        }
+        return filtered;
+      }
+      PairList out;
+      if (s) {
+        SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
+                                  ReachOneOrMore(*path.left, *s));
+        for (TermId y : reach) out.emplace_back(*s, y);
+        return out;
+      }
+      if (o) {
+        auto inv = Path::Inverse(NonOwning(*path.left));
+        SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
+                                  ReachOneOrMore(*inv, *o));
+        for (TermId x : reach) out.emplace_back(x, *o);
+        return out;
+      }
+      for (TermId n : graph_.SubjectsAndObjects()) {
+        SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
+                                  ReachOneOrMore(*path.left, n));
+        for (TermId y : reach) out.emplace_back(n, y);
+      }
+      Dedup(&out);
+      return out;
+    }
+    case PathKind::kZeroOrMore: {
+      if (quirks_.error_on_two_var_recursive_path && !s && !o) {
+        return Status::NotSupported("transitive start not given");
+      }
+      if (quirks_.star_two_var_pairwise && !s && !o) {
+        // Quirk: no sharing across targets — one reachability probe per
+        // candidate (source, target) pair.
+        PairList out;
+        const auto& nodes = graph_.SubjectsAndObjects();
+        auto plus = Path::OneOrMore(path.left);
+        for (TermId src : nodes) {
+          for (TermId dst : nodes) {
+            SPARQLOG_RETURN_NOT_OK(ctx_->CheckBudget());
+            if (src == dst) {
+              out.emplace_back(src, src);
+              continue;
+            }
+            SPARQLOG_ASSIGN_OR_RETURN(PairList probe,
+                                      EvalImpl(*plus, src, dst));
+            bool hit = false;
+            for (const auto& pr : probe) {
+              if (pr.first == src && pr.second == dst) hit = true;
+            }
+            if (hit) out.emplace_back(src, dst);
+          }
+        }
+        Dedup(&out);
+        return out;
+      }
+      auto plus = Path::OneOrMore(path.left);
+      SPARQLOG_ASSIGN_OR_RETURN(PairList out, EvalImpl(*plus, s, o));
+      PairList zero = ZeroPairs(s, o);
+      out.insert(out.end(), zero.begin(), zero.end());
+      Dedup(&out);
+      return out;
+    }
+    case PathKind::kNegated: {
+      PairList out;
+      // Forward component: only when forward members exist (W3C
+      // decomposition of mixed negated property sets).
+      if (!path.neg_fwd.empty()) {
+        graph_.Match(s, std::nullopt, o, [&](const rdf::Triple& t) {
+          for (TermId p : path.neg_fwd) {
+            if (t.p == p) return;
+          }
+          out.emplace_back(t.s, t.o);
+        });
+      }
+      if (!path.neg_bwd.empty()) {
+        graph_.Match(o, std::nullopt, s, [&](const rdf::Triple& t) {
+          for (TermId p : path.neg_bwd) {
+            if (t.p == p) return;
+          }
+          out.emplace_back(t.o, t.s);
+        });
+      }
+      ctx_->AddTuples(out.size());
+      cost_.Charge(out.size());
+      return out;
+    }
+    case PathKind::kExactly: {
+      if (path.count == 0) return ZeroPairs(s, o);
+      // Left-fold a chain of `count` copies with midpoint caching.
+      SPARQLOG_ASSIGN_OR_RETURN(
+          PairList acc,
+          EvalImpl(*path.left, s,
+                   path.count == 1 ? o : std::optional<TermId>()));
+      for (uint32_t k = 1; k < path.count; ++k) {
+        bool last = (k + 1 == path.count);
+        PairList next;
+        std::map<TermId, PairList> cache;
+        for (const auto& [x, mid] : acc) {
+          SPARQLOG_RETURN_NOT_OK(ctx_->CheckBudget());
+          auto it = cache.find(mid);
+          if (it == cache.end()) {
+            SPARQLOG_ASSIGN_OR_RETURN(
+                PairList step,
+                EvalImpl(*path.left, mid,
+                         last ? o : std::optional<TermId>()));
+            it = cache.emplace(mid, std::move(step)).first;
+          }
+          for (const auto& [m2, z] : it->second) {
+            if (m2 != mid) continue;
+            next.emplace_back(x, z);
+            ctx_->AddTuples(1);
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case PathKind::kNOrMore: {
+      if (quirks_.error_on_two_var_recursive_path && !s && !o) {
+        return Status::NotSupported("transitive start not given");
+      }
+      if (path.count == 0) {
+        auto star = Path::ZeroOrMore(path.left);
+        return EvalImpl(*star, s, o);
+      }
+      if (path.count == 1) {
+        auto plus = Path::OneOrMore(path.left);
+        return EvalImpl(*plus, s, o);
+      }
+      // p{n,} = p{n-1} / p+ with set semantics overall.
+      auto prefix = Path::Counted(PathKind::kExactly, path.left,
+                                  path.count - 1);
+      auto plus = Path::OneOrMore(path.left);
+      auto seq = Path::Sequence(prefix, plus);
+      SPARQLOG_ASSIGN_OR_RETURN(PairList out, EvalImpl(*seq, s, o));
+      Dedup(&out);
+      return out;
+    }
+    case PathKind::kUpTo: {
+      // p{0,n} = zero-length ∪ p{1} ∪ ... ∪ p{n}, set semantics.
+      PairList out = ZeroPairs(s, o);
+      for (uint32_t k = 1; k <= path.count; ++k) {
+        auto exact = Path::Counted(PathKind::kExactly, path.left, k);
+        SPARQLOG_ASSIGN_OR_RETURN(PairList step, EvalImpl(*exact, s, o));
+        out.insert(out.end(), step.begin(), step.end());
+      }
+      Dedup(&out);
+      return out;
+    }
+  }
+  return Status::Internal("unhandled path kind");
+}
+
+}  // namespace sparqlog::eval

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "eval/quirk_config.h"
+#include "rdf/graph.h"
+#include "sparql/ast.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+/// \file path_eval.h
+/// W3C-compliant property path evaluation over a single graph, following
+/// the semantics of Table 5 in the paper (which matches the SPARQL 1.1
+/// spec): bag semantics for link / inverse / sequence / alternative paths,
+/// set semantics (ALP) for `?` / `*` / `+`, and zero-length paths for all
+/// graph nodes *and* for constant endpoints that do not occur in the graph
+/// — the corner case previous translations missed (§5.2).
+
+namespace sparqlog::eval {
+
+/// Multiset of (start, end) endpoint pairs.
+using PairList = std::vector<std::pair<rdf::TermId, rdf::TermId>>;
+
+class PathEvaluator {
+ public:
+  PathEvaluator(const rdf::Graph& graph, ExecContext* ctx,
+                EngineQuirks quirks = EngineQuirks())
+      : graph_(graph), ctx_(ctx), quirks_(quirks),
+        cost_(quirks.per_binding_overhead_ns) {}
+
+  /// Evaluates `path` with optionally-bound endpoints. Bound endpoints are
+  /// pushed into the search where possible; the returned pairs always
+  /// satisfy them.
+  Result<PairList> Eval(const sparql::Path& path,
+                        std::optional<rdf::TermId> s,
+                        std::optional<rdf::TermId> o);
+
+ private:
+  Result<PairList> EvalImpl(const sparql::Path& path,
+                            std::optional<rdf::TermId> s,
+                            std::optional<rdf::TermId> o);
+
+  /// Distinct one-step successors of `x` under `path`.
+  Status StepFrom(const sparql::Path& path, rdf::TermId x,
+                  std::vector<rdf::TermId>* out);
+
+  /// Nodes reachable from `start` by one or more applications of `path`
+  /// (the spec's ALP procedure, without the zero step).
+  Result<std::vector<rdf::TermId>> ReachOneOrMore(const sparql::Path& path,
+                                                  rdf::TermId start);
+
+  /// Zero-length pairs consistent with the given endpoints, including the
+  /// constant-endpoint-not-in-graph rule.
+  PairList ZeroPairs(std::optional<rdf::TermId> s,
+                     std::optional<rdf::TermId> o) const;
+
+  static void Dedup(PairList* pairs);
+
+  const rdf::Graph& graph_;
+  ExecContext* ctx_;
+  EngineQuirks quirks_;
+  CostModel cost_;
+};
+
+}  // namespace sparqlog::eval

@@ -1,0 +1,114 @@
+#include "quirks/stardog_sim.h"
+
+#include <vector>
+
+namespace sparqlog::quirks {
+
+using rdf::Graph;
+using rdf::TermId;
+using rdf::Triple;
+
+namespace {
+
+/// One naive closure round over a single graph: applies every inference
+/// rule to the *entire* current triple set and returns the number of new
+/// triples. No delta tracking on purpose (see header).
+Result<size_t> NaiveRound(Graph* g, TermId type, TermId sub_class,
+                          TermId sub_prop, TermId domain, TermId range,
+                          ExecContext* ctx) {
+  std::vector<Triple> fresh;
+  const auto& triples = g->triples();
+
+  // subClassOf / subPropertyOf transitivity (nested scan over the full
+  // predicate lists each round).
+  for (TermId hier : {sub_class, sub_prop}) {
+    const auto& edges = g->WithPredicate(hier);
+    for (const Triple& a : edges) {
+      SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+      for (const Triple& b : edges) {
+        if (a.o == b.s) fresh.push_back({a.s, hier, b.o});
+      }
+    }
+  }
+  // Type propagation along subClassOf.
+  for (const Triple& sc : g->WithPredicate(sub_class)) {
+    SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+    for (const Triple& t : g->WithPredicate(type)) {
+      if (t.o == sc.s) fresh.push_back({t.s, type, sc.o});
+    }
+  }
+  // Property propagation along subPropertyOf: full scan of the graph for
+  // every subPropertyOf edge.
+  for (const Triple& sp : g->WithPredicate(sub_prop)) {
+    for (const Triple& t : triples) {
+      SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+      if (t.p == sp.s) fresh.push_back({t.s, sp.o, t.o});
+    }
+  }
+  // Domain / range typing.
+  for (const Triple& d : g->WithPredicate(domain)) {
+    for (const Triple& t : triples) {
+      SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+      if (t.p == d.s) fresh.push_back({t.s, type, d.o});
+    }
+  }
+  for (const Triple& r : g->WithPredicate(range)) {
+    for (const Triple& t : triples) {
+      SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+      if (t.p == r.s) fresh.push_back({t.o, type, r.o});
+    }
+  }
+
+  size_t added = 0;
+  for (const Triple& t : fresh) {
+    if (g->Add(t)) {
+      ++added;
+      ctx->AddTuples(1);
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+Status StardogSim::Materialize(ExecContext* ctx) {
+  TermId type = dict_->InternIri(rdf::rdfns::kType);
+  TermId sub_class = dict_->InternIri(rdf::rdfns::kSubClassOf);
+  TermId sub_prop = dict_->InternIri(rdf::rdfns::kSubPropertyOf);
+  TermId domain = dict_->InternIri(rdf::rdfns::kDomain);
+  TermId range = dict_->InternIri(rdf::rdfns::kRange);
+
+  materialized_.emplace(dict_);
+  materialized_->default_graph().MergeFrom(dataset_->default_graph());
+  for (const auto& [name, g] : dataset_->named_graphs()) {
+    materialized_->named_graph(name).MergeFrom(g);
+  }
+
+  auto close = [&](Graph* g) -> Status {
+    while (true) {
+      SPARQLOG_ASSIGN_OR_RETURN(
+          size_t added,
+          NaiveRound(g, type, sub_class, sub_prop, domain, range, ctx));
+      if (added == 0) return Status::OK();
+    }
+  };
+  SPARQLOG_RETURN_NOT_OK(close(&materialized_->default_graph()));
+  for (auto& [name, g] : materialized_->named_graphs()) {
+    // named_graphs() is const; fetch mutable handle.
+    SPARQLOG_RETURN_NOT_OK(close(&materialized_->named_graph(name)));
+  }
+  return Status::OK();
+}
+
+Result<eval::QueryResult> StardogSim::Execute(const sparql::Query& query,
+                                              ExecContext* ctx) {
+  if (!materialized_) SPARQLOG_RETURN_NOT_OK(Materialize(ctx));
+  // Calibrated comparator cost model (Java engine; see DESIGN.md §3).
+  eval::EngineQuirks quirks;
+  quirks.per_binding_overhead_ns = 2000;
+  quirks.star_two_var_pairwise = true;
+  eval::AlgebraEvaluator evaluator(*materialized_, dict_, ctx, quirks);
+  return evaluator.EvalQuery(query);
+}
+
+}  // namespace sparqlog::quirks

@@ -1,0 +1,16 @@
+#include "quirks/virtuoso_sim.h"
+
+namespace sparqlog::quirks {
+
+eval::EngineQuirks VirtuosoQuirks() {
+  eval::EngineQuirks q;
+  q.error_on_two_var_recursive_path = true;
+  q.plus_drops_reflexive = true;
+  q.alternative_dedup = true;
+  q.union_dedup = true;
+  q.ignore_distinct_with_union = true;
+  q.error_on_graph_and_complex_order = true;
+  return q;
+}
+
+}  // namespace sparqlog::quirks

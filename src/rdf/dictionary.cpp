@@ -1,0 +1,52 @@
+#include "rdf/dictionary.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace sparqlog::rdf {
+
+TermDictionary::TermDictionary() {
+  // Slot 0: the undef/null term.
+  terms_.push_back(std::make_unique<Term>());
+  index_.emplace(terms_[0]->CanonicalKey(), 0);
+}
+
+TermId TermDictionary::Intern(const Term& term) {
+  std::string key = term.CanonicalKey();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(std::make_unique<Term>(term));
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermDictionary::InternInteger(int64_t v) {
+  return InternLiteral(std::to_string(v), xsd::kInteger);
+}
+
+TermId TermDictionary::InternDouble(double v) {
+  // Canonical-ish rendering: integers print without exponent to keep test
+  // output readable.
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    return InternLiteral(StringPrintf("%.1f", v), xsd::kDouble);
+  }
+  return InternLiteral(StringPrintf("%g", v), xsd::kDouble);
+}
+
+TermId TermDictionary::InternBoolean(bool v) {
+  return InternLiteral(v ? "true" : "false", xsd::kBoolean);
+}
+
+std::optional<TermId> TermDictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term.CanonicalKey());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string TermDictionary::FreshBlankLabel() {
+  return "gen" + std::to_string(blank_counter_++);
+}
+
+}  // namespace sparqlog::rdf

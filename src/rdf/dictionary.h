@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+/// \file dictionary.h
+/// Interning dictionary mapping RDF terms to dense 32-bit ids. All engines
+/// in the repository (reference evaluator, Datalog engine, translators)
+/// operate on TermIds; the dictionary is the single source of truth for
+/// term content.
+
+namespace sparqlog::rdf {
+
+/// Thread-compatible (externally synchronized) term interner.
+///
+/// Id 0 is reserved for the undef/null term, so a default TermId acts as
+/// SPARQL's "unbound" marker throughout the system.
+class TermDictionary {
+ public:
+  static constexpr TermId kUndef = 0;
+
+  TermDictionary();
+
+  /// Interns a term, returning its id (existing id if already present).
+  TermId Intern(const Term& term);
+
+  TermId InternIri(std::string_view iri) {
+    return Intern(Term::Iri(std::string(iri)));
+  }
+  TermId InternBlank(std::string_view label) {
+    return Intern(Term::Blank(std::string(label)));
+  }
+  TermId InternLiteral(std::string_view lex, std::string_view datatype = "",
+                       std::string_view lang = "") {
+    return Intern(Term::Literal(std::string(lex), std::string(datatype),
+                                std::string(lang)));
+  }
+  TermId InternString(std::string_view s) { return InternLiteral(s); }
+  TermId InternInteger(int64_t v);
+  TermId InternDouble(double v);
+  TermId InternBoolean(bool v);
+
+  /// Id of a term if present, without interning.
+  std::optional<TermId> Lookup(const Term& term) const;
+
+  const Term& get(TermId id) const { return *terms_[id]; }
+
+  /// Number of interned terms (including undef).
+  size_t size() const { return terms_.size(); }
+
+  /// A fresh blank node label unique within this dictionary.
+  std::string FreshBlankLabel();
+
+  /// Rendering helper: ToString of the term behind `id`.
+  std::string Render(TermId id) const { return get(id).ToString(); }
+
+ private:
+  std::vector<std::unique_ptr<Term>> terms_;
+  std::unordered_map<std::string, TermId> index_;
+  uint64_t blank_counter_ = 0;
+};
+
+}  // namespace sparqlog::rdf

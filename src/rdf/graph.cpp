@@ -1,0 +1,113 @@
+#include "rdf/graph.h"
+
+namespace sparqlog::rdf {
+
+namespace {
+const std::vector<Triple>& EmptyTriples() {
+  static const std::vector<Triple>& empty = *new std::vector<Triple>();
+  return empty;
+}
+}  // namespace
+
+bool Graph::Add(Triple t) {
+  if (!set_.insert(t).second) return false;
+  triples_.push_back(t);
+  by_s_[t.s].push_back(t);
+  by_p_[t.p].push_back(t);
+  by_o_[t.o].push_back(t);
+  return true;
+}
+
+void Graph::Match(std::optional<TermId> s, std::optional<TermId> p,
+                  std::optional<TermId> o,
+                  const std::function<void(const Triple&)>& fn) const {
+  // Fully bound: set lookup.
+  if (s && p && o) {
+    Triple t{*s, *p, *o};
+    if (Contains(t)) fn(t);
+    return;
+  }
+  // Choose the smallest bound index, falling back to a scan.
+  const std::vector<Triple>* source = &triples_;
+  if (s) {
+    auto it = by_s_.find(*s);
+    source = it == by_s_.end() ? &EmptyTriples() : &it->second;
+  }
+  if (p) {
+    auto it = by_p_.find(*p);
+    const std::vector<Triple>* cand =
+        it == by_p_.end() ? &EmptyTriples() : &it->second;
+    if (cand->size() < source->size()) source = cand;
+  }
+  if (o) {
+    auto it = by_o_.find(*o);
+    const std::vector<Triple>* cand =
+        it == by_o_.end() ? &EmptyTriples() : &it->second;
+    if (cand->size() < source->size()) source = cand;
+  }
+  for (const Triple& t : *source) {
+    if (s && t.s != *s) continue;
+    if (p && t.p != *p) continue;
+    if (o && t.o != *o) continue;
+    fn(t);
+  }
+}
+
+const std::vector<Triple>& Graph::WithPredicate(TermId p) const {
+  auto it = by_p_.find(p);
+  return it == by_p_.end() ? EmptyTriples() : it->second;
+}
+
+const std::vector<Triple>& Graph::WithSubject(TermId s) const {
+  auto it = by_s_.find(s);
+  return it == by_s_.end() ? EmptyTriples() : it->second;
+}
+
+const std::vector<Triple>& Graph::WithObject(TermId o) const {
+  auto it = by_o_.find(o);
+  return it == by_o_.end() ? EmptyTriples() : it->second;
+}
+
+const std::vector<TermId>& Graph::SubjectsAndObjects() const {
+  // Incremental rebuild: extend with triples added since last call.
+  for (; nodes_built_upto_ < triples_.size(); ++nodes_built_upto_) {
+    const Triple& t = triples_[nodes_built_upto_];
+    if (node_set_.insert(t.s).second) nodes_.push_back(t.s);
+    if (node_set_.insert(t.o).second) nodes_.push_back(t.o);
+  }
+  return nodes_;
+}
+
+std::vector<TermId> Graph::Predicates() const {
+  std::vector<TermId> out;
+  out.reserve(by_p_.size());
+  for (const auto& [p, _] : by_p_) out.push_back(p);
+  return out;
+}
+
+void Graph::MergeFrom(const Graph& other) {
+  for (const Triple& t : other.triples()) Add(t);
+}
+
+size_t Dataset::TotalTriples() const {
+  size_t n = default_graph_.size();
+  for (const auto& [_, g] : named_) n += g.size();
+  return n;
+}
+
+Dataset Dataset::WithClauses(const std::vector<TermId>& from,
+                             const std::vector<TermId>& from_named) const {
+  Dataset out(dict_);
+  for (TermId g : from) {
+    if (const Graph* src = FindNamedGraph(g)) {
+      out.default_graph().MergeFrom(*src);
+    }
+  }
+  for (TermId g : from_named) {
+    Graph& dst = out.named_graph(g);
+    if (const Graph* src = FindNamedGraph(g)) dst.MergeFrom(*src);
+  }
+  return out;
+}
+
+}  // namespace sparqlog::rdf

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "util/hash.h"
+
+/// \file graph.h
+/// RDF graphs (sets of triples) and datasets (default graph + named
+/// graphs), with the secondary indexes the reference evaluator needs for
+/// triple-pattern matching and path search.
+
+namespace sparqlog::rdf {
+
+/// One RDF triple over interned terms.
+struct Triple {
+  TermId s = 0;
+  TermId p = 0;
+  TermId o = 0;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t seed = 0;
+    HashCombine(seed, t.s);
+    HashCombine(seed, t.p);
+    HashCombine(seed, t.o);
+    return seed;
+  }
+};
+
+/// A set of triples with by-S / by-P / by-O indexes.
+///
+/// RDF graphs are sets, so Add() deduplicates. Indexes are maintained
+/// eagerly; graphs in this codebase are load-then-query.
+class Graph {
+ public:
+  /// Adds a triple; returns false if it was already present.
+  bool Add(Triple t);
+  bool Add(TermId s, TermId p, TermId o) { return Add(Triple{s, p, o}); }
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+
+  /// Calls `fn` for every triple matching the pattern; nullopt = wildcard.
+  /// Chooses the most selective index available.
+  void Match(std::optional<TermId> s, std::optional<TermId> p,
+             std::optional<TermId> o,
+             const std::function<void(const Triple&)>& fn) const;
+
+  /// All (s, o) pairs for predicate `p` (shared by path evaluation).
+  const std::vector<Triple>& WithPredicate(TermId p) const;
+
+  /// Triples whose subject is `s`.
+  const std::vector<Triple>& WithSubject(TermId s) const;
+
+  /// Triples whose object is `o`.
+  const std::vector<Triple>& WithObject(TermId o) const;
+
+  /// All terms appearing in subject or object position, deduplicated and
+  /// in first-seen order (the paper's subjectOrObject predicate).
+  const std::vector<TermId>& SubjectsAndObjects() const;
+
+  /// Distinct predicates in the graph.
+  std::vector<TermId> Predicates() const;
+
+  /// Merges all triples of `other` into this graph.
+  void MergeFrom(const Graph& other);
+
+ private:
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> set_;
+  std::unordered_map<TermId, std::vector<Triple>> by_s_;
+  std::unordered_map<TermId, std::vector<Triple>> by_p_;
+  std::unordered_map<TermId, std::vector<Triple>> by_o_;
+  mutable std::vector<TermId> nodes_;           // lazily built
+  mutable std::unordered_set<TermId> node_set_;
+  mutable size_t nodes_built_upto_ = 0;
+};
+
+/// An RDF dataset: a default graph plus zero or more named graphs.
+/// The dictionary is shared and not owned.
+class Dataset {
+ public:
+  explicit Dataset(TermDictionary* dict) : dict_(dict) {}
+
+  TermDictionary* dict() const { return dict_; }
+
+  Graph& default_graph() { return default_graph_; }
+  const Graph& default_graph() const { return default_graph_; }
+
+  /// Creates-or-returns the named graph for IRI id `name`.
+  Graph& named_graph(TermId name) { return named_[name]; }
+
+  const Graph* FindNamedGraph(TermId name) const {
+    auto it = named_.find(name);
+    return it == named_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<TermId, Graph>& named_graphs() const { return named_; }
+
+  /// Total triples across all graphs.
+  size_t TotalTriples() const;
+
+  /// Restricts/rebuilds a dataset according to FROM / FROM NAMED clauses:
+  /// `from` graphs are merged into the new default graph, `from_named`
+  /// graphs become the named-graph set. Graph names not present in this
+  /// dataset resolve to empty graphs (per SPARQL's dataset construction).
+  Dataset WithClauses(const std::vector<TermId>& from,
+                      const std::vector<TermId>& from_named) const;
+
+ private:
+  TermDictionary* dict_;
+  Graph default_graph_;
+  std::map<TermId, Graph> named_;
+};
+
+}  // namespace sparqlog::rdf

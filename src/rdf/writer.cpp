@@ -1,0 +1,32 @@
+#include "rdf/writer.h"
+
+namespace sparqlog::rdf {
+
+std::string WriteNTriples(const Graph& graph, const TermDictionary& dict) {
+  std::string out;
+  out.reserve(graph.size() * 64);
+  for (const Triple& t : graph.triples()) {
+    out += dict.Render(t.s);
+    out += ' ';
+    out += dict.Render(t.p);
+    out += ' ';
+    out += dict.Render(t.o);
+    out += " .\n";
+  }
+  return out;
+}
+
+std::string WriteTrig(const Dataset& dataset) {
+  const TermDictionary& dict = *dataset.dict();
+  std::string out = WriteNTriples(dataset.default_graph(), dict);
+  for (const auto& [name, graph] : dataset.named_graphs()) {
+    out += "GRAPH ";
+    out += dict.Render(name);
+    out += " {\n";
+    out += WriteNTriples(graph, dict);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace sparqlog::rdf

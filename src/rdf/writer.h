@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "rdf/graph.h"
+
+/// \file writer.h
+/// Serialization of datasets back to the TriG-lite syntax the parser
+/// accepts (N-Triples statements plus GRAPH blocks). The benchmark
+/// harness serializes each workload once and has every system under test
+/// load from the text, so "loading time" measures comparable work
+/// (parse + index build) across systems.
+
+namespace sparqlog::rdf {
+
+/// Serializes one graph as N-Triples.
+std::string WriteNTriples(const Graph& graph, const TermDictionary& dict);
+
+/// Serializes a dataset: default graph as N-Triples, named graphs as
+/// TriG GRAPH blocks.
+std::string WriteTrig(const Dataset& dataset);
+
+}  // namespace sparqlog::rdf

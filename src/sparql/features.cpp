@@ -1,0 +1,145 @@
+#include "sparql/features.h"
+
+namespace sparqlog::sparql {
+
+namespace {
+
+void WalkExpr(const Expr& e, FeatureSet* out) {
+  if (e.kind == ExprKind::kBuiltin && e.builtin == Builtin::kRegex) {
+    out->regex = true;
+  }
+  for (const auto& a : e.args) WalkExpr(*a, out);
+}
+
+void WalkPath(const Path& p, FeatureSet* out) {
+  switch (p.kind) {
+    case PathKind::kLink:
+      return;
+    case PathKind::kInverse:
+      out->path_inverse = true;
+      out->any_path = true;
+      break;
+    case PathKind::kSequence:
+      out->path_seq = true;
+      out->any_path = true;
+      break;
+    case PathKind::kAlternative:
+      out->path_alt = true;
+      out->any_path = true;
+      break;
+    case PathKind::kZeroOrOne:
+      out->path_zero_or_one = true;
+      out->any_path = true;
+      break;
+    case PathKind::kOneOrMore:
+      out->path_one_or_more = true;
+      out->any_path = true;
+      break;
+    case PathKind::kZeroOrMore:
+      out->path_zero_or_more = true;
+      out->any_path = true;
+      break;
+    case PathKind::kNegated:
+      out->path_negated = true;
+      out->any_path = true;
+      return;
+    case PathKind::kExactly:
+    case PathKind::kNOrMore:
+    case PathKind::kUpTo:
+      out->path_counted = true;
+      out->any_path = true;
+      break;
+  }
+  if (p.left) WalkPath(*p.left, out);
+  if (p.right) WalkPath(*p.right, out);
+}
+
+void WalkPattern(const Pattern& p, FeatureSet* out) {
+  switch (p.kind) {
+    case PatternKind::kEmpty:
+    case PatternKind::kTriple:
+      return;
+    case PatternKind::kPath:
+      WalkPath(*p.path, out);
+      return;
+    case PatternKind::kJoin:
+      out->join = true;
+      break;
+    case PatternKind::kUnion:
+      out->union_ = true;
+      break;
+    case PatternKind::kOptional:
+      out->optional = true;
+      break;
+    case PatternKind::kMinus:
+      out->minus = true;
+      break;
+    case PatternKind::kFilter:
+      out->filter = true;
+      WalkExpr(*p.condition, out);
+      break;
+    case PatternKind::kGraph:
+      out->graph = true;
+      break;
+    case PatternKind::kBind:
+      WalkExpr(*p.condition, out);
+      break;
+    case PatternKind::kValues:
+      return;
+    case PatternKind::kExistsFilter:
+      out->filter = true;
+      break;
+  }
+  if (p.left) WalkPattern(*p.left, out);
+  if (p.right) WalkPattern(*p.right, out);
+}
+
+}  // namespace
+
+FeatureSet AnalyzeFeatures(const Query& query) {
+  FeatureSet out;
+  // Matching the counting convention of the paper's benchmark analysis
+  // (Appendix D.1): DISTINCT counts only when applied to the whole query.
+  out.distinct = query.distinct;
+  out.group_by = !query.group_by.empty();
+  out.order_by = !query.order_by.empty();
+  out.limit = query.limit.has_value();
+  out.offset = query.offset.has_value();
+  out.ask = query.form == QueryForm::kAsk;
+  out.aggregates = query.HasAggregates();
+  out.from = !query.from.empty() || !query.from_named.empty();
+  if (query.where) WalkPattern(*query.where, &out);
+  for (const auto& key : query.order_by) WalkExpr(*key.expr, &out);
+  return out;
+}
+
+std::vector<double> FeatureUsageRow(const std::vector<FeatureSet>& sets,
+                                    std::vector<std::string>* names) {
+  struct Column {
+    const char* name;
+    bool FeatureSet::* field;
+  };
+  static constexpr Column kColumns[] = {
+      {"DIST", &FeatureSet::distinct}, {"FILT", &FeatureSet::filter},
+      {"REG", &FeatureSet::regex},     {"OPT", &FeatureSet::optional},
+      {"UN", &FeatureSet::union_},     {"GRA", &FeatureSet::graph},
+      {"PSeq", &FeatureSet::path_seq}, {"PAlt", &FeatureSet::path_alt},
+      {"GRO", &FeatureSet::group_by},
+  };
+  if (names) {
+    names->clear();
+    for (const auto& c : kColumns) names->push_back(c.name);
+  }
+  std::vector<double> out;
+  for (const auto& c : kColumns) {
+    size_t n = 0;
+    for (const auto& s : sets) {
+      if (s.*(c.field)) ++n;
+    }
+    out.push_back(sets.empty() ? 0.0 : 100.0 * static_cast<double>(n) /
+                                           static_cast<double>(sets.size()));
+  }
+  return out;
+}
+
+}  // namespace sparqlog::sparql

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparql/ast.h"
+
+/// \file features.h
+/// Static SPARQL feature detection over parsed queries. This powers the
+/// Table 2 reproduction (feature coverage of benchmarks) and the Table 1
+/// coverage matrix.
+
+namespace sparqlog::sparql {
+
+/// Feature flags found in one query. Field names follow Table 2's columns
+/// plus the extra features Table 1 tracks.
+struct FeatureSet {
+  // Table 2 columns.
+  bool distinct = false;       ///< DISTINCT on the whole query
+  bool filter = false;
+  bool regex = false;
+  bool optional = false;
+  bool union_ = false;
+  bool graph = false;
+  bool path_seq = false;       ///< sequence property path
+  bool path_alt = false;       ///< alternative property path
+  bool group_by = false;
+
+  // Additional Table 1 features.
+  bool join = false;
+  bool minus = false;
+  bool path_inverse = false;
+  bool path_zero_or_one = false;
+  bool path_one_or_more = false;
+  bool path_zero_or_more = false;
+  bool path_negated = false;
+  bool path_counted = false;   ///< gMark {n} / {n,} / {0,n}
+  bool any_path = false;       ///< any non-link property path
+  bool order_by = false;
+  bool limit = false;
+  bool offset = false;
+  bool ask = false;
+  bool aggregates = false;
+  bool from = false;
+};
+
+/// Analyzes a parsed query.
+FeatureSet AnalyzeFeatures(const Query& query);
+
+/// Percentage of queries in a workload using each feature — one row of
+/// Table 2. `names` receives the column labels matching the values.
+std::vector<double> FeatureUsageRow(const std::vector<FeatureSet>& sets,
+                                    std::vector<std::string>* names);
+
+}  // namespace sparqlog::sparql

@@ -1,0 +1,134 @@
+#include "sparql/optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sparqlog::sparql {
+
+namespace {
+
+/// Flattens a maximal chain of Join nodes into conjuncts.
+void Flatten(const PatternPtr& p, std::vector<PatternPtr>* out) {
+  if (p->kind == PatternKind::kJoin) {
+    Flatten(p->left, out);
+    Flatten(p->right, out);
+    return;
+  }
+  out->push_back(ReorderJoins(p));
+}
+
+/// Number of constant positions in a leaf (selectivity proxy).
+int ConstantCount(const Pattern& p) {
+  int n = 0;
+  if (p.kind == PatternKind::kTriple) {
+    n += p.s.is_var ? 0 : 1;
+    n += p.p.is_var ? 0 : 1;
+    n += p.o.is_var ? 0 : 1;
+  } else if (p.kind == PatternKind::kPath) {
+    n += p.s.is_var ? 0 : 1;
+    n += p.o.is_var ? 0 : 1;
+  } else {
+    // Complex subpatterns: treat as moderately selective.
+    n = 1;
+  }
+  return n;
+}
+
+/// True for recursive-path leaves (expensive when unconstrained).
+bool IsRecursivePath(const Pattern& p) {
+  if (p.kind != PatternKind::kPath) return false;
+  switch (p.path->kind) {
+    case PathKind::kOneOrMore:
+    case PathKind::kZeroOrMore:
+    case PathKind::kZeroOrOne:
+    case PathKind::kNOrMore:
+    case PathKind::kUpTo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+PatternPtr ReorderJoins(const PatternPtr& pattern) {
+  switch (pattern->kind) {
+    case PatternKind::kEmpty:
+    case PatternKind::kTriple:
+    case PatternKind::kPath:
+      return pattern;
+    case PatternKind::kJoin: {
+      std::vector<PatternPtr> conjuncts;
+      Flatten(pattern, &conjuncts);
+      if (conjuncts.size() <= 1) return conjuncts.empty() ? pattern : conjuncts[0];
+
+      std::vector<std::vector<std::string>> vars;
+      vars.reserve(conjuncts.size());
+      for (const auto& c : conjuncts) vars.push_back(c->Vars());
+
+      std::vector<bool> used(conjuncts.size(), false);
+      std::set<std::string> bound;
+      std::vector<PatternPtr> ordered;
+
+      for (size_t step = 0; step < conjuncts.size(); ++step) {
+        int best = -1;
+        // Score: (connected to bound vars, #bound positions incl. consts,
+        // not a recursive path, fewer free vars).
+        long best_score = -1;
+        for (size_t i = 0; i < conjuncts.size(); ++i) {
+          if (used[i]) continue;
+          long shared = 0;
+          for (const auto& v : vars[i]) {
+            if (bound.count(v)) ++shared;
+          }
+          bool connected = step == 0 || shared > 0 || vars[i].empty();
+          long score = 0;
+          score += connected ? 1'000'000 : 0;
+          score += shared * 10'000;
+          score += ConstantCount(*conjuncts[i]) * 1'000;
+          score += IsRecursivePath(*conjuncts[i]) ? 0 : 100;
+          score += 10 - std::min<long>(10, static_cast<long>(vars[i].size()));
+          if (score > best_score) {
+            best_score = score;
+            best = static_cast<int>(i);
+          }
+        }
+        used[static_cast<size_t>(best)] = true;
+        ordered.push_back(conjuncts[static_cast<size_t>(best)]);
+        for (const auto& v : vars[static_cast<size_t>(best)]) bound.insert(v);
+      }
+
+      PatternPtr out = ordered[0];
+      for (size_t i = 1; i < ordered.size(); ++i) {
+        out = Pattern::Join(out, ordered[i]);
+      }
+      return out;
+    }
+    case PatternKind::kUnion:
+      return Pattern::Union(ReorderJoins(pattern->left),
+                            ReorderJoins(pattern->right));
+    case PatternKind::kOptional:
+      return Pattern::Optional(ReorderJoins(pattern->left),
+                               ReorderJoins(pattern->right));
+    case PatternKind::kMinus:
+      return Pattern::Minus(ReorderJoins(pattern->left),
+                            ReorderJoins(pattern->right));
+    case PatternKind::kFilter:
+      return Pattern::Filter(ReorderJoins(pattern->left), pattern->condition);
+    case PatternKind::kGraph:
+      return Pattern::GraphPattern(pattern->graph,
+                                   ReorderJoins(pattern->left));
+    case PatternKind::kBind:
+      return Pattern::Bind(ReorderJoins(pattern->left), pattern->condition,
+                           pattern->bind_var);
+    case PatternKind::kValues:
+      return pattern;  // a join leaf
+    case PatternKind::kExistsFilter:
+      return Pattern::ExistsFilter(ReorderJoins(pattern->left),
+                                   ReorderJoins(pattern->right),
+                                   pattern->exists_negated);
+  }
+  return pattern;
+}
+
+}  // namespace sparqlog::sparql

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "sparql/ast.h"
+
+/// \file optimizer.h
+/// Join-order optimization on the SPARQL algebra. SPARQL joins are
+/// associative and commutative under multiset semantics, so maximal
+/// Join-chains can be reordered freely; we use the classic greedy
+/// heuristic (start from the most selective conjunct, then repeatedly
+/// pick a conjunct sharing variables with what is already bound) to avoid
+/// Cartesian intermediates. The SparqLog engine applies this before
+/// translation — the paper's §7 observes that "query plan optimization
+/// provides a huge effect on performance" in the Vadalog substrate; this
+/// pass is our equivalent. The reference evaluator intentionally does not
+/// use it (it plays the unoptimized baseline).
+
+namespace sparqlog::sparql {
+
+/// Returns an equivalent pattern with Join-chains reordered; other nodes
+/// are rebuilt with optimized children.
+PatternPtr ReorderJoins(const PatternPtr& pattern);
+
+}  // namespace sparqlog::sparql

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+/// \file printer.h
+/// Debug / documentation rendering of parsed queries back to a readable
+/// algebra form. Used by tests, the translator CLI example, and error
+/// messages.
+
+namespace sparqlog::sparql {
+
+std::string ToString(const Expr& expr, const rdf::TermDictionary& dict);
+std::string ToString(const Path& path, const rdf::TermDictionary& dict);
+std::string ToString(const Pattern& pattern, const rdf::TermDictionary& dict,
+                     int indent = 0);
+std::string ToString(const Query& query, const rdf::TermDictionary& dict);
+
+}  // namespace sparqlog::sparql

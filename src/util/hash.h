@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+/// \file hash.h
+/// Hash combining helpers for tuple- and term-keyed hash tables.
+
+namespace sparqlog {
+
+/// Boost-style hash combine with 64-bit mixing.
+inline void HashCombine(size_t& seed, size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash of a span of integers (tuple of interned values).
+template <typename It>
+size_t HashRange(It begin, It end) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (It it = begin; it != end; ++it) {
+    HashCombine(seed, std::hash<uint64_t>()(static_cast<uint64_t>(*it)));
+  }
+  return seed;
+}
+
+struct VectorHash {
+  template <typename T>
+  size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end());
+  }
+};
+
+/// 64-bit FNV-1a for strings; stable across runs (used for deterministic
+/// workload generation, not for hash tables).
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// SplitMix64: cheap deterministic PRNG step used by workload generators.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic PRNG for workload generation (no std::random_device, so
+/// benchmark datasets are reproducible bit-for-bit).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 0x9e3779b97f4a7c15ULL + 1) {}
+
+  uint64_t Next() { return SplitMix64(state_); }
+
+  /// Uniform integer in [0, bound).
+  uint64_t Uniform(uint64_t bound) { return bound ? Next() % bound : 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Zipf-ish skewed pick in [0, n): favors small indices.
+  uint64_t Skewed(uint64_t n) {
+    if (n == 0) return 0;
+    double u = NextDouble();
+    return static_cast<uint64_t>(n * u * u);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sparqlog

@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sparqlog {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void AbortWithStatus(const Status& status) {
+  std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace sparqlog

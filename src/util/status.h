@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Arrow/RocksDB-style Status and Result<T> types used throughout the
+/// library for recoverable error propagation. Exceptions are reserved for
+/// programming errors (assert-like conditions).
+
+namespace sparqlog {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kParseError,        ///< syntax error in Turtle / SPARQL / Datalog input
+  kNotSupported,      ///< feature outside the engine's coverage (Table 1 ✗)
+  kNotFound,          ///< named graph / predicate / variable missing
+  kTimeout,           ///< ExecContext deadline exceeded
+  kResourceExhausted, ///< tuple budget ("mem-out") exceeded
+  kInternal,          ///< invariant violation that was caught gracefully
+};
+
+/// Human-readable name of a status code (e.g. "Timeout").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail without a payload.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Outcome of an operation that yields a T on success.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Moves the value out, or aborts with the status message if failed.
+  /// Intended for tests and examples where failure is a bug.
+  T ValueOrDie() &&;
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+[[noreturn]] void AbortWithStatus(const Status& status);
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) AbortWithStatus(status_);
+  return std::move(*value_);
+}
+
+/// Propagates a failed Status from the current function.
+#define SPARQLOG_RETURN_NOT_OK(expr)                  \
+  do {                                                \
+    ::sparqlog::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+/// Evaluates a Result<T> expression, assigning the value on success and
+/// propagating the Status on failure.
+#define SPARQLOG_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                   \
+  if (!var.ok()) return var.status();                   \
+  lhs = std::move(var).value();
+
+#define SPARQLOG_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define SPARQLOG_ASSIGN_OR_RETURN_NAME(x, y) \
+  SPARQLOG_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define SPARQLOG_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  SPARQLOG_ASSIGN_OR_RETURN_IMPL(                                           \
+      SPARQLOG_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace sparqlog

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file string_util.h
+/// Small string helpers shared by the parsers and formatters.
+
+namespace sparqlog {
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Returns `s` with ASCII whitespace removed from both ends.
+std::string_view StripAscii(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Lower-cases ASCII characters only (SPARQL keywords are ASCII).
+std::string AsciiToLower(std::string_view s);
+
+/// Upper-cases ASCII characters only (for the UCASE builtin).
+std::string AsciiToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality (keyword matching).
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Parses a decimal integer; nullopt on overflow or junk.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating point number; nullopt on junk.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Escapes a string for inclusion in a double-quoted literal
+/// (backslash, quote, newline, tab, carriage return).
+std::string EscapeStringLiteral(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace sparqlog

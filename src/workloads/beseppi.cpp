@@ -1,0 +1,170 @@
+#include "workloads/beseppi.h"
+
+#include <cassert>
+
+namespace sparqlog::workloads {
+
+namespace {
+
+constexpr char kNs[] = "http://example.org/beseppi/";
+
+std::string N(const std::string& local) {
+  return "<" + std::string(kNs) + local + ">";
+}
+
+/// Endpoint configurations (subject text, object text, select clause).
+struct Endpoints {
+  std::string s, o, select;
+};
+
+// The standard 4-configuration sweep.
+std::vector<Endpoints> BasicConfigs() {
+  return {
+      {"?x", "?y", "?x ?y"},
+      {N("s1"), "?y", "?y"},
+      {"?x", N("o2"), "?x"},
+      {N("s1"), N("o2"), "*"},
+  };
+}
+
+// Extended sweep adding the not-in-graph constant and same-variable cases
+// (the zero-length-path corner cases).
+std::vector<Endpoints> ExtendedConfigs() {
+  auto out = BasicConfigs();
+  out.push_back({N("ghost"), "?y", "?y"});
+  out.push_back({"?x", "?x", "?x"});
+  return out;
+}
+
+std::string MakeQuery(const Endpoints& e, const std::string& path) {
+  std::string select = e.select == "*" ? "?any" : e.select;
+  std::string proj = e.select == "*" ? "SELECT *" : "SELECT " + e.select;
+  (void)select;
+  return proj + " WHERE { " + e.s + " " + path + " " + e.o + " . }";
+}
+
+}  // namespace
+
+void GenerateBeseppiGraph(rdf::Dataset* dataset) {
+  auto& dict = *dataset->dict();
+  auto& g = dataset->default_graph();
+  auto iri = [&](const std::string& local) {
+    return dict.InternIri(std::string(kNs) + local);
+  };
+  rdf::TermId p = iri("p"), q = iri("q"), r = iri("r"), t = iri("t"),
+              v = iri("v");
+  // 3-cycle on p.
+  g.Add(iri("s1"), p, iri("o1"));
+  g.Add(iri("o1"), p, iri("o2"));
+  g.Add(iri("o2"), p, iri("s1"));
+  // q chain with a self loop; s1-q-o1 parallels a p edge so alternative
+  // paths produce genuine duplicates (the case Virtuoso loses).
+  g.Add(iri("s1"), q, iri("o2"));
+  g.Add(iri("s1"), q, iri("o1"));
+  g.Add(iri("o3"), q, iri("o3"));
+  // 2-cycle on r.
+  g.Add(iri("s2"), r, iri("o1"));
+  g.Add(iri("o1"), r, iri("s2"));
+  // Dead ends and a second p component.
+  g.Add(iri("s2"), p, iri("o4"));
+  g.Add(iri("s3"), t, iri("o4"));
+  // Literal object.
+  g.Add(iri("s3"), v, dict.InternLiteral("lit"));
+}
+
+std::vector<std::string> BeseppiCategories() {
+  return {"Inverse",     "Sequence",    "Alternative", "ZeroOrOne",
+          "OneOrMore",   "ZeroOrMore",  "Negated"};
+}
+
+std::vector<BeseppiQuery> BeseppiQueries() {
+  std::vector<BeseppiQuery> out;
+  auto add = [&](const std::string& category, const std::string& path,
+                 const std::vector<Endpoints>& configs) {
+    for (const auto& e : configs) {
+      BeseppiQuery bq;
+      bq.category = category;
+      bq.name = category + std::to_string(out.size());
+      bq.text = MakeQuery(e, path);
+      out.push_back(std::move(bq));
+    }
+  };
+
+  auto basic = BasicConfigs();
+  auto extended = ExtendedConfigs();
+
+  // Inverse: 5 path variants x 4 configs = 20.
+  for (const char* pr : {"p", "q", "r", "t", "v"}) {
+    add("Inverse", "^" + N(pr), basic);
+  }
+
+  // Sequence: 6 variants x 4 configs = 24.
+  for (const std::string& path :
+       {N("p") + "/" + N("p"), N("p") + "/" + N("q"), N("q") + "/" + N("p"),
+        N("r") + "/" + N("p"), N("p") + "/^" + N("p"),
+        "^" + N("q") + "/" + N("q")}) {
+    add("Sequence", path, basic);
+  }
+
+  // Alternative: 5 variants x 4 configs + 3 same-var configs = 23.
+  for (const std::string& path :
+       {N("p") + "|" + N("q"), N("p") + "|" + N("r"), N("q") + "|" + N("r"),
+        N("p") + "|^" + N("p"), "^" + N("p") + "|^" + N("q")}) {
+    add("Alternative", path, basic);
+  }
+  add("Alternative", "(" + N("p") + "|" + N("q") + ")",
+      {{"?x", "?x", "?x"}});
+  add("Alternative", "(" + N("r") + "|" + N("t") + ")",
+      {{"?x", "?x", "?x"}});
+  add("Alternative", "(" + N("q") + "|" + N("v") + ")",
+      {{N("o3"), "?y", "?y"}});
+
+  // Zero-or-one: 4 variants x 6 extended configs = 24.
+  for (const std::string& path : {N("p") + "?", N("q") + "?", N("r") + "?",
+                                 "(^" + N("p") + ")?"}) {
+    add("ZeroOrOne", path, extended);
+  }
+
+  // One-or-more: 5 variants x 6 + 4 extra = 34.
+  for (const std::string& path :
+       {N("p") + "+", N("q") + "+", N("r") + "+", "(^" + N("p") + ")+",
+        "(" + N("p") + "|" + N("q") + ")+"}) {
+    add("OneOrMore", path, extended);
+  }
+  add("OneOrMore", N("t") + "+", {basic[0], basic[1]});
+  add("OneOrMore", N("v") + "+", {basic[0], basic[1]});
+
+  // Zero-or-more: 5 variants x 6 + 8 extra = 38.
+  for (const std::string& path :
+       {N("p") + "*", N("q") + "*", N("r") + "*", "(^" + N("p") + ")*",
+        "(" + N("p") + "|" + N("q") + ")*"}) {
+    add("ZeroOrMore", path, extended);
+  }
+  add("ZeroOrMore", N("t") + "*",
+      {basic[0], basic[1], basic[2], {N("ghost"), "?y", "?y"}});
+  add("ZeroOrMore", N("v") + "*",
+      {basic[0], basic[1], basic[2], {N("ghost"), "?y", "?y"}});
+
+  // Negated: 18 variants x 4 configs + 1 = 73.
+  for (const std::string& path :
+       {"!" + N("p"), "!" + N("q"), "!" + N("r"), "!" + N("t"), "!" + N("v"),
+        "!(" + N("p") + "|" + N("q") + ")",
+        "!(" + N("p") + "|" + N("r") + ")",
+        "!(" + N("q") + "|" + N("r") + ")",
+        "!(" + N("p") + "|" + N("q") + "|" + N("r") + ")", "!^" + N("p"),
+        "!^" + N("q"), "!^" + N("r"),
+        "!(^" + N("p") + "|^" + N("q") + ")",
+        "!(" + N("p") + "|^" + N("q") + ")",
+        "!(" + N("q") + "|^" + N("p") + ")",
+        "!(" + N("p") + "|" + N("q") + "|^" + N("r") + ")",
+        "!(^" + N("p") + "|^" + N("q") + "|^" + N("r") + ")",
+        "!(" + N("p") + "|^" + N("p") + ")"}) {
+    add("Negated", path, basic);
+  }
+  add("Negated", "!(" + N("t") + "|" + N("v") + ")", {{"?x", "?x", "?x"}});
+
+  assert(out.size() == 236);
+  return out;
+}
+
+}  // namespace sparqlog::workloads

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+/// \file beseppi.h
+/// BeSEPPI-style property-path compliance suite (Skubella et al., §6.2):
+/// a fixed micro-graph containing the shapes that expose path-semantics
+/// bugs (a 3-cycle, a 2-cycle, a self loop, dead ends, a literal object)
+/// and 236 queries across the seven property-path expression categories
+/// with the paper's per-category counts (Table 3):
+///   Inverse 20, Sequence 24, Alternative 23, Zero-or-One 24,
+///   One-or-More 34, Zero-or-More 38, Negated 73.
+/// Endpoint configurations sweep variable/constant combinations,
+/// including constants that do not occur in the graph (the zero-length
+/// path corner case of §5.2).
+
+namespace sparqlog::workloads {
+
+struct BeseppiQuery {
+  std::string name;
+  std::string category;  ///< Inverse / Sequence / ... / Negated
+  std::string text;
+};
+
+/// Loads the fixed micro-graph into `dataset`'s default graph.
+void GenerateBeseppiGraph(rdf::Dataset* dataset);
+
+/// All 236 queries grouped by category (stable order).
+std::vector<BeseppiQuery> BeseppiQueries();
+
+/// Category names in Table 3 order.
+std::vector<std::string> BeseppiCategories();
+
+}  // namespace sparqlog::workloads

@@ -1,0 +1,298 @@
+#include "workloads/feasible.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace sparqlog::workloads {
+
+namespace {
+
+constexpr char kSwdf[] = "http://data.semanticweb.org/";
+constexpr char kNamedGraph[] = "http://data.semanticweb.org/graph/swdf";
+
+std::string Prefixes() {
+  return
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "PREFIX dc: <http://purl.org/dc/elements/1.1/>\n"
+      "PREFIX swrc: <http://swrc.ontoware.org/ontology#>\n"
+      "PREFIX swc: <http://data.semanticweb.org/ns/swc/ontology#>\n"
+      "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n";
+}
+
+const char* kTopics[] = {"ontology", "linkeddata", "sparql", "reasoning",
+                         "benchmark", "streams"};
+
+}  // namespace
+
+void GenerateSwdf(rdf::Dataset* dataset, uint64_t seed, size_t scale) {
+  rdf::TermDictionary* dict = dataset->dict();
+  rdf::Graph& g = dataset->default_graph();
+  Rng rng(seed);
+
+  auto iri = [&](const std::string& s) { return dict->InternIri(s); };
+  auto lit = [&](const std::string& s) { return dict->InternLiteral(s); };
+
+  rdf::TermId type = iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  rdf::TermId label = iri("http://www.w3.org/2000/01/rdf-schema#label");
+  rdf::TermId cls_person = iri("http://xmlns.com/foaf/0.1/Person");
+  rdf::TermId cls_paper =
+      iri("http://data.semanticweb.org/ns/swc/ontology#Paper");
+  rdf::TermId cls_talk =
+      iri("http://data.semanticweb.org/ns/swc/ontology#TalkEvent");
+  rdf::TermId cls_org = iri("http://xmlns.com/foaf/0.1/Organization");
+  rdf::TermId p_name = iri("http://xmlns.com/foaf/0.1/name");
+  rdf::TermId p_homepage = iri("http://xmlns.com/foaf/0.1/homepage");
+  rdf::TermId p_member = iri("http://xmlns.com/foaf/0.1/member");
+  rdf::TermId p_title = iri("http://purl.org/dc/elements/1.1/title");
+  rdf::TermId p_creator = iri("http://purl.org/dc/elements/1.1/creator");
+  rdf::TermId p_year = iri("http://swrc.ontoware.org/ontology#year");
+  rdf::TermId p_subject = iri("http://purl.org/dc/elements/1.1/subject");
+  rdf::TermId p_part =
+      iri("http://data.semanticweb.org/ns/swc/ontology#isPartOf");
+
+  const char* first[] = {"alice", "bob",   "carol", "dave", "erin",
+                         "frank", "grace", "heidi", "ivan", "judy"};
+
+  std::vector<rdf::TermId> persons, orgs, papers;
+  for (size_t i = 0; i < scale / 5; ++i) {
+    rdf::TermId org = iri(std::string(kSwdf) + "org/" + std::to_string(i));
+    g.Add(org, type, cls_org);
+    g.Add(org, label, lit("Organization " + std::to_string(i)));
+    orgs.push_back(org);
+  }
+  for (size_t i = 0; i < scale; ++i) {
+    rdf::TermId person =
+        iri(std::string(kSwdf) + "person/" + std::to_string(i));
+    std::string name = std::string(first[rng.Uniform(10)]) + "-" +
+                       std::to_string(rng.Uniform(scale));
+    g.Add(person, type, cls_person);
+    g.Add(person, p_name, lit(name));
+    g.Add(person, label, lit(name));
+    if (rng.Chance(0.4)) {
+      g.Add(person, p_homepage,
+            iri("http://people.example.org/" + std::to_string(i)));
+    }
+    if (!orgs.empty() && rng.Chance(0.6)) {
+      g.Add(orgs[rng.Uniform(orgs.size())], p_member, person);
+    }
+    persons.push_back(person);
+  }
+  rdf::TermId conference =
+      iri(std::string(kSwdf) + "conference/eswc/2009");
+  g.Add(conference, label, lit("ESWC 2009"));
+  for (size_t i = 0; i < scale; ++i) {
+    rdf::TermId paper =
+        iri(std::string(kSwdf) + "paper/" + std::to_string(i));
+    g.Add(paper, type, cls_paper);
+    g.Add(paper, p_title,
+          lit("Paper about " + std::string(kTopics[rng.Uniform(6)]) + " " +
+              std::to_string(i)));
+    g.Add(paper, p_creator, persons[rng.Uniform(persons.size())]);
+    g.Add(paper, p_year,
+          dict->InternLiteral(std::to_string(2001 + rng.Uniform(9)),
+                              "http://www.w3.org/2001/XMLSchema#integer"));
+    g.Add(paper, p_subject, lit(kTopics[rng.Uniform(6)]));
+    g.Add(paper, p_part, conference);
+    if (rng.Chance(0.3)) {
+      rdf::TermId talk =
+          iri(std::string(kSwdf) + "talk/" + std::to_string(i));
+      g.Add(talk, type, cls_talk);
+      g.Add(talk, label, lit("Talk " + std::to_string(i)));
+      g.Add(talk, p_part, conference);
+      g.Add(paper, iri(std::string(kSwdf) + "ns/relatedToEvent"), talk);
+    }
+    papers.push_back(paper);
+  }
+  // Language-tagged labels for LANG/LANGMATCHES coverage.
+  g.Add(conference, label,
+        dict->InternLiteral("European Semantic Web Conference", "", "en"));
+  g.Add(conference, label,
+        dict->InternLiteral("Europaeische Semantic-Web-Konferenz", "", "de"));
+
+  // Named graph: a copy of the default graph.
+  rdf::TermId gname = iri(kNamedGraph);
+  dataset->named_graph(gname).MergeFrom(g);
+}
+
+std::vector<std::pair<std::string, std::string>> FeasibleQueries() {
+  const std::string p = Prefixes();
+  std::vector<std::pair<std::string, std::string>> out;
+  auto add = [&](const std::string& body) {
+    out.emplace_back("f" + std::to_string(out.size() + 1), p + body);
+  };
+
+  // --- DISTINCT type scans (6) ---
+  for (const char* cls :
+       {"foaf:Person", "swc:Paper", "swc:TalkEvent", "foaf:Organization"}) {
+    add(StringPrintf("SELECT DISTINCT ?x WHERE { ?x rdf:type %s . }", cls));
+  }
+  add("SELECT DISTINCT ?x ?l WHERE { ?x rdf:type foaf:Person . "
+      "?x rdfs:label ?l . }");
+  add("SELECT DISTINCT ?t WHERE { ?x rdf:type swc:Paper . "
+      "?x dc:subject ?t . }");
+
+  // --- numeric FILTERs (6) ---
+  for (int year : {2003, 2005, 2007}) {
+    add(StringPrintf(
+        "SELECT ?x ?y WHERE { ?x swrc:year ?y . FILTER (?y > %d) }", year));
+    add(StringPrintf(
+        "SELECT DISTINCT ?x WHERE { ?x swrc:year ?y . FILTER (?y <= %d) }",
+        year));
+  }
+
+  // --- REGEX (7) ---
+  for (const char* pat : {"sparql", "ontology", "bench"}) {
+    add(StringPrintf(
+        "SELECT ?x WHERE { ?x dc:title ?t . FILTER regex(?t, \"%s\") }",
+        pat));
+  }
+  for (const char* pat : {"SPARQL", "LINKED"}) {
+    add(StringPrintf("SELECT DISTINCT ?x WHERE { ?x dc:title ?t . "
+                     "FILTER regex(?t, \"%s\", \"i\") }",
+                     pat));
+  }
+  add("SELECT ?x ?l WHERE { ?x rdfs:label ?l . "
+      "FILTER regex(?l, \"^Organization\") }");
+  add("SELECT DISTINCT ?l WHERE { ?x rdfs:label ?l . "
+      "FILTER (regex(?l, \"alice\") || regex(?l, \"bob\")) }");
+
+  // --- OPTIONAL (8) ---
+  add("SELECT ?x ?h WHERE { ?x rdf:type foaf:Person . "
+      "OPTIONAL { ?x foaf:homepage ?h } }");
+  add("SELECT DISTINCT ?x ?h WHERE { ?x rdf:type foaf:Person . "
+      "OPTIONAL { ?x foaf:homepage ?h } }");
+  add("SELECT ?x ?n ?h WHERE { ?x foaf:name ?n . "
+      "OPTIONAL { ?x foaf:homepage ?h } }");
+  add("SELECT ?paper ?talk WHERE { ?paper rdf:type swc:Paper . "
+      "OPTIONAL { ?paper <http://data.semanticweb.org/ns/relatedToEvent> "
+      "?talk } }");
+  add("SELECT ?x WHERE { ?x rdf:type foaf:Person . "
+      "OPTIONAL { ?x foaf:homepage ?h . FILTER regex(?h, \"example\") } }");
+  add("SELECT DISTINCT ?x ?y WHERE { ?x dc:creator ?y . "
+      "OPTIONAL { ?y foaf:homepage ?h } FILTER (!BOUND(?h)) }");
+  add("SELECT ?o ?m ?h WHERE { ?o foaf:member ?m . "
+      "OPTIONAL { ?m foaf:homepage ?h } }");
+  add("SELECT DISTINCT ?x WHERE { ?x rdf:type swc:Paper . "
+      "OPTIONAL { ?x swrc:year ?y . FILTER (?y > 2005) } "
+      "FILTER (!BOUND(?y)) }");
+
+  // --- UNION (9) ---
+  add("SELECT ?x WHERE { { ?x rdf:type swc:Paper } UNION "
+      "{ ?x rdf:type swc:TalkEvent } }");
+  add("SELECT DISTINCT ?x WHERE { { ?x rdf:type swc:Paper } UNION "
+      "{ ?x rdf:type swc:TalkEvent } }");
+  add("SELECT ?l WHERE { { ?x rdfs:label ?l } UNION { ?x dc:title ?l } }");
+  add("SELECT DISTINCT ?l WHERE { { ?x rdfs:label ?l } UNION "
+      "{ ?x dc:title ?l } }");
+  add("SELECT ?x ?n WHERE { { ?x foaf:name ?n } UNION "
+      "{ ?x rdfs:label ?n . ?x rdf:type foaf:Organization } }");
+  add("SELECT DISTINCT ?p WHERE { { ?s ?p ?o . ?s rdf:type foaf:Person } "
+      "UNION { ?s ?p ?o . ?s rdf:type swc:Paper } }");
+  add("SELECT ?x WHERE { { ?x foaf:homepage ?h } UNION "
+      "{ ?x <http://data.semanticweb.org/ns/relatedToEvent> ?t } }");
+  add("SELECT DISTINCT ?x ?y WHERE { { ?x dc:creator ?y } UNION "
+      "{ ?y dc:creator ?x } }");
+  add("SELECT ?n WHERE { { ?x foaf:name ?n . ?x rdf:type foaf:Person } "
+      "UNION { ?x foaf:name ?n } }");
+
+  // --- GRAPH (8) ---
+  add("SELECT ?x WHERE { GRAPH <http://data.semanticweb.org/graph/swdf> "
+      "{ ?x rdf:type swc:Paper } }");
+  add("SELECT DISTINCT ?x WHERE { GRAPH "
+      "<http://data.semanticweb.org/graph/swdf> { ?x rdf:type foaf:Person } "
+      "}");
+  add("SELECT ?g ?x WHERE { GRAPH ?g { ?x rdf:type swc:TalkEvent } }");
+  add("SELECT DISTINCT ?g WHERE { GRAPH ?g { ?s ?p ?o } }");
+  add("SELECT ?x ?t WHERE { GRAPH <http://data.semanticweb.org/graph/swdf> "
+      "{ ?x dc:title ?t . FILTER regex(?t, \"reasoning\") } }");
+  add("SELECT ?x WHERE { GRAPH ?g { ?x foaf:homepage ?h } }");
+  add("SELECT DISTINCT ?x ?n WHERE { GRAPH "
+      "<http://data.semanticweb.org/graph/swdf> { ?x foaf:name ?n . "
+      "OPTIONAL { ?x foaf:homepage ?h } FILTER (!BOUND(?h)) } }");
+  add("SELECT ?x WHERE { GRAPH <http://data.semanticweb.org/graph/swdf> "
+      "{ { ?x rdf:type swc:Paper } UNION { ?x rdf:type foaf:Person } } }");
+
+  // --- ORDER BY incl. complex keys (7) ---
+  add("SELECT ?x ?n WHERE { ?x foaf:name ?n } ORDER BY ?n");
+  add("SELECT ?x ?y WHERE { ?x swrc:year ?y } ORDER BY DESC(?y)");
+  add("SELECT ?x ?n ?h WHERE { ?x foaf:name ?n . "
+      "OPTIONAL { ?x foaf:homepage ?h } } ORDER BY !BOUND(?h) ?n");
+  add("SELECT DISTINCT ?t WHERE { ?x dc:title ?t } ORDER BY STRLEN(?t)");
+  add("SELECT ?x ?y WHERE { ?x swrc:year ?y } ORDER BY (?y * -1)");
+  add("SELECT ?x ?n WHERE { ?x foaf:name ?n } ORDER BY DESC(UCASE(?n))");
+  add("SELECT ?l WHERE { ?x rdfs:label ?l } ORDER BY ?l ?x");
+
+  // --- string / type builtins (8) ---
+  add("SELECT ?n WHERE { ?x foaf:name ?n . "
+      "FILTER (UCASE(?n) = \"ALICE-1\") }");
+  add("SELECT DISTINCT ?x WHERE { ?x dc:title ?t . "
+      "FILTER CONTAINS(?t, \"streams\") }");
+  add("SELECT ?x WHERE { ?x dc:title ?t . "
+      "FILTER STRSTARTS(?t, \"Paper\") }");
+  add("SELECT ?x ?y WHERE { ?x swrc:year ?y . "
+      "FILTER (DATATYPE(?y) = xsd:integer) }");
+  add("SELECT ?x ?l WHERE { ?x rdfs:label ?l . "
+      "FILTER (LANG(?l) = \"en\") }");
+  add("SELECT ?x ?l WHERE { ?x rdfs:label ?l . "
+      "FILTER LANGMATCHES(LANG(?l), \"de\") }");
+  add("SELECT ?x WHERE { ?x rdfs:label ?l . "
+      "FILTER (STRLEN(?l) > 20) }");
+  add("SELECT DISTINCT ?x WHERE { ?x foaf:name ?n . "
+      "FILTER (STR(?x) != \"\" && isIRI(?x)) }");
+
+  // --- multi-join BGPs (8) ---
+  add("SELECT ?paper ?name WHERE { ?paper rdf:type swc:Paper . "
+      "?paper dc:creator ?person . ?person foaf:name ?name . }");
+  add("SELECT DISTINCT ?org ?name WHERE { ?org foaf:member ?person . "
+      "?person foaf:name ?name . ?paper dc:creator ?person . }");
+  add("SELECT ?paper ?talk ?conf WHERE { ?paper "
+      "<http://data.semanticweb.org/ns/relatedToEvent> ?talk . "
+      "?talk swc:isPartOf ?conf . ?paper swc:isPartOf ?conf . }");
+  add("SELECT ?a ?b WHERE { ?pa dc:creator ?a . ?pb dc:creator ?b . "
+      "?pa dc:subject ?t . ?pb dc:subject ?t . FILTER (?a != ?b) }");
+  add("SELECT DISTINCT ?person WHERE { ?paper dc:creator ?person . "
+      "?paper swrc:year ?y . ?paper dc:subject \"sparql\" . "
+      "FILTER (?y >= 2004) }");
+  add("SELECT ?s ?p ?o WHERE { ?s ?p ?o . "
+      "?s rdf:type swc:TalkEvent . }");
+  add("SELECT ?x ?n WHERE { ?x rdf:type foaf:Person . ?x foaf:name ?n . "
+      "?org foaf:member ?x . ?org rdfs:label ?ol . "
+      "FILTER regex(?ol, \"Organization 1\") }");
+  add("SELECT DISTINCT ?t WHERE { ?x dc:subject ?t . ?x swrc:year ?y . "
+      "FILTER (?y = 2005 || ?y = 2006) }");
+
+  // --- ASK (4) ---
+  add("ASK { ?x rdf:type swc:Paper . ?x dc:subject \"reasoning\" }");
+  add("ASK { ?x foaf:name \"nonexistent-person\" }");
+  add("ASK { GRAPH <http://data.semanticweb.org/graph/swdf> "
+      "{ ?x rdf:type foaf:Organization } }");
+  add("ASK { ?x swrc:year ?y . FILTER (?y > 2100) }");
+
+  // --- MINUS (3) ---
+  add("SELECT ?x WHERE { ?x rdf:type foaf:Person . "
+      "MINUS { ?x foaf:homepage ?h } }");
+  add("SELECT DISTINCT ?x WHERE { ?x rdf:type swc:Paper . "
+      "MINUS { ?x <http://data.semanticweb.org/ns/relatedToEvent> ?t } }");
+  add("SELECT ?x ?n WHERE { ?x foaf:name ?n . "
+      "MINUS { ?org foaf:member ?x . ?org rdfs:label ?l } }");
+
+  // --- mixed combinations (3) ---
+  add("SELECT DISTINCT ?x ?n WHERE { { ?x foaf:name ?n } UNION "
+      "{ ?x rdfs:label ?n } OPTIONAL { ?x foaf:homepage ?h } "
+      "FILTER (!BOUND(?h)) } ORDER BY ?n");
+  add("SELECT DISTINCT ?p ?t WHERE { ?p rdf:type swc:Paper . "
+      "?p dc:title ?t . { ?p dc:subject \"ontology\" } UNION "
+      "{ ?p dc:subject \"sparql\" } } ORDER BY DESC(?t)");
+  add("SELECT ?x ?y WHERE { ?x dc:creator ?y . "
+      "OPTIONAL { ?y foaf:homepage ?h . FILTER CONTAINS(STR(?h), "
+      "\"people\") } FILTER (BOUND(?h)) }");
+
+  assert(out.size() == 77);
+  return out;
+}
+
+}  // namespace sparqlog::workloads

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/graph.h"
+
+/// \file feasible.h
+/// FEASIBLE(S)-style compliance workload (Saleem et al., §6.2): 77 unique
+/// queries over a Semantic-Web-Dog-Food-like conference dataset, with the
+/// feature mix the paper reports for the generated benchmark (DISTINCT
+/// ~56%, FILTER, REGEX, OPTIONAL, UNION, GRAPH ~10%, ORDER BY with
+/// complex arguments, UCASE, DATATYPE). LIMIT/OFFSET are omitted, as the
+/// paper removed them before its compliance runs (Appendix D.2.1).
+
+namespace sparqlog::workloads {
+
+/// Generates the SWDF-like dataset: a default graph plus one named graph
+/// (a copy) so GRAPH queries have a target.
+void GenerateSwdf(rdf::Dataset* dataset, uint64_t seed = 99,
+                  size_t scale = 500);
+
+/// The 77 queries as (name, text) pairs.
+std::vector<std::pair<std::string, std::string>> FeasibleQueries();
+
+}  // namespace sparqlog::workloads

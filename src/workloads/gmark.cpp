@@ -1,0 +1,129 @@
+#include "workloads/gmark.h"
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace sparqlog::workloads {
+
+namespace {
+
+constexpr char kNs[] = "http://example.org/gMark/";
+
+std::string NodeIri(size_t id) { return std::string(kNs) + std::to_string(id); }
+std::string PredIri(const std::string& local) { return std::string(kNs) + local; }
+
+/// Random path expression of the given depth budget.
+std::string RandomPath(Rng& rng, const GmarkScenario& s, int depth) {
+  auto pred = [&]() -> std::string {
+    std::string p = "<" + PredIri(s.predicates[rng.Uniform(s.predicates.size())]) + ">";
+    return rng.Chance(0.15) ? "^" + p : p;
+  };
+  if (depth <= 0) return pred();
+  switch (rng.Uniform(6)) {
+    case 0:  // sequence
+      return "(" + RandomPath(rng, s, depth - 1) + "/" +
+             RandomPath(rng, s, depth - 1) + ")";
+    case 1:  // alternative
+      return "(" + RandomPath(rng, s, depth - 1) + "|" +
+             RandomPath(rng, s, depth - 1) + ")";
+    case 2:  // one-or-more over a base step
+      return "(" + pred() + ")+";
+    case 3:  // zero-or-more over a base step
+      return "(" + pred() + ")*";
+    case 4: {  // counted forms
+      switch (rng.Uniform(3)) {
+        case 0:
+          return "(" + pred() + "){" + std::to_string(2 + rng.Uniform(2)) + "}";
+        case 1:
+          return "(" + pred() + "){" + std::to_string(1 + rng.Uniform(2)) +
+                 ",}";
+        default:
+          return "(" + pred() + "){0," + std::to_string(2 + rng.Uniform(2)) +
+                 "}";
+      }
+    }
+    default:  // zero-or-one
+      return "(" + pred() + ")?";
+  }
+}
+
+}  // namespace
+
+GmarkScenario GmarkSocial() {
+  GmarkScenario s;
+  s.name = "social";
+  s.nodes = 3000;
+  s.edges = 12000;
+  s.predicates = {"knows",      "follows",   "likes",     "hasCreator",
+                  "hasTag",     "memberOf",  "moderates", "replyOf",
+                  "worksAt",    "studyAt",   "isLocatedIn", "hasInterest"};
+  s.seed = 20230711;
+  return s;
+}
+
+GmarkScenario GmarkTest() {
+  GmarkScenario s;
+  s.name = "test";
+  s.nodes = 1500;
+  s.edges = 5000;
+  s.predicates = {"p0", "p1", "p2", "p3"};
+  s.seed = 421;
+  return s;
+}
+
+void GenerateGmarkGraph(const GmarkScenario& scenario, rdf::Dataset* dataset) {
+  rdf::TermDictionary* dict = dataset->dict();
+  rdf::Graph& g = dataset->default_graph();
+  Rng rng(scenario.seed);
+
+  std::vector<rdf::TermId> preds;
+  for (const auto& p : scenario.predicates) {
+    preds.push_back(dict->InternIri(PredIri(p)));
+  }
+  // Zipf-ish out-degrees: a core of hubs plus a long tail; some cycles by
+  // construction (edges between skewed endpoints collide).
+  size_t added = 0;
+  while (added < scenario.edges) {
+    size_t from = rng.Skewed(scenario.nodes);
+    size_t to = rng.Chance(0.7) ? rng.Uniform(scenario.nodes)
+                                : rng.Skewed(scenario.nodes);
+    rdf::TermId p = preds[rng.Skewed(preds.size())];
+    if (g.Add(dict->InternIri(NodeIri(from)), p,
+              dict->InternIri(NodeIri(to)))) {
+      ++added;
+    }
+  }
+}
+
+std::vector<std::string> GenerateGmarkQueries(const GmarkScenario& scenario) {
+  Rng qrng(scenario.seed * 31 + 7);
+  std::vector<std::string> out;
+  for (int qi = 0; qi < 50; ++qi) {
+    int depth = 1 + static_cast<int>(qrng.Uniform(2));
+    std::string path = RandomPath(qrng, scenario, depth);
+    // Endpoint configuration: mostly two variables (the hard case).
+    double r = qrng.NextDouble();
+    std::string subject = "?x", object = "?y", select;
+    if (r < 0.15) {
+      subject = "<" + NodeIri(qrng.Uniform(scenario.nodes)) + ">";
+      select = "?y";
+    } else if (r < 0.30) {
+      object = "<" + NodeIri(qrng.Uniform(scenario.nodes)) + ">";
+      select = "?x";
+    } else {
+      select = "?x ?y";
+    }
+    std::string body = "  " + subject + " " + path + " " + object + " .\n";
+    // A third of the queries add a second (join) atom, as gMark workloads
+    // combine path atoms into conjunctions.
+    if (qrng.Chance(0.33)) {
+      std::string path2 = RandomPath(qrng, scenario, 0);
+      body += "  ?y " + path2 + " ?z .\n";
+      select += " ?z";
+    }
+    out.push_back("SELECT " + select + " WHERE {\n" + body + "}");
+  }
+  return out;
+}
+
+}  // namespace sparqlog::workloads

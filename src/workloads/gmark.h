@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+
+/// \file gmark.h
+/// gMark-style workload (Bagan et al., §6.3): a schema-driven random
+/// graph generator plus 50 machine-generated path queries per scenario,
+/// mirroring the two demo scenarios the paper evaluates ("social" and
+/// "test"). Queries are regular path queries over the schema's predicate
+/// alphabet with the full operator mix — sequence, alternative, inverse,
+/// one-or-more, zero-or-more, zero-or-one, and the counted forms
+/// ({n}, {n,}, {0,n}) the paper added support for — with a bias toward
+/// two-variable recursive paths, the case that separates the systems.
+
+namespace sparqlog::workloads {
+
+struct GmarkScenario {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  std::vector<std::string> predicates;  ///< local names under the gMark ns
+  uint64_t seed = 0;
+};
+
+/// The "social" demo scenario (larger graph, richer alphabet).
+GmarkScenario GmarkSocial();
+
+/// The "test" demo scenario (smaller graph, 4 predicates).
+GmarkScenario GmarkTest();
+
+/// Generates the scenario's graph into `dataset`'s default graph.
+void GenerateGmarkGraph(const GmarkScenario& scenario, rdf::Dataset* dataset);
+
+/// Generates the scenario's 50 path queries (deterministic per seed).
+std::vector<std::string> GenerateGmarkQueries(const GmarkScenario& scenario);
+
+}  // namespace sparqlog::workloads

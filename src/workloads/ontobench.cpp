@@ -1,0 +1,83 @@
+#include "workloads/ontobench.h"
+
+#include "workloads/sp2bench.h"
+
+namespace sparqlog::workloads {
+
+void GenerateOntoBench(const OntoBenchOptions& options,
+                       rdf::Dataset* dataset) {
+  Sp2bOptions sp2b;
+  sp2b.target_triples = options.sp2b_triples;
+  sp2b.seed = options.seed;
+  GenerateSp2b(sp2b, dataset);
+
+  rdf::TermDictionary* dict = dataset->dict();
+  rdf::Graph& g = dataset->default_graph();
+  auto iri = [&](const std::string& s) { return dict->InternIri(s); };
+  rdf::TermId sub_class = iri(std::string(rdf::rdfns::kSubClassOf));
+  rdf::TermId sub_prop = iri(std::string(rdf::rdfns::kSubPropertyOf));
+
+  const std::string bench = "http://localhost/vocabulary/bench/";
+  const std::string dcterms = "http://purl.org/dc/terms/";
+  const std::string swrc = "http://swrc.ontoware.org/ontology#";
+  const std::string dc = "http://purl.org/dc/elements/1.1/";
+
+  // Class hierarchy: Article/Inproceedings < Publication < Entity;
+  // Journal/Proceedings < Venue < Entity.
+  g.Add(iri(bench + "Article"), sub_class, iri(bench + "Publication"));
+  g.Add(iri(bench + "Inproceedings"), sub_class, iri(bench + "Publication"));
+  g.Add(iri(bench + "Publication"), sub_class, iri(bench + "Entity"));
+  g.Add(iri(bench + "Journal"), sub_class, iri(bench + "Venue"));
+  g.Add(iri(bench + "Proceedings"), sub_class, iri(bench + "Venue"));
+  g.Add(iri(bench + "Venue"), sub_class, iri(bench + "Entity"));
+
+  // Property hierarchy: references / journal / partOf < related;
+  // creator < contributor.
+  g.Add(iri(dcterms + "references"), sub_prop, iri(bench + "related"));
+  g.Add(iri(swrc + "journal"), sub_prop, iri(bench + "related"));
+  g.Add(iri(dcterms + "partOf"), sub_prop, iri(bench + "related"));
+  g.Add(iri(dc + "creator"), sub_prop, iri(bench + "contributor"));
+  g.Add(iri(swrc + "editor"), sub_prop, iri(bench + "contributor"));
+}
+
+std::vector<std::pair<std::string, std::string>> OntoBenchQueries() {
+  const std::string p = Sp2bPrefixes();
+  std::vector<std::pair<std::string, std::string>> out;
+
+  // q0: subclass inference on a type scan.
+  out.emplace_back("q0", p + R"(
+SELECT ?d WHERE { ?d rdf:type bench:Publication . })");
+
+  // q1: two-level subclass inference.
+  out.emplace_back("q1", p + R"(
+SELECT DISTINCT ?e WHERE { ?e rdf:type bench:Entity . })");
+
+  // q2: subproperty inference joined with a type scan.
+  out.emplace_back("q2", p + R"(
+SELECT ?a ?v WHERE {
+  ?a bench:related ?v .
+  ?a rdf:type bench:Article .
+})");
+
+  // q3: inference + filter.
+  out.emplace_back("q3", p + R"(
+SELECT ?a ?y WHERE {
+  ?a rdf:type bench:Publication .
+  ?a dcterms:issued ?y .
+  FILTER (?y < 1945)
+})");
+
+  // q4: recursive property path with two variables over an *inferred*
+  // predicate (the citation/venue reachability closure).
+  out.emplace_back("q4", p + R"(
+SELECT ?a ?b WHERE { ?a dcterms:references+ ?b . })");
+
+  // q5: zero-or-more over the inferred super-property — the hardest case:
+  // reasoning inside an unbounded recursion with two free variables.
+  out.emplace_back("q5", p + R"(
+SELECT ?a ?b WHERE { ?a bench:related* ?b . })");
+
+  return out;
+}
+
+}  // namespace sparqlog::workloads

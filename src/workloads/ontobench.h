@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/graph.h"
+
+/// \file ontobench.h
+/// The paper's ontology benchmark (§6.3, Figure 10): the SP2Bench dataset
+/// extended with subClassOf / subPropertyOf statements, and six queries
+/// combining reasoning with property paths. Queries 4 and 5 are the
+/// recursive property paths with two variables on which SparqLog's
+/// semi-naive Datalog evaluation dominates the materialize-then-evaluate
+/// baseline ("Stardog").
+
+namespace sparqlog::workloads {
+
+struct OntoBenchOptions {
+  size_t sp2b_triples = 6000;
+  uint64_t seed = 4711;
+};
+
+/// SP2B data + ontology triples into `dataset`'s default graph.
+void GenerateOntoBench(const OntoBenchOptions& options,
+                       rdf::Dataset* dataset);
+
+/// The six queries (q0..q5) as (name, text) pairs.
+std::vector<std::pair<std::string, std::string>> OntoBenchQueries();
+
+}  // namespace sparqlog::workloads

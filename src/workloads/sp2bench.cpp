@@ -1,0 +1,370 @@
+#include "workloads/sp2bench.h"
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace sparqlog::workloads {
+
+namespace {
+
+constexpr char kBench[] = "http://localhost/vocabulary/bench/";
+constexpr char kDc[] = "http://purl.org/dc/elements/1.1/";
+constexpr char kDcterms[] = "http://purl.org/dc/terms/";
+constexpr char kSwrc[] = "http://swrc.ontoware.org/ontology#";
+constexpr char kFoaf[] = "http://xmlns.com/foaf/0.1/";
+constexpr char kRdf[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+constexpr char kRdfs[] = "http://www.w3.org/2000/01/rdf-schema#";
+constexpr char kXsd[] = "http://www.w3.org/2001/XMLSchema#";
+
+const char* kFirstNames[] = {"Adam",  "Bella", "Carl",  "Dana", "Emil",
+                             "Fiona", "Gregor", "Hanna", "Ivan", "Julia",
+                             "Karl",  "Lena",  "Milan", "Nora", "Oskar",
+                             "Paula", "Quentin", "Rosa", "Simon", "Tara"};
+const char* kLastNames[] = {"Abel",   "Brown",  "Cruz",   "Dorn",  "Ender",
+                            "Faber",  "Gauss",  "Hilbert", "Iwano", "Jung",
+                            "Klein",  "Lorenz", "Moser",  "Noether", "Otto",
+                            "Planck", "Quine",  "Russell", "Simmel", "Tukey"};
+const char* kTitleWords[] = {"scalable", "semantic",  "query",     "graph",
+                             "reasoning", "datalog",  "streams",   "joins",
+                             "recursive", "optimized", "knowledge", "webs"};
+
+}  // namespace
+
+void GenerateSp2b(const Sp2bOptions& options, rdf::Dataset* dataset) {
+  rdf::TermDictionary* dict = dataset->dict();
+  rdf::Graph& g = dataset->default_graph();
+  Rng rng(options.seed);
+
+  auto iri = [&](const std::string& s) { return dict->InternIri(s); };
+  auto lit = [&](const std::string& s) { return dict->InternLiteral(s); };
+  auto year_lit = [&](int y) {
+    return dict->InternLiteral(std::to_string(y),
+                               std::string(kXsd) + "integer");
+  };
+
+  rdf::TermId type = iri(std::string(kRdf) + "type");
+  rdf::TermId cls_journal = iri(std::string(kBench) + "Journal");
+  rdf::TermId cls_article = iri(std::string(kBench) + "Article");
+  rdf::TermId cls_inproc = iri(std::string(kBench) + "Inproceedings");
+  rdf::TermId cls_proc = iri(std::string(kBench) + "Proceedings");
+  rdf::TermId p_title = iri(std::string(kDc) + "title");
+  rdf::TermId p_issued = iri(std::string(kDcterms) + "issued");
+  rdf::TermId p_creator = iri(std::string(kDc) + "creator");
+  rdf::TermId p_journal = iri(std::string(kSwrc) + "journal");
+  rdf::TermId p_pages = iri(std::string(kSwrc) + "pages");
+  rdf::TermId p_month = iri(std::string(kSwrc) + "month");
+  rdf::TermId p_isbn = iri(std::string(kSwrc) + "isbn");
+  rdf::TermId p_editor = iri(std::string(kSwrc) + "editor");
+  rdf::TermId p_references = iri(std::string(kDcterms) + "references");
+  rdf::TermId p_part_of = iri(std::string(kDcterms) + "partOf");
+  rdf::TermId p_seealso = iri(std::string(kRdfs) + "seeAlso");
+  rdf::TermId p_homepage = iri(std::string(kFoaf) + "homepage");
+  rdf::TermId p_name = iri(std::string(kFoaf) + "name");
+  rdf::TermId p_abstract = iri(std::string(kBench) + "abstract");
+
+  // Document-class hierarchy (the original SP2B data ships these schema
+  // triples; q6 relies on them).
+  rdf::TermId cls_document = iri(std::string(kFoaf) + "Document");
+  rdf::TermId cls_person = iri(std::string(kFoaf) + "Person");
+  rdf::TermId p_subclass = iri(std::string(kRdfs) + "subClassOf");
+  g.Add(cls_article, p_subclass, cls_document);
+  g.Add(cls_inproc, p_subclass, cls_document);
+  g.Add(cls_proc, p_subclass, cls_document);
+  g.Add(cls_journal, p_subclass, cls_document);
+
+  // Person pool; names intentionally collide sometimes (q5's same-name
+  // join needs duplicates).
+  std::vector<rdf::TermId> persons;
+  std::vector<rdf::TermId> person_names;
+  size_t num_persons = std::max<size_t>(20, options.target_triples / 60);
+  for (size_t i = 0; i < num_persons; ++i) {
+    rdf::TermId person =
+        iri("http://localhost/persons/p" + std::to_string(i));
+    std::string fname = kFirstNames[rng.Uniform(20)];
+    std::string lname = kLastNames[rng.Uniform(20)];
+    // Person 0 is the fixed "Erdős" anchor q8 and q12b join against.
+    rdf::TermId name =
+        i == 0 ? lit("Adam Abel") : lit(fname + " " + lname);
+    g.Add(person, type, cls_person);
+    g.Add(person, p_name, name);
+    if (rng.Chance(0.3)) {
+      g.Add(person, p_homepage,
+            iri("http://example.org/home/" + std::to_string(i)));
+    }
+    persons.push_back(person);
+    person_names.push_back(name);
+  }
+
+  std::vector<rdf::TermId> articles;
+  std::vector<rdf::TermId> journals;
+  int year = 1940;
+  size_t serial = 0;
+  while (g.size() < options.target_triples) {
+    // One journal per year with a batch of articles, plus one proceedings
+    // with inproceedings papers.
+    rdf::TermId journal = iri(StringPrintf(
+        "http://localhost/publications/journals/Journal%d", year));
+    g.Add(journal, type, cls_journal);
+    g.Add(journal, p_title, lit(StringPrintf("Journal %d", year)));
+    g.Add(journal, p_issued, year_lit(year));
+    if (!persons.empty()) {
+      g.Add(journal, p_editor, persons[rng.Uniform(persons.size())]);
+    }
+    journals.push_back(journal);
+
+    rdf::TermId proc = iri(StringPrintf(
+        "http://localhost/publications/proceedings/Proc%d", year));
+    g.Add(proc, type, cls_proc);
+    g.Add(proc, p_title, lit(StringPrintf("Proceedings %d", year)));
+    g.Add(proc, p_issued, year_lit(year));
+    g.Add(proc, p_isbn, lit(StringPrintf("978-0-00-%06d", year)));
+
+    size_t batch = 8 + rng.Uniform(8);
+    for (size_t k = 0; k < batch && g.size() < options.target_triples; ++k) {
+      bool in_journal = rng.Chance(0.6);
+      rdf::TermId paper =
+          iri("http://localhost/publications/art" + std::to_string(serial++));
+      g.Add(paper, type, in_journal ? cls_article : cls_inproc);
+      std::string title = std::string(kTitleWords[rng.Uniform(12)]) + " " +
+                          kTitleWords[rng.Uniform(12)] + " " +
+                          std::to_string(serial);
+      g.Add(paper, p_title, lit(title));
+      g.Add(paper, p_issued, year_lit(year));
+      g.Add(paper, p_creator, persons[rng.Uniform(persons.size())]);
+      if (rng.Chance(0.25)) {
+        g.Add(paper, p_creator, persons[rng.Uniform(persons.size())]);
+      }
+      if (in_journal) {
+        g.Add(paper, p_journal, journal);
+      } else {
+        g.Add(paper, p_part_of, proc);
+      }
+      if (rng.Chance(0.9)) {
+        g.Add(paper, p_pages,
+              lit(std::to_string(1 + rng.Uniform(400))));
+      }
+      if (rng.Chance(0.5)) {
+        g.Add(paper, p_month, lit(std::to_string(1 + rng.Uniform(12))));
+      }
+      if (rng.Chance(0.3)) {
+        g.Add(paper, p_abstract,
+              lit("abstract " + std::to_string(serial)));
+      }
+      if (rng.Chance(0.4)) {
+        g.Add(paper, p_seealso,
+              iri("http://dblp.example.org/rec/" + std::to_string(serial)));
+      }
+      // Citations to earlier articles (feeds q7 and the ontology bench).
+      size_t cites = rng.Uniform(4);
+      for (size_t c = 0; c < cites && !articles.empty(); ++c) {
+        g.Add(paper, p_references,
+              articles[rng.Skewed(articles.size())]);
+      }
+      articles.push_back(paper);
+    }
+    ++year;
+  }
+  (void)person_names;
+}
+
+std::string Sp2bPrefixes() {
+  return
+      "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+      "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+      "PREFIX bench: <http://localhost/vocabulary/bench/>\n"
+      "PREFIX dc: <http://purl.org/dc/elements/1.1/>\n"
+      "PREFIX dcterms: <http://purl.org/dc/terms/>\n"
+      "PREFIX swrc: <http://swrc.ontoware.org/ontology#>\n"
+      "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+      "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n";
+}
+
+std::vector<std::pair<std::string, std::string>> Sp2bQueries() {
+  const std::string p = Sp2bPrefixes();
+  std::vector<std::pair<std::string, std::string>> out;
+
+  out.emplace_back("q1", p + R"(
+SELECT ?yr
+WHERE {
+  ?journal rdf:type bench:Journal .
+  ?journal dc:title "Journal 1940" .
+  ?journal dcterms:issued ?yr .
+})");
+
+  out.emplace_back("q2", p + R"(
+SELECT ?inproc ?author ?booktitle ?title ?proc ?page
+WHERE {
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?author .
+  ?inproc dcterms:partOf ?proc .
+  ?proc dc:title ?booktitle .
+  ?inproc dc:title ?title .
+  ?inproc swrc:pages ?page .
+  OPTIONAL { ?inproc bench:abstract ?abstract }
+}
+ORDER BY ?inproc)");
+
+  out.emplace_back("q3a", p + R"(
+SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value .
+  FILTER (?property = swrc:pages)
+})");
+
+  out.emplace_back("q3b", p + R"(
+SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value .
+  FILTER (?property = swrc:month)
+})");
+
+  out.emplace_back("q3c", p + R"(
+SELECT ?article
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article ?property ?value .
+  FILTER (?property = swrc:isbn)
+})");
+
+  out.emplace_back("q4", p + R"(
+SELECT DISTINCT ?name1 ?name2
+WHERE {
+  ?article1 rdf:type bench:Article .
+  ?article2 rdf:type bench:Article .
+  ?article1 dc:creator ?author1 .
+  ?author1 foaf:name ?name1 .
+  ?article2 dc:creator ?author2 .
+  ?author2 foaf:name ?name2 .
+  ?article1 swrc:journal ?journal .
+  ?article2 swrc:journal ?journal .
+  FILTER (?name1 < ?name2)
+})");
+
+  out.emplace_back("q5a", p + R"(
+SELECT DISTINCT ?person ?name
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person2 .
+  ?person foaf:name ?name .
+  ?person2 foaf:name ?name2 .
+  FILTER (?name = ?name2)
+})");
+
+  out.emplace_back("q5b", p + R"(
+SELECT DISTINCT ?person ?name
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person .
+  ?person foaf:name ?name .
+})");
+
+  out.emplace_back("q6", p + R"(
+SELECT ?yr ?name ?document
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?document rdf:type ?class .
+  ?document dcterms:issued ?yr .
+  ?document dc:creator ?author .
+  ?author foaf:name ?name .
+  OPTIONAL {
+    ?class2 rdfs:subClassOf foaf:Document .
+    ?document2 rdf:type ?class2 .
+    ?document2 dcterms:issued ?yr2 .
+    ?document2 dc:creator ?author2 .
+    FILTER (?author = ?author2 && ?yr2 < ?yr)
+  }
+  FILTER (!BOUND(?author2))
+})");
+
+  out.emplace_back("q7", p + R"(
+SELECT DISTINCT ?title
+WHERE {
+  ?doc dc:title ?title .
+  ?doc dcterms:references ?bag .
+  OPTIONAL {
+    ?doc2 dcterms:references ?bag2 .
+    ?bag2 dcterms:references ?doc .
+    OPTIONAL {
+      ?doc3 dcterms:references ?doc2 .
+    }
+    FILTER (BOUND(?doc3))
+  }
+  FILTER (!BOUND(?doc2))
+})");
+
+  out.emplace_back("q8", p + R"(
+SELECT DISTINCT ?name
+WHERE {
+  ?erdoes foaf:name "Adam Abel" .
+  {
+    ?document dc:creator ?erdoes .
+    ?document dc:creator ?author .
+    ?document2 dc:creator ?author .
+    ?document2 dc:creator ?author2 .
+    ?author2 foaf:name ?name .
+    FILTER (?author != ?erdoes && ?document2 != ?document &&
+            ?author2 != ?erdoes && ?author2 != ?author)
+  } UNION {
+    ?document dc:creator ?erdoes .
+    ?document dc:creator ?author .
+    ?author foaf:name ?name .
+    FILTER (?author != ?erdoes)
+  }
+})");
+
+  out.emplace_back("q9", p + R"(
+SELECT DISTINCT ?predicate
+WHERE {
+  {
+    ?person rdf:type foaf:Person .
+    ?subject ?predicate ?person .
+  } UNION {
+    ?person rdf:type foaf:Person .
+    ?person ?predicate ?object .
+  }
+})");
+
+  out.emplace_back("q10", p + R"(
+SELECT ?subject ?predicate
+WHERE {
+  ?subject ?predicate <http://localhost/persons/p7> .
+})");
+
+  out.emplace_back("q11", p + R"(
+SELECT ?ee
+WHERE {
+  ?publication rdfs:seeAlso ?ee .
+}
+ORDER BY ?ee
+LIMIT 10
+OFFSET 50)");
+
+  out.emplace_back("q12a", p + R"(
+ASK {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person .
+})");
+
+  out.emplace_back("q12b", p + R"(
+ASK {
+  ?erdoes foaf:name "Adam Abel" .
+  ?document dc:creator ?erdoes .
+})");
+
+  out.emplace_back("q12c", p + R"(
+ASK {
+  <http://localhost/persons/unknown> foaf:name ?name .
+})");
+
+  return out;
+}
+
+}  // namespace sparqlog::workloads

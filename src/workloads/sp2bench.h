@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/graph.h"
+
+/// \file sp2bench.h
+/// SP2Bench-style workload (Schmidt et al., the paper's synthetic
+/// benchmark of choice, §6.1): a deterministic DBLP-like dataset
+/// generator and the 17 hand-crafted queries (q1-q12c) re-expressed over
+/// the generated vocabulary. Query shapes follow the originals: large
+/// joins (q2, q4), optional chains with negation via !BOUND (q6, q7),
+/// unions (q8, q9), predicate variables (q3*, q9, q10), solution
+/// modifiers (q2, q11) and ASK forms (q12*).
+
+namespace sparqlog::workloads {
+
+struct Sp2bOptions {
+  size_t target_triples = 10000;
+  uint64_t seed = 4711;
+};
+
+/// Generates the dataset into `dataset`'s default graph.
+void GenerateSp2b(const Sp2bOptions& options, rdf::Dataset* dataset);
+
+/// The 17 queries as (name, SPARQL text) pairs, in benchmark order.
+std::vector<std::pair<std::string, std::string>> Sp2bQueries();
+
+/// Namespace prefix declarations shared by the SP2B queries.
+std::string Sp2bPrefixes();
+
+}  // namespace sparqlog::workloads

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+
+#include "workloads/runner.h"
+
+/// \file systems.h
+/// Adapters binding the four engines to the benchmark harness:
+///   * "SparqLog"  — the translation pipeline over the Datalog± engine;
+///   * "Fuseki"    — the standard-compliant direct algebra evaluator;
+///   * "Virtuoso"  — the quirk-injected evaluator;
+///   * "Stardog"   — naive-materialization reasoner + direct evaluator.
+/// Each Run() reloads from scratch, matching the paper's per-query
+/// delete-and-reload methodology (§6.3).
+
+namespace sparqlog::workloads {
+
+std::unique_ptr<System> MakeSparqLogSystem(const rdf::Dataset* dataset,
+                                           rdf::TermDictionary* dict,
+                                           Limits limits,
+                                           bool ontology = false);
+
+std::unique_ptr<System> MakeFusekiSystem(const rdf::Dataset* dataset,
+                                         rdf::TermDictionary* dict,
+                                         Limits limits);
+
+std::unique_ptr<System> MakeVirtuosoSystem(const rdf::Dataset* dataset,
+                                           rdf::TermDictionary* dict,
+                                           Limits limits);
+
+std::unique_ptr<System> MakeStardogSystem(const rdf::Dataset* dataset,
+                                          rdf::TermDictionary* dict,
+                                          Limits limits);
+
+}  // namespace sparqlog::workloads

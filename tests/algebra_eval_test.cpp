@@ -1,0 +1,272 @@
+// Unit tests for the reference algebra evaluator (the Fuseki stand-in and
+// correctness oracle): multiset semantics of every operator, the
+// OPTIONAL-FILTER edge case (§4.3), MINUS's disjoint-domain rule, GRAPH,
+// solution modifiers, aggregation, and the Virtuoso quirks at query level.
+
+#include <gtest/gtest.h>
+
+#include "eval/algebra_eval.h"
+#include "rdf/turtle_parser.h"
+#include "sparql/parser.h"
+
+namespace sparqlog::eval {
+namespace {
+
+class AlgebraEvalTest : public ::testing::Test {
+ protected:
+  AlgebraEvalTest() : dataset_(&dict_) {}
+
+  void Load(const std::string& ttl) {
+    auto st = rdf::ParseTurtle(ttl, &dataset_);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  QueryResult Run(const std::string& query,
+                  EngineQuirks quirks = EngineQuirks()) {
+    auto parsed =
+        sparql::ParseQuery("PREFIX ex: <http://ex.org/>\n" + query, &dict_);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ExecContext ctx;
+    AlgebraEvaluator eval(dataset_, &dict_, &ctx, quirks);
+    auto result = eval.EvalQuery(*parsed);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).ValueOrDie();
+  }
+
+  std::string Lex(rdf::TermId id) { return dict_.get(id).lexical; }
+
+  rdf::TermDictionary dict_;
+  rdf::Dataset dataset_;
+};
+
+constexpr char kPeople[] = R"(
+  @prefix ex: <http://ex.org/> .
+  ex:alice ex:name "Alice" ; ex:age 30 ; ex:knows ex:bob .
+  ex:bob   ex:name "Bob"   ; ex:age 25 .
+  ex:carol ex:name "Carol" ; ex:age 35 ; ex:knows ex:alice ; ex:mail "c@x" .
+)";
+
+TEST_F(AlgebraEvalTest, BgpJoinBindsSharedVariables) {
+  Load(kPeople);
+  QueryResult r = Run("SELECT ?n WHERE { ?x ex:knows ?y . ?y ex:name ?n }");
+  ASSERT_EQ(r.rows.size(), 2u);
+  std::set<std::string> names{Lex(r.rows[0][0]), Lex(r.rows[1][0])};
+  EXPECT_EQ(names, (std::set<std::string>{"Bob", "Alice"}));
+}
+
+TEST_F(AlgebraEvalTest, ProjectionKeepsDuplicates) {
+  Load(kPeople);
+  QueryResult r = Run("SELECT ?p WHERE { ?x ?p ?o }");
+  // 9 triples; projecting the predicate keeps one row per triple.
+  EXPECT_EQ(r.rows.size(), 9u);
+  QueryResult d = Run("SELECT DISTINCT ?p WHERE { ?x ?p ?o }");
+  EXPECT_EQ(d.rows.size(), 4u);  // name, age, knows, mail
+}
+
+TEST_F(AlgebraEvalTest, OptionalLeavesUnboundOnNoMatch) {
+  Load(kPeople);
+  QueryResult r = Run(
+      "SELECT ?n ?m WHERE { ?x ex:name ?n OPTIONAL { ?x ex:mail ?m } } "
+      "ORDER BY ?n");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(Lex(r.rows[0][0]), "Alice");
+  EXPECT_EQ(r.rows[0][1], rdf::TermDictionary::kUndef);
+  EXPECT_EQ(Lex(r.rows[2][0]), "Carol");
+  EXPECT_EQ(Lex(r.rows[2][1]), "c@x");
+}
+
+TEST_F(AlgebraEvalTest, OptionalFilterSeesLeftBindings) {
+  Load(kPeople);
+  // The classic edge case: the filter inside OPTIONAL references ?a from
+  // the left side. carol(35) has a knows-target with age 30 (<35): joined.
+  // alice(30) knows bob(25): 25 < 30 so joined too... use a threshold
+  // making one side fail.
+  QueryResult r = Run(R"(
+    SELECT ?x ?y WHERE {
+      ?x ex:age ?a .
+      OPTIONAL { ?x ex:knows ?y . ?y ex:age ?b . FILTER (?b > ?a) }
+    } ORDER BY ?x)");
+  ASSERT_EQ(r.rows.size(), 3u);
+  // alice knows bob (25 > 30 false) -> unbound; carol knows alice
+  // (30 > 35 false) -> unbound; bob knows nobody -> unbound.
+  for (const auto& row : r.rows) {
+    EXPECT_EQ(row[1], rdf::TermDictionary::kUndef);
+  }
+}
+
+TEST_F(AlgebraEvalTest, UnionConcatenatesWithSharedColumns) {
+  Load(kPeople);
+  QueryResult r =
+      Run("SELECT ?v WHERE { { ?x ex:name ?v } UNION { ?x ex:mail ?v } }");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(AlgebraEvalTest, MinusRemovesCompatibleOverlappingMappings) {
+  Load(kPeople);
+  QueryResult r = Run(
+      "SELECT ?x WHERE { ?x ex:name ?n . MINUS { ?x ex:knows ?y } }");
+  // alice and carol know someone -> removed; bob stays.
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(dict_.get(r.rows[0][0]).lexical, "http://ex.org/bob");
+}
+
+TEST_F(AlgebraEvalTest, MinusDisjointDomainsKeepsEverything) {
+  Load(kPeople);
+  // The MINUS side binds only ?z which is disjoint from the left side:
+  // per the spec nothing is removed even though mappings are compatible.
+  QueryResult r = Run(
+      "SELECT ?x WHERE { ?x ex:name ?n . MINUS { ?z ex:mail \"c@x\" } }");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(AlgebraEvalTest, GraphConstantAndVariable) {
+  Load(R"(
+    @prefix ex: <http://ex.org/> .
+    ex:a ex:p ex:b .
+    GRAPH <http://g1> { ex:a ex:p ex:c . }
+    GRAPH <http://g2> { ex:a ex:p ex:d . ex:a ex:p ex:e . }
+  )");
+  QueryResult named = Run(
+      "SELECT ?o WHERE { GRAPH <http://g1> { ex:a ex:p ?o } }");
+  EXPECT_EQ(named.rows.size(), 1u);
+  QueryResult var = Run("SELECT ?g ?o WHERE { GRAPH ?g { ex:a ex:p ?o } }");
+  EXPECT_EQ(var.rows.size(), 3u);
+  QueryResult missing = Run(
+      "SELECT ?o WHERE { GRAPH <http://nope> { ex:a ex:p ?o } }");
+  EXPECT_TRUE(missing.rows.empty());
+}
+
+TEST_F(AlgebraEvalTest, FromClausesBuildQueryDataset) {
+  Load(R"(
+    @prefix ex: <http://ex.org/> .
+    GRAPH <http://g1> { ex:a ex:p ex:b . }
+    GRAPH <http://g2> { ex:a ex:p ex:c . }
+  )");
+  QueryResult merged = Run(
+      "SELECT ?o FROM <http://g1> FROM <http://g2> WHERE { ex:a ex:p ?o }");
+  EXPECT_EQ(merged.rows.size(), 2u);
+  // Without FROM, the default graph of the store is empty.
+  QueryResult none = Run("SELECT ?o WHERE { ex:a ex:p ?o }");
+  EXPECT_TRUE(none.rows.empty());
+  // FROM NAMED restricts GRAPH iteration.
+  QueryResult named = Run(
+      "SELECT ?g ?o FROM NAMED <http://g2> WHERE { GRAPH ?g "
+      "{ ex:a ex:p ?o } }");
+  EXPECT_EQ(named.rows.size(), 1u);
+}
+
+TEST_F(AlgebraEvalTest, OrderLimitOffset) {
+  Load(kPeople);
+  QueryResult r = Run(
+      "SELECT ?n WHERE { ?x ex:name ?n . ?x ex:age ?a } "
+      "ORDER BY DESC(?a) LIMIT 2 OFFSET 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(Lex(r.rows[0][0]), "Alice");  // 35(Carol skipped), 30, 25
+  EXPECT_EQ(Lex(r.rows[1][0]), "Bob");
+}
+
+TEST_F(AlgebraEvalTest, OrderByNonProjectedAndComplexKey) {
+  Load(kPeople);
+  QueryResult r = Run(
+      "SELECT ?n WHERE { ?x ex:name ?n OPTIONAL { ?x ex:mail ?m } } "
+      "ORDER BY !BOUND(?m) ?n");
+  ASSERT_EQ(r.rows.size(), 3u);
+  // BOUND first: Carol (false sorts before true per boolean order).
+  EXPECT_EQ(Lex(r.rows[0][0]), "Carol");
+}
+
+TEST_F(AlgebraEvalTest, AskForm) {
+  Load(kPeople);
+  EXPECT_TRUE(Run("ASK { ?x ex:mail ?m }").ask_value);
+  EXPECT_FALSE(Run("ASK { ?x ex:phone ?m }").ask_value);
+}
+
+TEST_F(AlgebraEvalTest, GroupByWithAggregates) {
+  Load(R"(
+    @prefix ex: <http://ex.org/> .
+    ex:p1 ex:author ex:a ; ex:cites ex:p2 , ex:p3 .
+    ex:p2 ex:author ex:a ; ex:cites ex:p3 .
+    ex:p3 ex:author ex:b .
+  )");
+  QueryResult r = Run(
+      "SELECT ?w (COUNT(?c) AS ?n) WHERE { ?p ex:author ?w . "
+      "OPTIONAL { ?p ex:cites ?c } } GROUP BY ?w ORDER BY ?w");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(Lex(r.rows[0][1]), "3");  // author a: 2 + 1 citations
+  EXPECT_EQ(Lex(r.rows[1][1]), "0");  // author b: none (unbound not counted)
+}
+
+TEST_F(AlgebraEvalTest, AggregatesWithoutGroupBy) {
+  Load(kPeople);
+  QueryResult r = Run(
+      "SELECT (COUNT(*) AS ?n) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) "
+      "(AVG(?a) AS ?avg) (SUM(?a) AS ?sum) WHERE { ?x ex:age ?a }");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(Lex(r.rows[0][0]), "3");
+  EXPECT_EQ(Lex(r.rows[0][1]), "25");
+  EXPECT_EQ(Lex(r.rows[0][2]), "35");
+  EXPECT_EQ(Lex(r.rows[0][3]), "30.0");
+  EXPECT_EQ(Lex(r.rows[0][4]), "90");
+}
+
+TEST_F(AlgebraEvalTest, CountDistinct) {
+  Load(R"(
+    @prefix ex: <http://ex.org/> .
+    ex:x ex:tag "a" , "b" .
+    ex:y ex:tag "a" .
+  )");
+  QueryResult r = Run(
+      "SELECT (COUNT(?t) AS ?n) (COUNT(DISTINCT ?t) AS ?d) WHERE "
+      "{ ?s ex:tag ?t }");
+  EXPECT_EQ(Lex(r.rows[0][0]), "3");
+  EXPECT_EQ(Lex(r.rows[0][1]), "2");
+}
+
+TEST_F(AlgebraEvalTest, QuirkUnionDedupAndIgnoredDistinct) {
+  Load(kPeople);
+  EngineQuirks q;
+  q.union_dedup = true;
+  // Both branches produce the same three (x, n) rows: quirk halves them.
+  QueryResult r = Run(
+      "SELECT ?n WHERE { { ?x ex:name ?n } UNION { ?x ex:name ?n } }", q);
+  EXPECT_EQ(r.rows.size(), 3u);
+  QueryResult clean = Run(
+      "SELECT ?n WHERE { { ?x ex:name ?n } UNION { ?x ex:name ?n } }");
+  EXPECT_EQ(clean.rows.size(), 6u);
+
+  EngineQuirks q2;
+  q2.ignore_distinct_with_union = true;
+  QueryResult ignored = Run(
+      "SELECT DISTINCT ?n WHERE { { ?x ex:name ?n } UNION "
+      "{ ?x ex:name ?n } }",
+      q2);
+  EXPECT_EQ(ignored.rows.size(), 6u);  // DISTINCT dropped
+}
+
+TEST_F(AlgebraEvalTest, QuirkErrorsOnGraphAndComplexOrder) {
+  Load(kPeople);
+  EngineQuirks q;
+  q.error_on_graph_and_complex_order = true;
+  auto parsed = sparql::ParseQuery(
+      "PREFIX ex: <http://ex.org/> SELECT ?x WHERE { GRAPH ?g "
+      "{ ?x ex:name ?n } }",
+      &dict_);
+  ExecContext ctx;
+  AlgebraEvaluator eval(dataset_, &dict_, &ctx, q);
+  EXPECT_TRUE(eval.EvalQuery(*parsed).status().IsNotSupported());
+}
+
+TEST_F(AlgebraEvalTest, TimeoutPropagates) {
+  Load(kPeople);
+  auto parsed = sparql::ParseQuery(
+      "PREFIX ex: <http://ex.org/> SELECT * WHERE "
+      "{ ?a ?p1 ?b . ?c ?p2 ?d . ?e ?p3 ?f . ?g ?p4 ?h }",
+      &dict_);
+  ExecContext ctx;
+  ctx.set_tuple_budget(50);
+  AlgebraEvaluator eval(dataset_, &dict_, &ctx);
+  EXPECT_TRUE(eval.EvalQuery(*parsed).status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace sparqlog::eval

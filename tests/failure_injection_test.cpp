@@ -1,0 +1,151 @@
+// Failure-injection tests: timeouts, tuple budgets (mem-out), parse
+// errors, unsupported features, unstratifiable programs and other error
+// paths must surface as the right Status codes — the benchmark harness's
+// outcome taxonomy depends on this.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datalog/evaluator.h"
+#include "rdf/turtle_parser.h"
+#include "sparql/parser.h"
+#include "workloads/gmark.h"
+
+namespace sparqlog {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest() : dataset_(&dict_) {}
+
+  void LoadChain(size_t n) {
+    auto* dict = dataset_.dict();
+    rdf::TermId p = dict->InternIri("http://f.org/p");
+    for (size_t i = 0; i + 1 < n; ++i) {
+      dataset_.default_graph().Add(
+          dict->InternIri("http://f.org/n" + std::to_string(i)), p,
+          dict->InternIri("http://f.org/n" + std::to_string(i + 1)));
+    }
+  }
+
+  rdf::TermDictionary dict_;
+  rdf::Dataset dataset_;
+};
+
+TEST_F(FailureInjectionTest, EngineTimeoutSurfacesAsTimeout) {
+  // A dense closure with a 0 ms budget must abort with Timeout.
+  rdf::Dataset big(&dict_);
+  GenerateGmarkGraph(workloads::GmarkTest(), &big);
+  core::Engine::Options options;
+  options.timeout = std::chrono::milliseconds(1);
+  core::Engine engine(&big, &dict_, options);
+  auto result = engine.ExecuteText(
+      "SELECT ?x ?y WHERE { ?x <http://example.org/gMark/p0>* ?y }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout()) << result.status().ToString();
+}
+
+TEST_F(FailureInjectionTest, EngineTupleBudgetSurfacesAsMemOut) {
+  LoadChain(60);
+  core::Engine::Options options;
+  options.tuple_budget = 300;
+  core::Engine engine(&dataset_, &dict_, options);
+  auto result = engine.ExecuteText(
+      "SELECT ?x ?y WHERE { ?x <http://f.org/p>+ ?y }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted())
+      << result.status().ToString();
+}
+
+TEST_F(FailureInjectionTest, BudgetFailureLeavesEngineReusable) {
+  LoadChain(60);
+  core::Engine::Options options;
+  options.tuple_budget = 200;
+  core::Engine engine(&dataset_, &dict_, options);
+  auto fail = engine.ExecuteText(
+      "SELECT ?x ?y WHERE { ?x <http://f.org/p>* ?y }");
+  EXPECT_FALSE(fail.ok());
+  // A small follow-up query still works on the same engine (fresh IDB and
+  // context per query).
+  auto ok = engine.ExecuteText(
+      "SELECT ?y WHERE { <http://f.org/n0> <http://f.org/p> ?y }");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->rows.size(), 1u);
+}
+
+TEST_F(FailureInjectionTest, ParseErrorsSurfaceFromEngine) {
+  LoadChain(3);
+  core::Engine engine(&dataset_, &dict_);
+  auto result = engine.ExecuteText("SELECT ?x WHERE { ?x ?p }");
+  EXPECT_TRUE(result.status().IsParseError());
+  auto unsupported =
+      engine.ExecuteText("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }");
+  EXPECT_TRUE(unsupported.status().IsNotSupported());
+}
+
+TEST_F(FailureInjectionTest, EmptyDatasetAnswersGracefully) {
+  core::Engine engine(&dataset_, &dict_);
+  auto result = engine.ExecuteText(
+      "SELECT ?x ?y WHERE { ?x <http://f.org/p>+ ?y }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->rows.empty());
+  auto ask = engine.ExecuteText("ASK { ?x ?p ?y }");
+  ASSERT_TRUE(ask.ok());
+  EXPECT_FALSE(ask->ask_value);
+}
+
+TEST_F(FailureInjectionTest, ZeroLengthPathOnEmptyGraph) {
+  core::Engine engine(&dataset_, &dict_);
+  // Constant endpoint: one zero-length solution even on an empty graph.
+  auto result = engine.ExecuteText(
+      "SELECT ?y WHERE { <http://f.org/ghost> <http://f.org/p>* ?y }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST_F(FailureInjectionTest, UnstratifiableProgramRejected) {
+  datalog::Program program;
+  datalog::RuleBuilder rb(&program.predicates);
+  rb.Head("win", {rb.Var("X")});
+  rb.Body("move", {rb.Var("X"), rb.Var("Y")});
+  rb.NegBody("win", {rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+
+  rdf::TermDictionary dict;
+  datalog::SkolemStore skolems;
+  datalog::Evaluator evaluator(&dict, &skolems);
+  datalog::Database edb, idb;
+  ExecContext ctx;
+  Status st = evaluator.Evaluate(program, &edb, &idb, &ctx);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("stratifiable"), std::string::npos);
+}
+
+TEST_F(FailureInjectionTest, MalformedTurtleReportsLine) {
+  rdf::Dataset scratch(&dict_);
+  Status st = rdf::ParseTurtle("<a> <b> <c> .\n<d> <e> .\n", &scratch);
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(FailureInjectionTest, QueriesAgainstMissingNamedGraph) {
+  LoadChain(3);
+  core::Engine engine(&dataset_, &dict_);
+  auto result = engine.ExecuteText(
+      "SELECT ?s WHERE { GRAPH <http://nope> { ?s ?p ?o } }");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(FailureInjectionTest, FromClauseOnUnknownGraphYieldsEmpty) {
+  LoadChain(3);
+  core::Engine engine(&dataset_, &dict_);
+  auto result = engine.ExecuteText(
+      "SELECT ?s FROM <http://unknown> WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->rows.empty());
+}
+
+}  // namespace
+}  // namespace sparqlog

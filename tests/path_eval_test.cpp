@@ -1,0 +1,204 @@
+// Unit tests for W3C property-path semantics in the reference evaluator:
+// every path form, the zero-length-path corner cases of §5.2 (constant
+// endpoints not occurring in the graph), cycle handling, set-vs-bag
+// semantics, and the quirk injections used by the Virtuoso baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/path_eval.h"
+#include "rdf/turtle_parser.h"
+#include "sparql/parser.h"
+
+namespace sparqlog::eval {
+namespace {
+
+using rdf::TermId;
+
+class PathEvalTest : public ::testing::Test {
+ protected:
+  PathEvalTest() : dataset_(&dict_) {
+    // p: 3-cycle a->b->c->a plus branch a->d; q: a->c; r: self loop e->e.
+    auto st = rdf::ParseTurtle(R"(
+      @prefix ex: <http://ex.org/> .
+      ex:a ex:p ex:b . ex:b ex:p ex:c . ex:c ex:p ex:a . ex:a ex:p ex:d .
+      ex:a ex:q ex:c .
+      ex:e ex:r ex:e .
+    )",
+                               &dataset_);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  TermId Iri(const std::string& local) {
+    return dict_.InternIri("http://ex.org/" + local);
+  }
+
+  sparql::PathPtr ParsePath(const std::string& text) {
+    auto q = sparql::ParseQuery(
+        "PREFIX ex: <http://ex.org/> SELECT * WHERE { ?s " + text + " ?o }",
+        &dict_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    // Plain IRIs parse as triple patterns; lift them back to link paths.
+    if (q->where->kind == sparql::PatternKind::kTriple) {
+      return sparql::Path::Link(q->where->p.term);
+    }
+    EXPECT_EQ(q->where->kind, sparql::PatternKind::kPath);
+    return q->where->path;
+  }
+
+  PairList Eval(const std::string& path, std::optional<TermId> s,
+                std::optional<TermId> o,
+                EngineQuirks quirks = EngineQuirks()) {
+    PathEvaluator eval(dataset_.default_graph(), &ctx_, quirks);
+    auto pairs = eval.Eval(*ParsePath(path), s, o);
+    EXPECT_TRUE(pairs.ok()) << pairs.status().ToString();
+    auto out = std::move(pairs).ValueOrDie();
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  size_t Count(const PairList& pairs, TermId a, TermId b) {
+    return static_cast<size_t>(
+        std::count(pairs.begin(), pairs.end(), std::make_pair(a, b)));
+  }
+
+  rdf::TermDictionary dict_;
+  rdf::Dataset dataset_;
+  ExecContext ctx_;
+};
+
+TEST_F(PathEvalTest, LinkAndInverse) {
+  auto fwd = Eval("ex:p", Iri("a"), std::nullopt);
+  EXPECT_EQ(fwd.size(), 2u);  // a->b, a->d
+  auto inv = Eval("^ex:p", std::nullopt, std::nullopt);
+  EXPECT_EQ(Count(inv, Iri("b"), Iri("a")), 1u);
+  EXPECT_EQ(Count(inv, Iri("a"), Iri("b")), 0u);
+}
+
+TEST_F(PathEvalTest, SequenceKeepsBagSemantics) {
+  // a -p-> {b,d} -p-> ...: a/p/p reaches c (via b) only; but two p-steps
+  // from c: c->a->{b,d}.
+  auto pairs = Eval("ex:p/ex:p", Iri("c"), std::nullopt);
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(Count(pairs, Iri("c"), Iri("b")), 1u);
+  EXPECT_EQ(Count(pairs, Iri("c"), Iri("d")), 1u);
+}
+
+TEST_F(PathEvalTest, AlternativePreservesDuplicates) {
+  // a->c via p/p? No: alternative of q and p/p both yield (a, c).
+  auto pairs = Eval("ex:q|(ex:p/ex:p)", Iri("a"), std::nullopt);
+  EXPECT_EQ(Count(pairs, Iri("a"), Iri("c")), 2u);  // one per branch
+}
+
+TEST_F(PathEvalTest, OneOrMoreOnCycleIncludesStart) {
+  auto pairs = Eval("ex:p+", Iri("a"), std::nullopt);
+  // Reachable: b, c, a (cycle!), d.
+  EXPECT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(Count(pairs, Iri("a"), Iri("a")), 1u);
+}
+
+TEST_F(PathEvalTest, OneOrMoreHasSetSemantics) {
+  // Two distinct p-paths from c to d (c->a->d and c->a->b->c->a->d...);
+  // the pair appears exactly once.
+  auto pairs = Eval("ex:p+", Iri("c"), Iri("d"));
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST_F(PathEvalTest, ZeroOrMoreAddsZeroLengthPairs) {
+  auto pairs = Eval("ex:p*", Iri("a"), std::nullopt);
+  EXPECT_EQ(pairs.size(), 4u);  // a(zero, merged with cycle), b, c, d
+  EXPECT_EQ(Count(pairs, Iri("a"), Iri("a")), 1u);
+}
+
+TEST_F(PathEvalTest, ZeroLengthForConstantNotInGraph) {
+  TermId ghost = Iri("ghost");
+  auto star = Eval("ex:p*", ghost, std::nullopt);
+  ASSERT_EQ(star.size(), 1u);
+  EXPECT_EQ(star[0], std::make_pair(ghost, ghost));
+  auto opt = Eval("ex:p?", ghost, std::nullopt);
+  ASSERT_EQ(opt.size(), 1u);
+  // Also backwards.
+  auto back = Eval("ex:p?", std::nullopt, ghost);
+  ASSERT_EQ(back.size(), 1u);
+  // Both endpoints bound and different: no zero-length pair.
+  EXPECT_EQ(Eval("ex:p?", ghost, Iri("a")).size(), 0u);
+}
+
+TEST_F(PathEvalTest, ZeroOrMoreBothVariables) {
+  auto pairs = Eval("ex:r*", std::nullopt, std::nullopt);
+  // Zero-length pairs for all 5 graph nodes (a,b,c,d,e) + e->e merged.
+  EXPECT_EQ(pairs.size(), 5u);
+}
+
+TEST_F(PathEvalTest, ZeroOrOne) {
+  auto pairs = Eval("ex:q?", std::nullopt, std::nullopt);
+  // 5 zero-length + (a,c).
+  EXPECT_EQ(pairs.size(), 6u);
+}
+
+TEST_F(PathEvalTest, NegatedPropertySet) {
+  auto pairs = Eval("!ex:p", std::nullopt, std::nullopt);
+  // Triples not labelled p: q(a,c), r(e,e).
+  EXPECT_EQ(pairs.size(), 2u);
+  auto inv_only = Eval("!^ex:q", std::nullopt, std::nullopt);
+  // Reversed triples with predicate != q: the 4 p-edges and the r loop.
+  EXPECT_EQ(inv_only.size(), 5u);
+  EXPECT_EQ(Count(inv_only, Iri("b"), Iri("a")), 1u);
+  auto mixed = Eval("!(ex:p|^ex:p)", std::nullopt, std::nullopt);
+  // Forward non-p (q, r) plus reversed non-p (q, r reversed).
+  EXPECT_EQ(mixed.size(), 4u);
+}
+
+TEST_F(PathEvalTest, CountedPaths) {
+  auto exactly2 = Eval("ex:p{2}", Iri("a"), std::nullopt);
+  EXPECT_EQ(exactly2.size(), 1u);  // a->b->c only (d is a dead end)
+  EXPECT_EQ(Count(exactly2, Iri("a"), Iri("c")), 1u);
+
+  auto at_least2 = Eval("ex:p{2,}", Iri("a"), std::nullopt);
+  // From a: length>=2 reaches c, a, b, d (via the cycle).
+  EXPECT_EQ(at_least2.size(), 4u);
+
+  auto up_to2 = Eval("ex:p{0,2}", Iri("a"), std::nullopt);
+  // zero: a; one: b, d; two: c.
+  EXPECT_EQ(up_to2.size(), 4u);
+}
+
+TEST_F(PathEvalTest, QuirkTwoVarRecursiveErrors) {
+  EngineQuirks quirks;
+  quirks.error_on_two_var_recursive_path = true;
+  PathEvaluator eval(dataset_.default_graph(), &ctx_, quirks);
+  auto both_free = eval.Eval(*ParsePath("ex:p+"), std::nullopt, std::nullopt);
+  EXPECT_TRUE(both_free.status().IsNotSupported());
+  // With one endpoint bound the quirk does not fire.
+  auto bound = eval.Eval(*ParsePath("ex:p+"), Iri("a"), std::nullopt);
+  EXPECT_TRUE(bound.ok());
+}
+
+TEST_F(PathEvalTest, QuirkPlusDropsReflexive) {
+  EngineQuirks quirks;
+  quirks.plus_drops_reflexive = true;
+  auto pairs = Eval("ex:p+", Iri("a"), std::nullopt, quirks);
+  // The cycle pair (a,a) is lost: incomplete but correct.
+  EXPECT_EQ(Count(pairs, Iri("a"), Iri("a")), 0u);
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST_F(PathEvalTest, QuirkAlternativeDedup) {
+  EngineQuirks quirks;
+  quirks.alternative_dedup = true;
+  auto pairs = Eval("ex:q|(ex:p/ex:p)", Iri("a"), std::nullopt, quirks);
+  EXPECT_EQ(Count(pairs, Iri("a"), Iri("c")), 1u);  // duplicate lost
+}
+
+TEST_F(PathEvalTest, BudgetAborts) {
+  ExecContext tight;
+  tight.set_tuple_budget(2);
+  PathEvaluator eval(dataset_.default_graph(), &tight);
+  auto result = eval.Eval(*ParsePath("ex:p*"), std::nullopt, std::nullopt);
+  EXPECT_TRUE(result.status().IsResourceExhausted())
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace sparqlog::eval

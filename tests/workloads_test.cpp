@@ -1,0 +1,254 @@
+// Tests for the benchmark workloads: generator determinism, the paper's
+// query counts (17 / 50 / 236 / 77 / 6), parseability and executability
+// of every bundled query, and the compliance-classification machinery.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.h"
+#include "eval/algebra_eval.h"
+#include "sparql/features.h"
+#include "sparql/parser.h"
+#include "workloads/beseppi.h"
+#include "workloads/feasible.h"
+#include "workloads/gmark.h"
+#include "workloads/ontobench.h"
+#include "workloads/runner.h"
+#include "workloads/sp2bench.h"
+#include "workloads/systems.h"
+
+namespace sparqlog::workloads {
+namespace {
+
+TEST(Sp2bTest, GeneratorIsDeterministicAndSized) {
+  rdf::TermDictionary d1, d2;
+  rdf::Dataset a(&d1), b(&d2);
+  Sp2bOptions options;
+  options.target_triples = 2000;
+  GenerateSp2b(options, &a);
+  GenerateSp2b(options, &b);
+  EXPECT_EQ(a.default_graph().size(), b.default_graph().size());
+  EXPECT_GE(a.default_graph().size(), 2000u);
+  EXPECT_LE(a.default_graph().size(), 2100u);
+}
+
+TEST(Sp2bTest, SeventeenQueriesAllParse) {
+  rdf::TermDictionary dict;
+  auto queries = Sp2bQueries();
+  EXPECT_EQ(queries.size(), 17u);
+  std::set<std::string> names;
+  for (const auto& [name, text] : queries) {
+    names.insert(name);
+    auto q = sparql::ParseQuery(text, &dict);
+    EXPECT_TRUE(q.ok()) << name << ": " << q.status().ToString();
+  }
+  EXPECT_EQ(names.size(), 17u);
+}
+
+TEST(Sp2bTest, QueriesProduceResultsOnGeneratedData) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  Sp2bOptions options;
+  options.target_triples = 1500;
+  GenerateSp2b(options, &dataset);
+  core::Engine engine(&dataset, &dict);
+  // Spot-check queries that must be non-empty on any generated instance.
+  for (const char* name : {"q1", "q2", "q3a", "q5b", "q10", "q11"}) {
+    for (const auto& [qname, text] : Sp2bQueries()) {
+      if (qname != name) continue;
+      auto result = engine.ExecuteText(text);
+      ASSERT_TRUE(result.ok()) << qname << ": "
+                               << result.status().ToString();
+      EXPECT_FALSE(result->rows.empty()) << qname;
+    }
+  }
+}
+
+TEST(GmarkTest, ScenariosAndDeterminism) {
+  GmarkScenario social = GmarkSocial();
+  EXPECT_EQ(social.predicates.size(), 12u);
+  auto q1 = GenerateGmarkQueries(social);
+  auto q2 = GenerateGmarkQueries(social);
+  EXPECT_EQ(q1, q2);
+  EXPECT_EQ(q1.size(), 50u);
+  EXPECT_EQ(GenerateGmarkQueries(GmarkTest()).size(), 50u);
+}
+
+TEST(GmarkTest, AllQueriesParseAndUsePaths) {
+  rdf::TermDictionary dict;
+  size_t with_recursion = 0;
+  for (const auto& scenario : {GmarkSocial(), GmarkTest()}) {
+    for (const auto& text : GenerateGmarkQueries(scenario)) {
+      auto q = sparql::ParseQuery(text, &dict);
+      ASSERT_TRUE(q.ok()) << text << "\n" << q.status().ToString();
+      auto f = sparql::AnalyzeFeatures(*q);
+      if (f.path_one_or_more || f.path_zero_or_more || f.path_counted) {
+        ++with_recursion;
+      }
+    }
+  }
+  // The workload must exercise recursion heavily (its entire point).
+  EXPECT_GE(with_recursion, 30u);
+}
+
+TEST(GmarkTest, GraphHasRequestedShape) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  GmarkScenario s = GmarkTest();
+  GenerateGmarkGraph(s, &dataset);
+  EXPECT_EQ(dataset.default_graph().size(), s.edges);
+  EXPECT_LE(dataset.default_graph().Predicates().size(),
+            s.predicates.size());
+}
+
+TEST(BeseppiTest, CategoryCountsMatchTable3) {
+  auto queries = BeseppiQueries();
+  EXPECT_EQ(queries.size(), 236u);
+  std::map<std::string, int> counts;
+  for (const auto& q : queries) counts[q.category]++;
+  EXPECT_EQ(counts["Inverse"], 20);
+  EXPECT_EQ(counts["Sequence"], 24);
+  EXPECT_EQ(counts["Alternative"], 23);
+  EXPECT_EQ(counts["ZeroOrOne"], 24);
+  EXPECT_EQ(counts["OneOrMore"], 34);
+  EXPECT_EQ(counts["ZeroOrMore"], 38);
+  EXPECT_EQ(counts["Negated"], 73);
+}
+
+TEST(BeseppiTest, AllQueriesParseAndEvaluate) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  GenerateBeseppiGraph(&dataset);
+  for (const auto& bq : BeseppiQueries()) {
+    auto q = sparql::ParseQuery(bq.text, &dict);
+    ASSERT_TRUE(q.ok()) << bq.name << ": " << bq.text;
+    ExecContext ctx;
+    eval::AlgebraEvaluator ref(dataset, &dict, &ctx);
+    auto r = ref.EvalQuery(*q);
+    ASSERT_TRUE(r.ok()) << bq.name << ": " << r.status().ToString();
+  }
+}
+
+TEST(FeasibleTest, SeventySevenQueriesParse) {
+  rdf::TermDictionary dict;
+  auto queries = FeasibleQueries();
+  EXPECT_EQ(queries.size(), 77u);
+  size_t distinct = 0, graph = 0, regex = 0;
+  for (const auto& [name, text] : queries) {
+    auto q = sparql::ParseQuery(text, &dict);
+    ASSERT_TRUE(q.ok()) << name << ": " << q.status().ToString() << "\n"
+                        << text;
+    auto f = sparql::AnalyzeFeatures(*q);
+    distinct += f.distinct;
+    graph += f.graph;
+    regex += f.regex;
+  }
+  // The paper's feature mix, loosely: DISTINCT heavy, GRAPH ~10%, REGEX ~9%.
+  EXPECT_GE(distinct, 20u);
+  EXPECT_GE(graph, 6u);
+  EXPECT_GE(regex, 5u);
+}
+
+TEST(FeasibleTest, SwdfHasNamedGraph) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  GenerateSwdf(&dataset, 99, 100);
+  EXPECT_GT(dataset.default_graph().size(), 300u);
+  EXPECT_EQ(dataset.named_graphs().size(), 1u);
+}
+
+TEST(OntoBenchTest, SixQueriesAndOntologyTriples) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  OntoBenchOptions options;
+  options.sp2b_triples = 1000;
+  GenerateOntoBench(options, &dataset);
+  EXPECT_EQ(OntoBenchQueries().size(), 6u);
+  // subClassOf / subPropertyOf statements present.
+  rdf::TermId sub_class = dict.InternIri(std::string(rdf::rdfns::kSubClassOf));
+  size_t n = 0;
+  dataset.default_graph().Match(std::nullopt, sub_class, std::nullopt,
+                                [&](const rdf::Triple&) { ++n; });
+  EXPECT_GE(n, 6u);
+}
+
+TEST(RunnerTest, OutcomeClassification) {
+  EXPECT_EQ(ClassifyStatus(Status::OK()), Outcome::kOk);
+  EXPECT_EQ(ClassifyStatus(Status::Timeout("t")), Outcome::kTimeout);
+  EXPECT_EQ(ClassifyStatus(Status::ResourceExhausted("m")), Outcome::kMemOut);
+  EXPECT_EQ(ClassifyStatus(Status::NotSupported("n")),
+            Outcome::kNotSupported);
+  EXPECT_EQ(ClassifyStatus(Status::Internal("x")), Outcome::kError);
+}
+
+TEST(RunnerTest, ComplianceClassification) {
+  eval::QueryResult expected;
+  expected.columns = {"x"};
+  expected.rows = {{1}, {2}, {2}};
+
+  RunRecord exact;
+  exact.result = expected;
+  ComplianceClass c = Classify(exact, expected);
+  EXPECT_TRUE(c.correct && c.complete && !c.error);
+
+  RunRecord incomplete;  // lost a duplicate
+  incomplete.result.columns = {"x"};
+  incomplete.result.rows = {{1}, {2}};
+  c = Classify(incomplete, expected);
+  EXPECT_TRUE(c.correct);
+  EXPECT_FALSE(c.complete);
+
+  RunRecord incorrect;  // invented a row
+  incorrect.result.columns = {"x"};
+  incorrect.result.rows = {{1}, {2}, {2}, {9}};
+  c = Classify(incorrect, expected);
+  EXPECT_FALSE(c.correct);
+  EXPECT_TRUE(c.complete);
+
+  RunRecord failed;
+  failed.outcome = Outcome::kTimeout;
+  c = Classify(failed, expected);
+  EXPECT_TRUE(c.error);
+}
+
+TEST(SystemsTest, AllFourSystemsAnswerASimpleQuery) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  Sp2bOptions options;
+  options.target_triples = 400;
+  GenerateSp2b(options, &dataset);
+  Limits limits;
+  limits.timeout_ms = 10000;
+
+  const std::string query = Sp2bPrefixes() +
+                            "SELECT ?j WHERE { ?j rdf:type bench:Journal }";
+  auto sparqlog_sys = MakeSparqLogSystem(&dataset, &dict, limits);
+  auto fuseki = MakeFusekiSystem(&dataset, &dict, limits);
+  auto virtuoso = MakeVirtuosoSystem(&dataset, &dict, limits);
+  auto stardog = MakeStardogSystem(&dataset, &dict, limits);
+
+  RunRecord base = fuseki->Run(query);
+  ASSERT_TRUE(base.ok()) << base.message;
+  EXPECT_FALSE(base.result.rows.empty());
+  for (auto* sys : {sparqlog_sys.get(), virtuoso.get(), stardog.get()}) {
+    RunRecord r = sys->Run(query);
+    ASSERT_TRUE(r.ok()) << sys->name() << ": " << r.message;
+    EXPECT_TRUE(r.result.SameSolutions(base.result)) << sys->name();
+    EXPECT_GT(r.load_seconds, 0.0) << sys->name();
+  }
+}
+
+TEST(SystemsTest, VirtuosoRejectsTwoVarRecursivePaths) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  GenerateBeseppiGraph(&dataset);
+  Limits limits;
+  auto virtuoso = MakeVirtuosoSystem(&dataset, &dict, limits);
+  RunRecord r = virtuoso->Run(
+      "SELECT ?x ?y WHERE { ?x <http://example.org/beseppi/p>+ ?y }");
+  EXPECT_EQ(r.outcome, Outcome::kNotSupported);
+}
+
+}  // namespace
+}  // namespace sparqlog::workloads
