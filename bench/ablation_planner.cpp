@@ -26,7 +26,7 @@ struct RunOutcome {
   bool ok = false;
 };
 
-RunOutcome RunOnce(const rdf::Dataset& dataset, rdf::TermDictionary* dict,
+RunOutcome RunOnce(const rdf::Dataset& /*dataset*/, rdf::TermDictionary* dict,
                    datalog::Database* edb, const sparql::Query& query,
                    bool reorder, bool seed, int timeout_ms) {
   RunOutcome out;

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "core/engine.h"
 #include "datalog/evaluator.h"
 #include "eval/algebra_eval.h"
@@ -93,6 +95,71 @@ void BM_TransitiveClosure_Naive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransitiveClosure_Naive)->Arg(200)->Arg(400);
+
+// --- TupleStore microbenchmarks --------------------------------------------
+// Isolate the columnar storage hot paths the fixpoint loop is built on:
+// deduplicating insert (arena append + open-addressing probe), index probe
+// (bucket lookup by bound column), and full cursor scan. Run with
+// `--benchmark_out=BENCH_micro_datalog.json --benchmark_out_format=json`
+// (see scripts/check.sh) to seed the BENCH_*.json perf trajectory.
+
+/// Deterministic tuple stream with ~30% duplicates, the re-derivation mix
+/// a transitive-closure fixpoint sees.
+std::vector<std::array<datalog::Value, 2>> MakeTuples(size_t n) {
+  std::vector<std::array<datalog::Value, 2>> tuples;
+  tuples.reserve(n);
+  Rng rng(42);
+  size_t distinct = n * 7 / 10 + 1;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t k = rng.Uniform(distinct);
+    tuples.push_back({k * 2654435761u % distinct, k % 977});
+  }
+  return tuples;
+}
+
+void BM_TupleStoreInsert(benchmark::State& state) {
+  auto tuples = MakeTuples(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    datalog::Relation rel(2);
+    for (const auto& t : tuples) rel.Insert(t.data(), 0);
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+BENCHMARK(BM_TupleStoreInsert)->Arg(10000)->Arg(100000);
+
+void BM_TupleStoreProbe(benchmark::State& state) {
+  auto tuples = MakeTuples(static_cast<size_t>(state.range(0)));
+  datalog::Relation rel(2);
+  for (const auto& t : tuples) rel.Insert(t.data(), 0);
+  const std::vector<uint32_t> cols = {0};
+  std::vector<datalog::Value> key(1);
+  rel.Probe(cols, key);  // build the index outside the timed loop
+  uint64_t i = 0;
+  for (auto _ : state) {
+    key[0] = tuples[i % tuples.size()][0];
+    datalog::MatchSpan span = rel.Probe(cols, key);
+    uint64_t sum = 0;
+    for (uint32_t k = 0; k < span.size(); ++k) sum += span[k];
+    benchmark::DoNotOptimize(sum);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleStoreProbe)->Arg(10000)->Arg(100000);
+
+void BM_TupleStoreScan(benchmark::State& state) {
+  auto tuples = MakeTuples(static_cast<size_t>(state.range(0)));
+  datalog::Relation rel(2);
+  for (const auto& t : tuples) rel.Insert(t.data(), 0);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (datalog::RowRef row : rel.rows()) sum += row[0] ^ row[1];
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * rel.size());
+}
+BENCHMARK(BM_TupleStoreScan)->Arg(10000)->Arg(100000);
 
 void BM_DictionaryIntern(benchmark::State& state) {
   std::vector<std::string> iris;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: configure + build with -Werror, run the full test suite.
+#
+# Usage: scripts/check.sh [build-dir]
+# Optionally set BENCH_JSON=1 to also run the datalog microbenchmarks and
+# write build/BENCH_micro_datalog.json (the perf-trajectory artifact).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+
+cmake -B "$BUILD_DIR" -S . -DSPARQLOG_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
+
+# Second pass with asserts enabled (RelWithDebInfo defines NDEBUG): the
+# invariant checks in the Datalog core — e.g. round monotonicity in
+# Relation::Insert — must actually run in CI.
+DEBUG_DIR="$BUILD_DIR-debug"
+cmake -B "$DEBUG_DIR" -S . -DSPARQLOG_WERROR=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$DEBUG_DIR" -j "$(nproc)"
+ctest --test-dir "$DEBUG_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
+
+if [[ "${BENCH_JSON:-0}" == "1" ]]; then
+  if [[ ! -x "$BUILD_DIR/micro_datalog" ]]; then
+    echo "BENCH_JSON=1 but $BUILD_DIR/micro_datalog was not built" \
+         "(google-benchmark missing?)" >&2
+    exit 1
+  fi
+  "$BUILD_DIR/micro_datalog" \
+    --benchmark_filter='BM_TupleStore|BM_TransitiveClosure' \
+    --benchmark_out="$BUILD_DIR/BENCH_micro_datalog.json" \
+    --benchmark_out_format=json
+  echo "wrote $BUILD_DIR/BENCH_micro_datalog.json"
+fi
+
+echo "check.sh: all green"

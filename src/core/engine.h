@@ -66,6 +66,16 @@ class Engine {
   const datalog::EvalStats& last_stats() const { return last_stats_; }
   datalog::SkolemStore* skolems() { return &skolems_; }
 
+  /// Storage footprint of the materialized EDB (TupleStore arenas, dedup
+  /// tables and indexes), for benchmark loading-cost reporting.
+  struct StorageStats {
+    uint64_t tuples = 0;
+    uint64_t bytes = 0;
+  };
+  StorageStats edb_storage() const {
+    return {edb_.TotalTuples(), edb_.TotalBytes()};
+  }
+
  private:
   Result<eval::QueryResult> ExecuteInternal(const sparql::Query& query);
 

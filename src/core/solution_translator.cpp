@@ -34,11 +34,12 @@ std::vector<std::vector<TermId>> ExtractRows(const Program& program,
   if (rel == nullptr) return rows;
   size_t first = spec.has_tid_column ? 1 : 0;
   size_t ncols = spec.columns.size() + spec.hidden_columns.size();
-  for (const auto* tuple : rel->rows()) {
+  rows.reserve(rel->size());
+  for (datalog::RowRef tuple : rel->rows()) {
     std::vector<TermId> row;
     row.reserve(ncols);
     for (size_t c = 0; c < ncols; ++c) {
-      row.push_back(ToTerm((*tuple)[first + c]));
+      row.push_back(ToTerm(tuple[first + c]));
     }
     rows.push_back(std::move(row));
   }
@@ -194,8 +195,11 @@ Result<QueryResult> SolutionTranslator::Translate(const Program& program,
     TermId true_term = dict->InternBoolean(true);
     result.ask_value = false;
     if (rel != nullptr) {
-      for (const auto* row : rel->rows()) {
-        if (ToTerm((*row)[0]) == true_term) result.ask_value = true;
+      for (datalog::RowRef row : rel->rows()) {
+        if (ToTerm(row[0]) == true_term) {
+          result.ask_value = true;
+          break;
+        }
       }
     }
     return result;

@@ -30,6 +30,7 @@ struct Evaluator::RuleRun {
   std::vector<std::vector<uint32_t>> scratch_cols;
   std::vector<std::vector<Value>> scratch_keys;
   std::vector<Value> head_scratch;
+  std::vector<Value> neg_scratch;
   Status status;
   uint64_t inserted = 0;
 
@@ -220,18 +221,17 @@ struct Evaluator::RuleRun {
 
   bool CheckNegatives() {
     for (const Atom& atom : rule->negative) {
-      std::vector<Value> tuple;
-      tuple.reserve(atom.args.size());
+      neg_scratch.clear();
       for (const RuleTerm& t : atom.args) {
         Value v = 0;
         ResolveTerm(t, &v);  // validation guarantees boundness
-        tuple.push_back(v);
+        neg_scratch.push_back(v);
       }
       if (const Relation* r = edb->Find(atom.predicate)) {
-        if (r->Contains(tuple)) return false;
+        if (r->Contains(neg_scratch)) return false;
       }
       if (const Relation* r = idb->Find(atom.predicate)) {
-        if (r->Contains(tuple)) return false;
+        if (r->Contains(neg_scratch)) return false;
       }
     }
     return true;
@@ -261,7 +261,9 @@ struct Evaluator::RuleRun {
   bool TryRow(const Relation* rel, uint32_t row_id, size_t depth) {
     const Atom& atom = rule->positive[order[depth]];
     size_t trail_start = trail.size();
-    const std::vector<Value>& row = rel->row(row_id);
+    // RowRef is a view into the relation's arena; it is consumed fully
+    // before JoinStep below can insert (and potentially reallocate).
+    RowRef row = rel->row(row_id);
     bool ok = true;
     for (size_t i = 0; i < atom.args.size(); ++i) {
       const RuleTerm& t = atom.args[i];
@@ -336,25 +338,17 @@ struct Evaluator::RuleRun {
       return true;
     }
 
-    bool self_recursive = (atom.predicate == rule->head.predicate);
     Relation* sources[2] = {edb->FindMutable(atom.predicate),
                             idb->FindMutable(atom.predicate)};
     for (Relation* rel : sources) {
       if (rel == nullptr || rel->size() == 0) continue;
       if (!cols.empty()) {
-        const std::vector<uint32_t>* ids = rel->Probe(cols, key);
-        if (ids == nullptr) continue;
-        if (self_recursive && rel == sources[1]) {
-          // Recursive rules may insert into this relation (and its index
-          // buckets) while we iterate: copy the bucket first.
-          std::vector<uint32_t> snapshot(*ids);
-          for (uint32_t id : snapshot) {
-            if (!TryRow(rel, id, depth)) return false;
-          }
-        } else {
-          for (uint32_t id : *ids) {
-            if (!TryRow(rel, id, depth)) return false;
-          }
+        // MatchSpan is epoch-stable: recursive rules may insert into this
+        // relation (and its index buckets) while we iterate, and the span
+        // keeps addressing the probe-time prefix without a defensive copy.
+        MatchSpan span = rel->Probe(cols, key);
+        for (uint32_t k = 0; k < span.size(); ++k) {
+          if (!TryRow(rel, span[k], depth)) return false;
         }
       } else {
         size_t n = rel->size();  // snapshot; new rows belong to next round

@@ -1,5 +1,7 @@
 #include "datalog/printer.h"
 
+#include <algorithm>
+
 #include "sparql/printer.h"
 #include "util/string_util.h"
 
@@ -109,6 +111,37 @@ std::string ToString(const Program& program, const rdf::TermDictionary& dict,
                           static_cast<unsigned long long>(*spec.offset));
     }
     out += "@output(\"" + name + "\").\n";
+  }
+  return out;
+}
+
+std::string ToString(const Relation& rel, const std::string& name,
+                     const rdf::TermDictionary& dict,
+                     const SkolemStore& skolems) {
+  std::vector<std::string> lines;
+  lines.reserve(rel.size());
+  for (RowRef row : rel.rows()) {
+    std::string line = name + "(";
+    for (uint32_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += RenderValue(row[i], dict, skolems);
+    }
+    lines.push_back(line + ").");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) out += line + "\n";
+  return out;
+}
+
+std::string ToString(const Database& db, const PredicateTable& preds,
+                     const rdf::TermDictionary& dict,
+                     const SkolemStore& skolems) {
+  std::string out;
+  for (uint32_t pred : db.Predicates()) {
+    const Relation* rel = db.Find(pred);
+    if (rel == nullptr || pred >= preds.size()) continue;
+    out += ToString(*rel, preds.Name(pred), dict, skolems);
   }
   return out;
 }

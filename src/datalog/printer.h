@@ -3,6 +3,7 @@
 #include <string>
 
 #include "datalog/ast.h"
+#include "datalog/relation.h"
 #include "datalog/value.h"
 #include "rdf/dictionary.h"
 
@@ -10,7 +11,8 @@
 /// Renders Datalog± programs in the Vadalog-style surface syntax used by
 /// the paper's figures (e.g. Figure 2/4): rules with `:-`, Skolem-ID
 /// assignments as `ID = ["f1", X, ...]`, negation as `not p(...)`, and
-/// `@output` / `@post` directives.
+/// `@output` / `@post` directives, plus fact-style dumps of materialized
+/// relations / databases for diagnostics and differential tests.
 
 namespace sparqlog::datalog {
 
@@ -19,6 +21,19 @@ std::string ToString(const Rule& rule, const Program& program,
                      const SkolemStore& skolems);
 
 std::string ToString(const Program& program, const rdf::TermDictionary& dict,
+                     const SkolemStore& skolems);
+
+/// Renders a relation's tuples as facts `name(v, ...).`, one per line,
+/// sorted lexicographically (canonical form: two relations with the same
+/// content render identically regardless of insertion order).
+std::string ToString(const Relation& rel, const std::string& name,
+                     const rdf::TermDictionary& dict,
+                     const SkolemStore& skolems);
+
+/// Canonical dump of every relation in `db` whose predicate is named in
+/// `preds`, in predicate-id order.
+std::string ToString(const Database& db, const PredicateTable& preds,
+                     const rdf::TermDictionary& dict,
                      const SkolemStore& skolems);
 
 }  // namespace sparqlog::datalog

@@ -1,51 +1,250 @@
 #include "datalog/relation.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace sparqlog::datalog {
 
-bool Relation::Insert(const std::vector<Value>& row, uint32_t round) {
-  if (set_.find(row) != set_.end()) return false;
-  auto [it, inserted] = set_.emplace(row, static_cast<uint32_t>(rows_.size()));
-  uint32_t id = it->second;
-  rows_.push_back(&it->first);
-  rounds_.push_back(round);
-  // Maintain built indexes.
-  for (auto& [cols, index] : indexes_) {
-    std::vector<Value> key;
-    key.reserve(cols.size());
-    for (uint32_t c : cols) key.push_back((*rows_[id])[c]);
-    index[std::move(key)].push_back(id);
+namespace {
+
+/// Initial open-addressing table size (power of two).
+constexpr size_t kInitialSlots = 16;
+
+/// Grow when count * 2 >= slots (load factor 0.5).
+inline bool NeedsGrow(size_t count, size_t slots) {
+  return (count + 1) * 2 >= slots;
+}
+
+}  // namespace
+
+// --- TupleStore -------------------------------------------------------------
+
+bool TupleStore::RowEquals(uint32_t id, const Value* row) const {
+  const Value* stored = arena_.data() + static_cast<size_t>(id) * arity_;
+  for (uint32_t i = 0; i < arity_; ++i) {
+    if (stored[i] != row[i]) return false;
   }
   return true;
 }
 
-std::pair<uint32_t, uint32_t> Relation::RoundRange(uint32_t round) const {
-  auto lo = std::lower_bound(rounds_.begin(), rounds_.end(), round);
-  auto hi = std::upper_bound(rounds_.begin(), rounds_.end(), round);
-  return {static_cast<uint32_t>(lo - rounds_.begin()),
-          static_cast<uint32_t>(hi - rounds_.begin())};
+void TupleStore::Grow() {
+  size_t new_size = slots_.empty() ? kInitialSlots : slots_.size() * 2;
+  std::vector<uint32_t> fresh(new_size, 0);
+  size_t mask = new_size - 1;
+  for (uint32_t id = 0; id < num_rows_; ++id) {
+    size_t slot = HashRow(row_data(id)) & mask;
+    while (fresh[slot] != 0) slot = (slot + 1) & mask;
+    fresh[slot] = id + 1;
+  }
+  slots_ = std::move(fresh);
 }
 
-Relation::Index& Relation::GetOrBuildIndex(const std::vector<uint32_t>& cols) {
-  auto it = indexes_.find(cols);
-  if (it != indexes_.end()) return it->second;
-  Index& index = indexes_[cols];
-  for (uint32_t id = 0; id < rows_.size(); ++id) {
-    std::vector<Value> key;
-    key.reserve(cols.size());
-    for (uint32_t c : cols) key.push_back((*rows_[id])[c]);
-    index[std::move(key)].push_back(id);
+uint32_t TupleStore::Insert(const Value* row, bool* inserted) {
+  if (NeedsGrow(num_rows_, slots_.size())) Grow();
+  size_t mask = slots_.size() - 1;
+  size_t slot = HashRow(row) & mask;
+  while (slots_[slot] != 0) {
+    uint32_t candidate = slots_[slot] - 1;
+    if (RowEquals(candidate, row)) {
+      *inserted = false;
+      return candidate;
+    }
+    slot = (slot + 1) & mask;
   }
+  uint32_t id = num_rows_++;
+  // `row` may alias this arena (e.g. Insert(rel.row(i), ...) copying a
+  // tuple of the same relation): reserve up front so the element-wise
+  // appends below cannot reallocate mid-loop and invalidate it. The
+  // per-element push_back (rather than a range insert) keeps the append
+  // well-defined even for an aliased source.
+  if (arena_.size() + arity_ > arena_.capacity()) {
+    // std::less gives the total pointer order [expr.rel] doesn't
+    // guarantee for pointers into different objects.
+    std::less<const Value*> lt;
+    bool aliases = !lt(row, arena_.data()) &&
+                   lt(row, arena_.data() + arena_.size());
+    size_t offset = aliases ? static_cast<size_t>(row - arena_.data()) : 0;
+    arena_.reserve(std::max(arena_.capacity() * 2,
+                            arena_.size() + arity_));
+    if (aliases) row = arena_.data() + offset;
+  }
+  for (uint32_t i = 0; i < arity_; ++i) arena_.push_back(row[i]);
+  slots_[slot] = id + 1;
+  *inserted = true;
+  return id;
+}
+
+bool TupleStore::Contains(const Value* row) const {
+  if (slots_.empty()) return false;
+  size_t mask = slots_.size() - 1;
+  size_t slot = HashRow(row) & mask;
+  while (slots_[slot] != 0) {
+    if (RowEquals(slots_[slot] - 1, row)) return true;
+    slot = (slot + 1) & mask;
+  }
+  return false;
+}
+
+// --- Relation::Index --------------------------------------------------------
+
+uint64_t Relation::Index::HashProjected(const TupleStore& store,
+                                        uint32_t row_id) const {
+  const Value* row = store.row_data(row_id);
+  // size_t seed (not uint64_t): HashCombine takes size_t&, and the result
+  // must stay hash-compatible with HashRange as used by Index::Find.
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (uint32_t c : cols) {
+    HashCombine(seed, std::hash<uint64_t>()(row[c]));
+  }
+  return Fmix64(seed);
+}
+
+bool Relation::Index::KeyEqualsRow(const TupleStore& store,
+                                   uint32_t bucket_first,
+                                   const Value* key) const {
+  const Value* row = store.row_data(bucket_first);
+  for (size_t j = 0; j < cols.size(); ++j) {
+    if (row[cols[j]] != key[j]) return false;
+  }
+  return true;
+}
+
+bool Relation::Index::ProjectedEquals(const TupleStore& store, uint32_t a,
+                                      const Value* b_row) const {
+  const Value* a_row = store.row_data(a);
+  for (uint32_t c : cols) {
+    if (a_row[c] != b_row[c]) return false;
+  }
+  return true;
+}
+
+void Relation::Index::Grow() {
+  size_t new_size = slots.empty() ? kInitialSlots : slots.size() * 2;
+  std::vector<uint32_t> fresh(new_size, 0);
+  std::vector<uint64_t> fresh_hashes(new_size, 0);
+  size_t mask = new_size - 1;
+  for (size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s] == 0) continue;
+    size_t slot = slot_hashes[s] & mask;
+    while (fresh[slot] != 0) slot = (slot + 1) & mask;
+    fresh[slot] = slots[s];
+    fresh_hashes[slot] = slot_hashes[s];
+  }
+  slots = std::move(fresh);
+  slot_hashes = std::move(fresh_hashes);
+}
+
+void Relation::Index::Add(const TupleStore& store, uint32_t row_id) {
+  if (NeedsGrow(num_keys, slots.size())) Grow();
+  uint64_t hash = HashProjected(store, row_id);
+  size_t mask = slots.size() - 1;
+  size_t slot = hash & mask;
+  const Value* row = store.row_data(row_id);
+  while (slots[slot] != 0) {
+    if (slot_hashes[slot] == hash) {
+      std::vector<uint32_t>& bucket = buckets[slots[slot] - 1];
+      if (ProjectedEquals(store, bucket[0], row)) {
+        bucket.push_back(row_id);
+        return;
+      }
+    }
+    slot = (slot + 1) & mask;
+  }
+  buckets.emplace_back(1, row_id);
+  slots[slot] = static_cast<uint32_t>(buckets.size());
+  slot_hashes[slot] = hash;
+  ++num_keys;
+}
+
+const std::vector<uint32_t>* Relation::Index::Find(const TupleStore& store,
+                                                   const Value* key) const {
+  if (slots.empty()) return nullptr;
+  uint64_t hash = Fmix64(HashRange(key, key + cols.size()));
+  size_t mask = slots.size() - 1;
+  size_t slot = hash & mask;
+  while (slots[slot] != 0) {
+    if (slot_hashes[slot] == hash) {
+      const std::vector<uint32_t>& bucket = buckets[slots[slot] - 1];
+      if (KeyEqualsRow(store, bucket[0], key)) return &bucket;
+    }
+    slot = (slot + 1) & mask;
+  }
+  return nullptr;
+}
+
+size_t Relation::Index::bytes() const {
+  size_t n = slots.capacity() * sizeof(uint32_t) +
+             slot_hashes.capacity() * sizeof(uint64_t) +
+             cols.capacity() * sizeof(uint32_t);
+  for (const auto& bucket : buckets) {
+    n += bucket.capacity() * sizeof(uint32_t) + sizeof(bucket);
+  }
+  return n;
+}
+
+// --- Relation ---------------------------------------------------------------
+
+bool Relation::Insert(const Value* row, uint32_t round) {
+  // Semi-naive RoundRange bookkeeping requires non-decreasing rounds.
+  assert(round_marks_.empty() || round >= round_marks_.back().first);
+  bool inserted = false;
+  uint32_t id = store_.Insert(row, &inserted);
+  if (!inserted) return false;
+  if (round_marks_.empty() || round_marks_.back().first != round) {
+    round_marks_.emplace_back(round, id);
+  }
+  for (auto& index : indexes_) index->Add(store_, id);
+  return true;
+}
+
+uint32_t Relation::row_round(uint32_t id) const {
+  assert(id < store_.size());
+  // Find the last mark whose first row id is <= id.
+  auto it = std::upper_bound(
+      round_marks_.begin(), round_marks_.end(), id,
+      [](uint32_t v, const auto& mark) { return v < mark.second; });
+  return (--it)->first;
+}
+
+std::pair<uint32_t, uint32_t> Relation::RoundRange(uint32_t round) const {
+  auto it = std::lower_bound(
+      round_marks_.begin(), round_marks_.end(), round,
+      [](const auto& mark, uint32_t v) { return mark.first < v; });
+  if (it == round_marks_.end() || it->first != round) return {0, 0};
+  uint32_t lo = it->second;
+  ++it;
+  uint32_t hi = it == round_marks_.end() ? store_.size() : it->second;
+  return {lo, hi};
+}
+
+Relation::Index& Relation::GetOrBuildIndex(
+    const std::vector<uint32_t>& cols) {
+  for (auto& index : indexes_) {
+    if (index->cols == cols) return *index;
+  }
+  indexes_.push_back(std::make_unique<Index>());
+  Index& index = *indexes_.back();
+  index.cols = cols;
+  for (uint32_t id = 0; id < store_.size(); ++id) index.Add(store_, id);
   return index;
 }
 
-const std::vector<uint32_t>* Relation::Probe(
-    const std::vector<uint32_t>& cols, const std::vector<Value>& key) {
+MatchSpan Relation::Probe(const std::vector<uint32_t>& cols,
+                          const std::vector<Value>& key) {
   Index& index = GetOrBuildIndex(cols);
-  auto it = index.find(key);
-  return it == index.end() ? nullptr : &it->second;
+  const std::vector<uint32_t>* bucket = index.Find(store_, key.data());
+  if (bucket == nullptr) return MatchSpan();
+  return MatchSpan(bucket, static_cast<uint32_t>(bucket->size()));
 }
+
+size_t Relation::bytes() const {
+  size_t n = store_.bytes() +
+             round_marks_.capacity() * sizeof(round_marks_[0]);
+  for (const auto& index : indexes_) n += index->bytes();
+  return n;
+}
+
+// --- Database ---------------------------------------------------------------
 
 Relation& Database::relation(uint32_t pred, uint32_t arity) {
   auto it = relations_.find(pred);
@@ -69,6 +268,20 @@ size_t Database::TotalTuples() const {
   size_t n = 0;
   for (const auto& [_, rel] : relations_) n += rel.size();
   return n;
+}
+
+size_t Database::TotalBytes() const {
+  size_t n = 0;
+  for (const auto& [_, rel] : relations_) n += rel.bytes();
+  return n;
+}
+
+std::vector<uint32_t> Database::Predicates() const {
+  std::vector<uint32_t> preds;
+  preds.reserve(relations_.size());
+  for (const auto& [pred, _] : relations_) preds.push_back(pred);
+  std::sort(preds.begin(), preds.end());
+  return preds;
 }
 
 }  // namespace sparqlog::datalog

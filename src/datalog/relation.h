@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <map>
+#include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -9,60 +11,260 @@
 #include "util/hash.h"
 
 /// \file relation.h
-/// Tuple storage for the Datalog engine: a deduplicated, insertion-ordered
-/// tuple set per predicate with lazily-built hash indexes on arbitrary
-/// column subsets, plus per-row round numbers for semi-naive evaluation.
+/// Columnar tuple storage for the Datalog engine.
+///
+/// A `TupleStore` keeps all tuples of one relation in a single flat
+/// `std::vector<Value>` arena strided by arity: tuple *i* occupies
+/// `[i*arity, (i+1)*arity)`. Deduplication is an open-addressing hash
+/// table over row ids (no per-tuple heap allocation, no node-based map).
+/// `Relation` layers semi-naive round bookkeeping and lazily-built hash
+/// indexes on top; index buckets are append-only and epoch-stable, so the
+/// evaluator can keep probing a bucket while recursive rules insert into
+/// the same relation (see `MatchSpan`).
+///
+/// Iteration is exposed through a span-like view (`RowRef`) and a cursor
+/// (`TupleCursor`) instead of row pointers, which keeps the fixpoint inner
+/// loop free of pointer chasing and makes the arena trivially partitionable
+/// for future sharded / parallel-stratum evaluation.
 
 namespace sparqlog::datalog {
 
-/// A set of same-arity tuples.
-class Relation {
+/// Non-owning view of one tuple inside a TupleStore arena. Invalidated by
+/// any subsequent insert into the owning relation (the arena may grow);
+/// callers must re-fetch via `Relation::row` after inserting.
+class RowRef {
  public:
-  explicit Relation(uint32_t arity) : arity_(arity) {}
+  RowRef() = default;
+  RowRef(const Value* data, uint32_t arity) : data_(data), arity_(arity) {}
+
+  Value operator[](size_t i) const { return data_[i]; }
+  uint32_t size() const { return arity_; }
+  const Value* data() const { return data_; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + arity_; }
+
+  std::vector<Value> ToVector() const {
+    return std::vector<Value>(data_, data_ + arity_);
+  }
+
+  friend bool operator==(const RowRef& a, const RowRef& b) {
+    if (a.arity_ != b.arity_) return false;
+    for (uint32_t i = 0; i < a.arity_; ++i) {
+      if (a.data_[i] != b.data_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const RowRef& a, const std::vector<Value>& b) {
+    if (a.arity_ != b.size()) return false;
+    for (uint32_t i = 0; i < a.arity_; ++i) {
+      if (a.data_[i] != b[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const std::vector<Value>& a, const RowRef& b) {
+    return b == a;
+  }
+
+ private:
+  const Value* data_ = nullptr;
+  uint32_t arity_ = 0;
+};
+
+/// Forward cursor over a contiguous row-id range of a TupleStore.
+/// Index-based (not pointer-stepped) so zero-arity relations iterate
+/// correctly. Invalidated by inserts, like RowRef.
+class TupleCursor {
+ public:
+  TupleCursor(const Value* base, uint32_t arity, uint32_t num_rows)
+      : base_(base), arity_(arity), num_rows_(num_rows) {}
+
+  class iterator {
+   public:
+    iterator(const Value* base, uint32_t arity, uint32_t i)
+        : base_(base), arity_(arity), i_(i) {}
+    RowRef operator*() const {
+      return RowRef(base_ + static_cast<size_t>(i_) * arity_, arity_);
+    }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const Value* base_;
+    uint32_t arity_;
+    uint32_t i_;
+  };
+
+  iterator begin() const { return iterator(base_, arity_, 0); }
+  iterator end() const { return iterator(base_, arity_, num_rows_); }
+  uint32_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+  RowRef operator[](uint32_t i) const {
+    return RowRef(base_ + static_cast<size_t>(i) * arity_, arity_);
+  }
+
+ private:
+  const Value* base_;
+  uint32_t arity_;
+  uint32_t num_rows_;
+};
+
+/// Flat columnar tuple arena with open-addressing deduplication.
+class TupleStore {
+ public:
+  explicit TupleStore(uint32_t arity) : arity_(arity) {}
 
   uint32_t arity() const { return arity_; }
-  size_t size() const { return rows_.size(); }
+  uint32_t size() const { return num_rows_; }
 
-  const std::vector<Value>& row(uint32_t id) const { return *rows_[id]; }
-  uint32_t row_round(uint32_t id) const { return rounds_[id]; }
+  RowRef row(uint32_t id) const {
+    return RowRef(arena_.data() + static_cast<size_t>(id) * arity_, arity_);
+  }
+  const Value* row_data(uint32_t id) const {
+    return arena_.data() + static_cast<size_t>(id) * arity_;
+  }
+
+  /// Appends `row` (exactly `arity()` values) unless an equal tuple
+  /// exists. Returns the row id; sets `*inserted` accordingly. The
+  /// duplicate path performs no allocation, and the insert path only
+  /// amortized arena growth — there is no per-tuple heap node.
+  uint32_t Insert(const Value* row, bool* inserted);
+
+  bool Contains(const Value* row) const;
+
+  /// Arena footprint in bytes (tuples + dedup table), for stats.
+  size_t bytes() const {
+    return arena_.capacity() * sizeof(Value) +
+           slots_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  uint64_t HashRow(const Value* row) const {
+    return Fmix64(HashRange(row, row + arity_));
+  }
+  bool RowEquals(uint32_t id, const Value* row) const;
+  void Grow();
+
+  uint32_t arity_;
+  uint32_t num_rows_ = 0;
+  std::vector<Value> arena_;
+  // Open-addressing dedup table: slot holds row_id + 1, 0 = empty.
+  // Power-of-two size, linear probing, rebuilt from the arena on growth.
+  std::vector<uint32_t> slots_;
+};
+
+/// Stable view of an index bucket prefix, valid across concurrent inserts
+/// into the owning relation: buckets live in a deque (object addresses are
+/// stable under bucket creation) and are append-only, and the prefix
+/// length is snapshotted at probe time, so rows derived while iterating are
+/// not visited by this probe (exactly the semi-naive contract the old
+/// defensive bucket copy provided, without the copy).
+class MatchSpan {
+ public:
+  MatchSpan() = default;
+  MatchSpan(const std::vector<uint32_t>* bucket, uint32_t size)
+      : bucket_(bucket), size_(size) {}
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t operator[](uint32_t i) const { return (*bucket_)[i]; }
+
+ private:
+  const std::vector<uint32_t>* bucket_ = nullptr;
+  uint32_t size_ = 0;
+};
+
+/// A set of same-arity tuples: columnar store + rounds + indexes.
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : store_(arity) {}
+
+  uint32_t arity() const { return store_.arity(); }
+  size_t size() const { return store_.size(); }
+
+  RowRef row(uint32_t id) const { return store_.row(id); }
+  uint32_t row_round(uint32_t id) const;
 
   /// Inserts `row` tagged with `round`; returns true if it was new.
-  /// Maintains any already-built indexes incrementally. The duplicate
-  /// path performs no allocation (hot in transitive closures, where most
-  /// derivation attempts re-derive existing tuples).
-  bool Insert(const std::vector<Value>& row, uint32_t round);
+  /// Maintains any already-built indexes incrementally. Rounds must be
+  /// non-decreasing across inserts (asserted in debug builds); RoundRange
+  /// depends on it.
+  bool Insert(const Value* row, uint32_t round);
+  bool Insert(const std::vector<Value>& row, uint32_t round) {
+    assert(row.size() == arity());
+    return Insert(row.data(), round);
+  }
+  bool Insert(RowRef row, uint32_t round) {
+    assert(row.size() == arity());
+    return Insert(row.data(), round);
+  }
 
+  bool Contains(const Value* row) const { return store_.Contains(row); }
   bool Contains(const std::vector<Value>& row) const {
-    return set_.count(row) > 0;
+    assert(row.size() == arity());
+    return store_.Contains(row.data());
   }
 
   /// Row ids whose values at `cols` equal `key`; builds the index on first
-  /// use. `cols` must be sorted ascending. Returns nullptr when no row
-  /// matches.
-  const std::vector<uint32_t>* Probe(const std::vector<uint32_t>& cols,
-                                     const std::vector<Value>& key);
+  /// use. `cols` must be sorted ascending. Returns an empty span when no
+  /// row matches. The span stays valid while rows are inserted (see
+  /// MatchSpan).
+  MatchSpan Probe(const std::vector<uint32_t>& cols,
+                  const std::vector<Value>& key);
 
-  /// Iteration support: row pointers in insertion order. The pointed-to
-  /// vectors are the node-stable keys of the dedup map.
-  const std::vector<const std::vector<Value>*>& rows() const { return rows_; }
+  /// Cursor over all rows in insertion order. Invalidated by inserts.
+  TupleCursor rows() const {
+    return TupleCursor(store_.row_data(0), store_.arity(), store_.size());
+  }
 
   /// Half-open row-id range of rows inserted in `round`. Valid because
-  /// round tags are non-decreasing in insertion order.
+  /// round tags are non-decreasing in insertion order (asserted in
+  /// Insert).
   std::pair<uint32_t, uint32_t> RoundRange(uint32_t round) const;
 
+  /// Approximate memory footprint (arena + dedup + indexes), for stats.
+  size_t bytes() const;
+
  private:
-  using Index = std::unordered_map<std::vector<Value>, std::vector<uint32_t>,
-                                   VectorHash>;
+  /// Hash index over a column subset. Open-addressing table mapping the
+  /// projected key (values of `cols`) to an append-only bucket of row ids.
+  /// Keys are never stored: a bucket's key is read back from the arena row
+  /// of its first entry.
+  struct Index {
+    std::vector<uint32_t> cols;
+    // slot -> bucket_id + 1; 0 = empty. Power-of-two, linear probing.
+    std::vector<uint32_t> slots;
+    std::vector<uint64_t> slot_hashes;  // cached key hash per used slot
+    // Deque: bucket object addresses stay stable as buckets are added, so
+    // MatchSpan can hold a bucket pointer across inserts.
+    std::deque<std::vector<uint32_t>> buckets;
+    size_t num_keys = 0;
+
+    uint64_t HashProjected(const TupleStore& store, uint32_t row_id) const;
+    bool KeyEqualsRow(const TupleStore& store, uint32_t bucket_first,
+                      const Value* key) const;
+    /// True when row `a` and the tuple at `b_row` agree on `cols`.
+    bool ProjectedEquals(const TupleStore& store, uint32_t a,
+                         const Value* b_row) const;
+    void Add(const TupleStore& store, uint32_t row_id);
+    const std::vector<uint32_t>* Find(const TupleStore& store,
+                                      const Value* key) const;
+    void Grow();
+    size_t bytes() const;
+  };
 
   Index& GetOrBuildIndex(const std::vector<uint32_t>& cols);
 
-  uint32_t arity_;
-  // Single-copy storage: the dedup map owns the tuples (unordered_map keys
-  // are node-stable); rows_ provides insertion-ordered access by id.
-  std::unordered_map<std::vector<Value>, uint32_t, VectorHash> set_;
-  std::vector<const std::vector<Value>*> rows_;
-  std::vector<uint32_t> rounds_;
-  std::map<std::vector<uint32_t>, Index> indexes_;
+  TupleStore store_;
+  // (round, first row id of that round); appended when a round first
+  // inserts. Rounds are strictly increasing across entries.
+  std::vector<std::pair<uint32_t, uint32_t>> round_marks_;
+  // Few distinct column subsets are ever indexed per predicate; unique_ptr
+  // keeps Index addresses stable as the list grows.
+  std::vector<std::unique_ptr<Index>> indexes_;
 };
 
 /// Named relation store shared by EDB facts and derived IDB tuples.
@@ -75,6 +277,11 @@ class Database {
   Relation* FindMutable(uint32_t pred);
 
   size_t TotalTuples() const;
+  /// Approximate memory footprint of all relations, for stats.
+  size_t TotalBytes() const;
+
+  /// Predicate ids present, for iteration (diagnostics / dumps).
+  std::vector<uint32_t> Predicates() const;
 
  private:
   std::unordered_map<uint32_t, Relation> relations_;

@@ -16,6 +16,20 @@ inline void HashCombine(size_t& seed, size_t v) {
   seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
 }
 
+/// MurmurHash3 64-bit finalizer: a strong avalanche mix. Open-addressing
+/// tables with power-of-two masks (TupleStore, Relation indexes) need
+/// this — the linear HashCombine arithmetic leaves sequential interned
+/// ids clustered in the low bits, which prime-modulo `unordered_map`
+/// buckets tolerate but linear probing does not.
+inline uint64_t Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
 /// Hash of a span of integers (tuple of interned values).
 template <typename It>
 size_t HashRange(It begin, It end) {

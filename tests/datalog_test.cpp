@@ -69,18 +69,113 @@ TEST(RelationTest, ProbeBuildsAndMaintainsIndexes) {
   rel.Insert({1, 10}, 0);
   rel.Insert({1, 11}, 0);
   rel.Insert({2, 10}, 0);
-  const auto* ids = rel.Probe({0}, {1});
-  ASSERT_NE(ids, nullptr);
-  EXPECT_EQ(ids->size(), 2u);
+  MatchSpan span = rel.Probe({0}, {1});
+  EXPECT_EQ(span.size(), 2u);
   // Index maintained across later inserts.
   rel.Insert({1, 12}, 1);
-  ids = rel.Probe({0}, {1});
-  EXPECT_EQ(ids->size(), 3u);
+  span = rel.Probe({0}, {1});
+  EXPECT_EQ(span.size(), 3u);
   // Multi-column probe.
-  ids = rel.Probe({0, 1}, {2, 10});
-  ASSERT_NE(ids, nullptr);
-  EXPECT_EQ(ids->size(), 1u);
-  EXPECT_EQ(rel.Probe({1}, {99}), nullptr);
+  span = rel.Probe({0, 1}, {2, 10});
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_EQ(rel.row(span[0]), (std::vector<Value>{2, 10}));
+  EXPECT_TRUE(rel.Probe({1}, {99}).empty());
+}
+
+TEST(RelationTest, CursorIteratesArenaInInsertionOrder) {
+  Relation rel(3);
+  rel.Insert({1, 2, 3}, 0);
+  rel.Insert({4, 5, 6}, 0);
+  rel.Insert({7, 8, 9}, 1);
+  std::vector<std::vector<Value>> seen;
+  for (RowRef row : rel.rows()) seen.push_back(row.ToVector());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::vector<Value>{1, 2, 3}));
+  EXPECT_EQ(seen[2], (std::vector<Value>{7, 8, 9}));
+  // Random access through the cursor.
+  TupleCursor cursor = rel.rows();
+  EXPECT_EQ(cursor[1][2], 6u);
+}
+
+TEST(RelationTest, DedupSurvivesRehash) {
+  // Enough inserts to force several open-addressing table growths.
+  Relation rel(2);
+  for (Value i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(rel.Insert({i, i * 31}, 0));
+  }
+  for (Value i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rel.Insert({i, i * 31}, 1));
+    EXPECT_TRUE(rel.Contains({i, i * 31}));
+  }
+  EXPECT_EQ(rel.size(), 1000u);
+  EXPECT_FALSE(rel.Contains({1, 1}));
+}
+
+TEST(RelationTest, RoundMarksTrackSparseRounds) {
+  Relation rel(1);
+  rel.Insert({1}, 0);
+  rel.Insert({2}, 0);
+  rel.Insert({3}, 5);  // rounds may skip numbers across strata
+  rel.Insert({4}, 7);
+  auto [lo0, hi0] = rel.RoundRange(0);
+  EXPECT_EQ(lo0, 0u);
+  EXPECT_EQ(hi0, 2u);
+  auto [lo5, hi5] = rel.RoundRange(5);
+  EXPECT_EQ(lo5, 2u);
+  EXPECT_EQ(hi5, 3u);
+  auto [lo7, hi7] = rel.RoundRange(7);
+  EXPECT_EQ(lo7, 3u);
+  EXPECT_EQ(hi7, 4u);
+  // A round with no inserts is an empty range.
+  auto [lo3, hi3] = rel.RoundRange(3);
+  EXPECT_EQ(lo3, hi3);
+  EXPECT_EQ(rel.row_round(0), 0u);
+  EXPECT_EQ(rel.row_round(2), 5u);
+  EXPECT_EQ(rel.row_round(3), 7u);
+}
+
+TEST(RelationTest, MatchSpanStableAcrossConcurrentInserts) {
+  // The evaluator relies on probing a bucket while recursive rules insert
+  // into the same relation: the span must keep addressing the probe-time
+  // prefix even as the bucket grows and the arena reallocates.
+  Relation rel(2);
+  for (Value i = 0; i < 8; ++i) rel.Insert({1, i}, 0);
+  MatchSpan span = rel.Probe({0}, {1});
+  ASSERT_EQ(span.size(), 8u);
+  for (uint32_t k = 0; k < span.size(); ++k) {
+    // Grow the same bucket (and the arena) mid-iteration.
+    rel.Insert({1, 1000 + k}, 1);
+    EXPECT_EQ(rel.row(span[k])[1], k);
+  }
+  EXPECT_EQ(rel.Probe({0}, {1}).size(), 16u);
+}
+
+TEST(RelationTest, InsertRowRefAliasingOwnArena) {
+  // RowRefs viewing this relation's own arena must be safe to pass back
+  // into Insert even while interleaved inserts grow (and reallocate) the
+  // arena: aliased duplicates are no-ops, and TupleStore::Insert guards
+  // the append against aliased source ranges.
+  Relation rel(2);
+  for (Value i = 0; i < 300; ++i) rel.Insert({i, i + 1}, 0);
+  for (Value i = 0; i < 300; ++i) {
+    EXPECT_FALSE(rel.Insert(rel.row(static_cast<uint32_t>(i)), 1));
+    EXPECT_TRUE(rel.Insert({1000 + i, i}, 1));
+  }
+  EXPECT_EQ(rel.size(), 600u);
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation rel(0);
+  EXPECT_FALSE(rel.Contains(std::vector<Value>{}));
+  EXPECT_TRUE(rel.Insert(std::vector<Value>{}, 0));
+  EXPECT_FALSE(rel.Insert(std::vector<Value>{}, 0));  // dedup
+  EXPECT_EQ(rel.size(), 1u);
+  size_t count = 0;
+  for (RowRef row : rel.rows()) {
+    EXPECT_EQ(row.size(), 0u);
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
 }
 
 // --- evaluation fixtures ----------------------------------------------------
@@ -132,6 +227,31 @@ TEST_F(EvaluatorTest, TransitiveClosure) {
   EXPECT_FALSE(tc->Contains({2, 1}));
 }
 
+TEST_F(EvaluatorTest, RecursiveRuleDerivesWhileProbingOwnIndex) {
+  // tc(X,Z) :- tc(X,Y), tc(Y,Z) probes the tc index with Y bound while
+  // EmitHead inserts into tc (growing the probed bucket and reallocating
+  // the arena). Exercises the epoch-stable MatchSpan on a long chain so
+  // multiple rehashes happen mid-iteration.
+  Program program;
+  std::vector<std::pair<Value, Value>> edges;
+  for (Value i = 1; i <= 60; ++i) edges.push_back({i, i + 1});
+  edges.push_back({61, 1});  // cycle over all 61 nodes: closure is 61x61
+  AddEdges(&program, edges);
+  RuleBuilder rb(&program.predicates);
+  rb.Head("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("tc", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("tc", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+
+  const Relation* tc = Run(program, "tc").ValueOrDie();
+  EXPECT_EQ(tc->size(), 61u * 61u);
+  EXPECT_TRUE(tc->Contains({1, 1}));
+  EXPECT_TRUE(tc->Contains({61, 60}));
+}
+
 TEST_F(EvaluatorTest, NaiveModeComputesSameFixpoint) {
   Program program;
   AddEdges(&program, {{1, 2}, {2, 3}, {3, 1}, {3, 4}});
@@ -149,8 +269,8 @@ TEST_F(EvaluatorTest, NaiveModeComputesSameFixpoint) {
 
   Database edb2, idb2;
   PredicateId edge = *program.predicates.Lookup("edge");
-  for (const auto* row : edb_.Find(edge)->rows()) {
-    edb2.relation(edge, 2).Insert(*row, 0);
+  for (RowRef row : edb_.Find(edge)->rows()) {
+    edb2.relation(edge, 2).Insert(row, 0);
   }
   Evaluator naive(&dict_, &skolems_);
   naive.set_mode(FixpointMode::kNaive);
