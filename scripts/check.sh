@@ -2,25 +2,40 @@
 # CI entry point: configure + build with -Werror, run the full test suite.
 #
 # Usage: scripts/check.sh [build-dir]
-# Optionally set BENCH_JSON=1 to also run the datalog microbenchmarks and
-# write build/BENCH_micro_datalog.json (the perf-trajectory artifact).
+#
+# Environment:
+#   BENCH_JSON=1        also run the datalog microbenchmarks and write
+#                       <build-dir>/BENCH_micro_datalog.json (the
+#                       perf-trajectory artifact; CI uploads it and gates
+#                       it with scripts/bench_compare.py). Propagated
+#                       as-is from the CI workflow env.
+#   TEST_TIMEOUT=<sec>  per-test ctest timeout (default 300) so a
+#                       livelocked parallel fixpoint fails fast instead
+#                       of hanging the runner.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
+TEST_TIMEOUT="${TEST_TIMEOUT:-300}"
 
 cmake -B "$BUILD_DIR" -S . -DSPARQLOG_WERROR=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPARQLOG_TEST_TIMEOUT="$TEST_TIMEOUT"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
+# --timeout is a belt-and-braces cap on top of the per-test TIMEOUT
+# property CMake registers from SPARQLOG_TEST_TIMEOUT.
+ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error \
+  -j "$(nproc)" --timeout "$TEST_TIMEOUT"
 
 # Second pass with asserts enabled (RelWithDebInfo defines NDEBUG): the
 # invariant checks in the Datalog core — e.g. round monotonicity in
 # Relation::Insert — must actually run in CI.
 DEBUG_DIR="$BUILD_DIR-debug"
-cmake -B "$DEBUG_DIR" -S . -DSPARQLOG_WERROR=ON -DCMAKE_BUILD_TYPE=Debug
+cmake -B "$DEBUG_DIR" -S . -DSPARQLOG_WERROR=ON -DCMAKE_BUILD_TYPE=Debug \
+  -DSPARQLOG_TEST_TIMEOUT="$TEST_TIMEOUT"
 cmake --build "$DEBUG_DIR" -j "$(nproc)"
-ctest --test-dir "$DEBUG_DIR" --output-on-failure --no-tests=error -j "$(nproc)"
+ctest --test-dir "$DEBUG_DIR" --output-on-failure --no-tests=error \
+  -j "$(nproc)" --timeout "$TEST_TIMEOUT"
 
 if [[ "${BENCH_JSON:-0}" == "1" ]]; then
   if [[ ! -x "$BUILD_DIR/micro_datalog" ]]; then
@@ -28,11 +43,17 @@ if [[ "${BENCH_JSON:-0}" == "1" ]]; then
          "(google-benchmark missing?)" >&2
     exit 1
   fi
+  # The console table doubles as the job-log benchmark summary; the JSON
+  # is the machine-readable trajectory artifact.
   "$BUILD_DIR/micro_datalog" \
     --benchmark_filter='BM_TupleStore|BM_TransitiveClosure' \
     --benchmark_out="$BUILD_DIR/BENCH_micro_datalog.json" \
-    --benchmark_out_format=json
+    --benchmark_out_format=json \
+    --benchmark_counters_tabular=true
   echo "wrote $BUILD_DIR/BENCH_micro_datalog.json"
+  echo "--- benchmark summary ---"
+  python3 scripts/bench_compare.py --summarize \
+    "$BUILD_DIR/BENCH_micro_datalog.json" || true
 fi
 
 echo "check.sh: all green"

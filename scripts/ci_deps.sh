@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Builds the pinned test/bench dependencies (googletest + google-benchmark)
+# into a prefix that CI caches between runs, keyed on the pinned versions
+# and the sanitizer flavor (sanitized jobs need sanitized deps so gtest
+# internals don't show up as false positives).
+#
+# Usage: scripts/ci_deps.sh <install-prefix> [extra-cxx-flags...]
+set -euo pipefail
+
+PREFIX="$1"
+shift
+EXTRA_FLAGS="${*:-}"
+
+GTEST_TAG="v1.14.0"
+BENCHMARK_TAG="v1.8.3"
+STAMP="$PREFIX/.stamp-$GTEST_TAG-$BENCHMARK_TAG"
+
+if [[ -f "$STAMP" ]]; then
+  echo "ci_deps: $PREFIX is up to date (cache hit)"
+  exit 0
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+git clone --depth 1 --branch "$GTEST_TAG" \
+  https://github.com/google/googletest "$WORK/googletest"
+cmake -B "$WORK/gtest-build" -S "$WORK/googletest" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="$EXTRA_FLAGS" \
+  -DCMAKE_INSTALL_PREFIX="$PREFIX"
+cmake --build "$WORK/gtest-build" -j "$(nproc)"
+cmake --install "$WORK/gtest-build"
+
+git clone --depth 1 --branch "$BENCHMARK_TAG" \
+  https://github.com/google/benchmark "$WORK/benchmark"
+cmake -B "$WORK/benchmark-build" -S "$WORK/benchmark" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="$EXTRA_FLAGS" \
+  -DBENCHMARK_ENABLE_TESTING=OFF \
+  -DBENCHMARK_ENABLE_GTEST_TESTS=OFF \
+  -DCMAKE_INSTALL_PREFIX="$PREFIX"
+cmake --build "$WORK/benchmark-build" -j "$(nproc)"
+cmake --install "$WORK/benchmark-build"
+
+touch "$STAMP"
+echo "ci_deps: installed googletest $GTEST_TAG + benchmark $BENCHMARK_TAG"

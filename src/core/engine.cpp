@@ -48,6 +48,7 @@ Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query) {
 
   datalog::Database idb;
   datalog::Evaluator evaluator(dict_, &skolems_);
+  evaluator.set_num_threads(options_.num_threads);
   SPARQLOG_RETURN_NOT_OK(evaluator.Evaluate(program, &edb_, &idb, &ctx));
   last_stats_ = evaluator.stats();
 

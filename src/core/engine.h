@@ -34,6 +34,11 @@ class Engine {
     /// Accepts the extension features beyond the published engine
     /// (FILTER EXISTS / NOT EXISTS, BIND, VALUES; the paper's §7 roadmap).
     bool extensions = false;
+    /// Worker threads for the Datalog fixpoint's recursive strata.
+    /// 0 (default) resolves to std::thread::hardware_concurrency();
+    /// 1 runs the exact single-threaded semi-naive path. Thread count
+    /// never changes query results, only evaluation parallelism.
+    uint32_t num_threads = 0;
   };
 
   /// The engine keeps references to the dataset and dictionary; both must

@@ -1,13 +1,45 @@
 #include "datalog/evaluator.h"
 
 #include <algorithm>
+#include <thread>
+#include <unordered_map>
 #include <unordered_set>
+
+#include "util/thread_pool.h"
 
 namespace sparqlog::datalog {
 
 namespace {
+
 constexpr uint32_t kNoDelta = 0xffffffffu;
+
+/// A rule may run on the sharded parallel path only when its builtins are
+/// pure value comparisons. Skolem construction interns into the shared
+/// SkolemStore and FILTER/BIND expressions may intern terms into the
+/// shared dictionary — both single-writer structures — so rules using
+/// them fall back to the serial path within the round.
+bool RuleIsShardable(const Rule& rule) {
+  for (const BuiltinLit& b : rule.builtins) {
+    if (b.kind != BuiltinKind::kEq && b.kind != BuiltinKind::kNe) {
+      return false;
+    }
+  }
+  return true;
 }
+
+/// Per-worker round state: one staging TupleStore per parallel head
+/// predicate (deduped locally, merged into the Relation at the barrier)
+/// plus worker-local counters so the shared EvalStats is only touched
+/// serially.
+struct WorkerState {
+  std::unordered_map<PredicateId, TupleStore> staging;
+  uint64_t fired = 0;
+  uint64_t staged = 0;
+  uint32_t clock_phase = 0;
+  Status status;
+};
+
+}  // namespace
 
 /// Per-rule-invocation execution state: one backtracking join over the
 /// rule's positive body with interleaved builtin execution, negation
@@ -21,6 +53,17 @@ struct Evaluator::RuleRun {
   uint32_t insert_round = 0;
   uint32_t delta_round = 0;
   uint32_t delta_atom = kNoDelta;
+  // Sharded parallel execution (staging != nullptr): the delta scan is
+  // clipped to [shard_lo, shard_hi), heads are staged into the worker's
+  // TupleStore instead of inserted, and `staging_target` (the read-only
+  // target relation) pre-filters re-derivations. `staged` counts fresh
+  // staged tuples across all of the worker's shards for budget checks.
+  uint32_t shard_lo = 0;
+  uint32_t shard_hi = 0xffffffffu;
+  TupleStore* staging = nullptr;
+  const Relation* staging_target = nullptr;
+  uint64_t* staged = nullptr;
+  uint32_t clock_phase = 0;  // worker-local deadline-check pacing
 
   std::vector<Value> vals;
   std::vector<bool> bound;
@@ -33,6 +76,7 @@ struct Evaluator::RuleRun {
   std::vector<Value> neg_scratch;
   Status status;
   uint64_t inserted = 0;
+  uint64_t fired = 0;
 
   size_t RelSizeOf(PredicateId pred) const {
     size_t n = 0;
@@ -245,16 +289,36 @@ struct Evaluator::RuleRun {
       ResolveTerm(t, &v);
       head_scratch.push_back(v);
     }
-    Relation& rel =
-        idb->relation(rule->head.predicate,
-                      static_cast<uint32_t>(rule->head.args.size()));
-    if (rel.Insert(head_scratch, insert_round)) {
-      ++inserted;
-      ++eval->stats_.tuples_derived;
-      ctx->AddTuples(1);
+    ++fired;
+    if (staging != nullptr) {
+      // Parallel worker: stage instead of inserting. The target relation
+      // is read-only until the round barrier, so Contains needs no
+      // synchronization; local dedup keeps the merge small. The budget
+      // check counts only this worker's fresh tuples on top of the shared
+      // total (cross-worker duplicates may overcount slightly — mem-out
+      // stays approximate, never under-enforced at the barrier).
+      if (!staging_target->Contains(head_scratch)) {
+        bool fresh = false;
+        staging->Insert(head_scratch.data(), &fresh);
+        if (fresh) {
+          ++*staged;
+          if (ctx->tuples_used() + *staged > ctx->tuple_budget()) {
+            status =
+                Status::ResourceExhausted("tuple budget exceeded (mem-out)");
+            return false;
+          }
+        }
+      }
+    } else {
+      Relation& rel =
+          idb->relation(rule->head.predicate,
+                        static_cast<uint32_t>(rule->head.args.size()));
+      if (rel.Insert(head_scratch, insert_round)) {
+        ++inserted;
+        ctx->AddTuples(1);
+      }
     }
-    ++eval->stats_.rules_fired;
-    status = ctx->CheckBudget();
+    status = ctx->CheckBudgetShared(&clock_phase);
     return status.ok();
   }
 
@@ -291,7 +355,7 @@ struct Evaluator::RuleRun {
 
   /// Returns false on fatal error.
   bool JoinStep(size_t depth) {
-    status = ctx->CheckBudget();
+    status = ctx->CheckBudgetShared(&clock_phase);
     if (!status.ok()) return false;
 
     size_t btrail_start = trail.size();
@@ -331,7 +395,11 @@ struct Evaluator::RuleRun {
     if (is_delta) {
       Relation* rel = idb->FindMutable(atom.predicate);
       if (rel == nullptr) return true;
+      // Sharded workers clip the delta scan to their row-id range; the
+      // serial path keeps the full-range defaults.
       auto [lo, hi] = rel->RoundRange(delta_round);
+      lo = std::max(lo, shard_lo);
+      hi = std::min(hi, shard_hi);
       for (uint32_t id = lo; id < hi; ++id) {
         if (!TryRow(rel, id, depth)) return false;
       }
@@ -342,15 +410,30 @@ struct Evaluator::RuleRun {
                             idb->FindMutable(atom.predicate)};
     for (Relation* rel : sources) {
       if (rel == nullptr || rel->size() == 0) continue;
+      bool indexed = false;
       if (!cols.empty()) {
         // MatchSpan is epoch-stable: recursive rules may insert into this
         // relation (and its index buckets) while we iterate, and the span
-        // keeps addressing the probe-time prefix without a defensive copy.
-        MatchSpan span = rel->Probe(cols, key);
-        for (uint32_t k = 0; k < span.size(); ++k) {
-          if (!TryRow(rel, span[k], depth)) return false;
+        // keeps addressing the probe-time prefix without a defensive
+        // copy. Parallel workers use the thread-safe TryProbe (relations
+        // are read-only until the barrier, but a missing index must be
+        // built and published race-free); it only fails past the
+        // published-index capacity, where the filtered scan below is the
+        // fallback.
+        MatchSpan span;
+        if (staging != nullptr) {
+          indexed = rel->TryProbe(cols, key, &span);
+        } else {
+          span = rel->Probe(cols, key);
+          indexed = true;
         }
-      } else {
+        if (indexed) {
+          for (uint32_t k = 0; k < span.size(); ++k) {
+            if (!TryRow(rel, span[k], depth)) return false;
+          }
+        }
+      }
+      if (!indexed) {
         size_t n = rel->size();  // snapshot; new rows belong to next round
         for (uint32_t id = 0; id < n; ++id) {
           if (!TryRow(rel, id, depth)) return false;
@@ -381,6 +464,13 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
   SPARQLOG_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
   stats_.strata = strat.num_strata;
 
+  uint32_t threads = num_threads_;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  // Naive mode exists as the single-threaded reference semantics for the
+  // differential tests and ablations; it never shards.
+  const bool parallel_ok = threads > 1 && mode_ == FixpointMode::kSemiNaive;
+
   // Seed program facts (round 0).
   for (const Fact& f : program.facts) {
     Relation& rel = idb->relation(
@@ -390,6 +480,7 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
   SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
 
   uint32_t round = 1;
+  uint32_t serial_clock_phase = 0;  // spans all serial rule runs
   for (uint32_t s = 0; s < strat.num_strata; ++s) {
     const std::vector<uint32_t>& rule_ids = strat.strata_rules[s];
     if (rule_ids.empty()) continue;
@@ -411,11 +502,22 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
       run.insert_round = round;
       run.delta_round = delta_round;
       run.delta_atom = delta_atom;
-      SPARQLOG_RETURN_NOT_OK(run.Run());
+      // The clock-stride phase persists across invocations (like the
+      // pre-parallelism ctx-owned counter): many short rule runs must
+      // still reach the every-256th-check deadline sample.
+      run.clock_phase = serial_clock_phase;
+      Status st = run.Run();
+      serial_clock_phase = run.clock_phase;
+      stats_.rules_fired += run.fired;
+      stats_.tuples_derived += run.inserted;
+      SPARQLOG_RETURN_NOT_OK(st);
       return run.inserted;
     };
 
-    // Initial (naive) pass over the current database state.
+    // Initial (naive) pass over the current database state. Always
+    // serial: rules of the same stratum see each other's same-pass
+    // insertions here, which the single-pass completeness of
+    // non-recursive strata relies on.
     uint64_t new_tuples = 0;
     for (uint32_t ri : rule_ids) {
       SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_rule(ri, kNoDelta, 0));
@@ -427,6 +529,146 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
     // Non-recursive strata are complete after the single pass.
     if (!strat.stratum_recursive[s]) continue;
 
+    // Delta tasks for the fixpoint rounds, split into the sharded-parallel
+    // and serial sets. Staging delays same-round visibility (a worker's
+    // derivations surface at the barrier, not mid-round), which is sound
+    // here: within a stratum the rules are monotone — negation is
+    // stratified strictly below — so any fair round order reaches the
+    // same fixpoint, and the `new_tuples` loop keeps iterating until no
+    // round adds anything.
+    struct DeltaTask {
+      uint32_t rule;
+      uint32_t atom;
+    };
+    std::vector<DeltaTask> par_tasks;
+    std::vector<DeltaTask> ser_tasks;
+    for (uint32_t ri : rule_ids) {
+      const Rule& rule = program.rules[ri];
+      bool shardable = parallel_ok && RuleIsShardable(rule);
+      for (uint32_t ai = 0; ai < rule.positive.size(); ++ai) {
+        if (stratum_heads.count(rule.positive[ai].predicate) == 0) continue;
+        (shardable ? par_tasks : ser_tasks).push_back({ri, ai});
+      }
+    }
+
+    std::vector<WorkerState> workers;
+    std::vector<PredicateId> par_heads;  // sorted, for deterministic merge
+    if (!par_tasks.empty()) {
+      if (pool_ == nullptr || pool_->num_workers() != threads) {
+        pool_ = std::make_unique<ThreadPool>(threads);
+      }
+      // Pre-create every head relation the parallel rules derive into (so
+      // workers never mutate the Database map; empty relations are
+      // invisible to dumps and solutions) and per-worker staging stores.
+      workers.resize(threads);
+      for (const DeltaTask& t : par_tasks) {
+        const Atom& head = program.rules[t.rule].head;
+        uint32_t arity = static_cast<uint32_t>(head.args.size());
+        idb->relation(head.predicate, arity);
+        for (WorkerState& ws : workers) {
+          ws.staging.try_emplace(head.predicate, arity);
+        }
+        par_heads.push_back(head.predicate);
+      }
+      std::sort(par_heads.begin(), par_heads.end());
+      par_heads.erase(std::unique(par_heads.begin(), par_heads.end()),
+                      par_heads.end());
+    }
+
+    auto run_parallel_round = [&](uint32_t delta_round) -> Result<uint64_t> {
+      // Snapshot each task's delta row range before workers start; the
+      // ranges (and all relation contents) are frozen for the round.
+      struct TaskRange {
+        uint32_t rule;
+        uint32_t atom;
+        uint32_t lo;
+        uint32_t hi;
+      };
+      std::vector<TaskRange> ranges;
+      for (const DeltaTask& t : par_tasks) {
+        const Atom& datom = program.rules[t.rule].positive[t.atom];
+        const Relation* rel = idb->Find(datom.predicate);
+        if (rel == nullptr) continue;
+        auto [lo, hi] = rel->RoundRange(delta_round);
+        if (lo < hi) ranges.push_back({t.rule, t.atom, lo, hi});
+      }
+      if (ranges.empty()) return uint64_t{0};
+
+      const uint32_t num_workers =
+          static_cast<uint32_t>(pool_->num_workers());
+      for (WorkerState& ws : workers) {
+        ws.fired = 0;
+        ws.staged = 0;
+        ws.status = Status::OK();
+        for (auto& [pred, store] : ws.staging) store.Clear();
+      }
+      pool_->RunOnWorkers([&](size_t w) {
+        WorkerState& ws = workers[w];
+        for (const TaskRange& tr : ranges) {
+          const Rule& rule = program.rules[tr.rule];
+          // Block-cyclic sharding of the delta range: contiguous blocks
+          // dealt round-robin across workers, so skewed per-row join
+          // costs still balance without a work queue.
+          uint32_t range = tr.hi - tr.lo;
+          uint32_t block = std::max(1u, range / (num_workers * 4));
+          uint32_t num_blocks = (range + block - 1) / block;
+          // One RuleRun per (worker, task): Run() resets the join state
+          // in place, so the per-block loop only moves the shard window
+          // and reuses the scratch vectors' capacity.
+          RuleRun run;
+          run.eval = this;
+          run.rule = &rule;
+          run.edb = edb;
+          run.idb = idb;
+          run.ctx = ctx;
+          run.insert_round = round;
+          run.delta_round = delta_round;
+          run.delta_atom = tr.atom;
+          run.staging = &ws.staging.at(rule.head.predicate);
+          run.staging_target = idb->Find(rule.head.predicate);
+          run.staged = &ws.staged;
+          run.clock_phase = ws.clock_phase;
+          for (uint32_t b = static_cast<uint32_t>(w); b < num_blocks;
+               b += num_workers) {
+            run.shard_lo = tr.lo + b * block;
+            run.shard_hi = std::min(tr.hi, run.shard_lo + block);
+            Status st = run.Run();
+            ws.fired += run.fired;
+            run.fired = 0;
+            if (!st.ok()) {
+              ws.status = st;
+              ws.clock_phase = run.clock_phase;
+              return;
+            }
+          }
+          ws.clock_phase = run.clock_phase;
+        }
+      });
+      for (WorkerState& ws : workers) {
+        SPARQLOG_RETURN_NOT_OK(ws.status);
+      }
+
+      // Round barrier: merge the staging buffers single-writer, in worker
+      // then predicate order. Merge order only affects arena row ids,
+      // never set semantics, so results are deterministic for a fixed
+      // thread count and set-identical across thread counts.
+      uint64_t merged = 0;
+      for (WorkerState& ws : workers) {
+        stats_.rules_fired += ws.fired;
+        for (PredicateId pred : par_heads) {
+          TupleStore& store = ws.staging.at(pred);
+          if (store.size() == 0) continue;
+          merged += idb->relation(pred, store.arity())
+                        .InsertStaged(store, round);
+        }
+      }
+      stats_.tuples_derived += merged;
+      ctx->AddTuples(merged);
+      SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+      ++stats_.parallel_rounds;
+      return merged;
+    };
+
     // Fixpoint iterations.
     while (new_tuples > 0) {
       new_tuples = 0;
@@ -437,16 +679,15 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
         }
       } else {
         uint32_t delta_round = round - 1;
-        for (uint32_t ri : rule_ids) {
-          const Rule& rule = program.rules[ri];
-          for (uint32_t ai = 0; ai < rule.positive.size(); ++ai) {
-            if (stratum_heads.count(rule.positive[ai].predicate) == 0) {
-              continue;
-            }
-            SPARQLOG_ASSIGN_OR_RETURN(uint64_t n,
-                                      run_rule(ri, ai, delta_round));
-            new_tuples += n;
-          }
+        for (const DeltaTask& t : ser_tasks) {
+          SPARQLOG_ASSIGN_OR_RETURN(uint64_t n,
+                                    run_rule(t.rule, t.atom, delta_round));
+          new_tuples += n;
+        }
+        if (!par_tasks.empty()) {
+          SPARQLOG_ASSIGN_OR_RETURN(uint64_t n,
+                                    run_parallel_round(delta_round));
+          new_tuples += n;
         }
       }
       ++stats_.rounds;

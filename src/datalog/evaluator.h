@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "datalog/ast.h"
 #include "datalog/relation.h"
 #include "datalog/stratify.h"
@@ -7,6 +9,7 @@
 #include "eval/expr_eval.h"
 #include "util/exec_context.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 /// \file evaluator.h
 /// Bottom-up evaluation of Datalog± programs: stratum-by-stratum
@@ -26,6 +29,7 @@ struct EvalStats {
   uint64_t rules_fired = 0;       ///< successful head insertions
   uint64_t tuples_derived = 0;    ///< distinct tuples added
   uint32_t rounds = 0;            ///< total semi-naive rounds
+  uint32_t parallel_rounds = 0;   ///< rounds that ran a sharded fan-out
   uint32_t strata = 0;
 };
 
@@ -41,6 +45,15 @@ class Evaluator {
 
   void set_mode(FixpointMode mode) { mode_ = mode; }
 
+  /// Worker count for the fixpoint rounds of recursive strata. 1 (the
+  /// default) runs the exact single-threaded semi-naive path; 0 resolves
+  /// to std::thread::hardware_concurrency() at Evaluate time; values > 1
+  /// shard each round's delta scan by row-id range across a fixed-size
+  /// pool, staging derivations per worker and merging at the round
+  /// barrier. Thread count never affects result sets (only arena row
+  /// ids); naive mode and non-recursive strata always run serially.
+  void set_num_threads(uint32_t n) { num_threads_ = n; }
+
   /// Evaluates `program` with EDB relations from `edb` (indexes may be
   /// built on it, tuples are never added), materializing derived tuples
   /// into `idb`. IDB and EDB predicate sets must be disjoint.
@@ -55,6 +68,8 @@ class Evaluator {
   eval::ExprEvaluator expr_eval_;
   SkolemStore* skolems_;
   FixpointMode mode_ = FixpointMode::kSemiNaive;
+  uint32_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // lazily sized on first parallel round
   EvalStats stats_;
 };
 

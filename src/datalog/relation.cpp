@@ -193,8 +193,18 @@ bool Relation::Insert(const Value* row, uint32_t round) {
   if (round_marks_.empty() || round_marks_.back().first != round) {
     round_marks_.emplace_back(round, id);
   }
-  for (auto& index : indexes_) index->Add(store_, id);
+  ForEachIndex([&](Index& index) { index.Add(store_, id); });
   return true;
+}
+
+size_t Relation::InsertStaged(const Value* rows, size_t num_rows,
+                              uint32_t round) {
+  size_t inserted = 0;
+  const uint32_t k = arity();
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (Insert(rows + i * k, round)) ++inserted;
+  }
+  return inserted;
 }
 
 uint32_t Relation::row_round(uint32_t id) const {
@@ -217,22 +227,60 @@ std::pair<uint32_t, uint32_t> Relation::RoundRange(uint32_t round) const {
   return {lo, hi};
 }
 
-Relation::Index& Relation::GetOrBuildIndex(
-    const std::vector<uint32_t>& cols) {
-  for (auto& index : indexes_) {
-    if (index->cols == cols) return *index;
+Relation::Index* Relation::FindPublishedIndex(
+    const std::vector<uint32_t>& cols) const {
+  uint32_t n = num_indexes_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (indexes_[i]->cols == cols) return indexes_[i].get();
   }
-  indexes_.push_back(std::make_unique<Index>());
-  Index& index = *indexes_.back();
-  index.cols = cols;
-  for (uint32_t id = 0; id < store_.size(); ++id) index.Add(store_, id);
-  return index;
+  return nullptr;
+}
+
+bool Relation::TryProbe(const std::vector<uint32_t>& cols,
+                        const std::vector<Value>& key, MatchSpan* out) {
+  Index* index = FindPublishedIndex(cols);
+  if (index == nullptr) {
+    std::lock_guard<std::mutex> lock(index_build_mu_);
+    index = FindPublishedIndex(cols);  // another worker may have raced us
+    if (index == nullptr) {
+      uint32_t n = num_indexes_.load(std::memory_order_relaxed);
+      if (n == kMaxPublishedIndexes) return false;
+      auto fresh = std::make_unique<Index>();
+      fresh->cols = cols;
+      for (uint32_t id = 0; id < store_.size(); ++id) fresh->Add(store_, id);
+      index = fresh.get();
+      indexes_[n] = std::move(fresh);
+      num_indexes_.store(n + 1, std::memory_order_release);
+    }
+  }
+  const std::vector<uint32_t>* bucket = index->Find(store_, key.data());
+  *out = bucket == nullptr
+             ? MatchSpan()
+             : MatchSpan(bucket, static_cast<uint32_t>(bucket->size()));
+  return true;
 }
 
 MatchSpan Relation::Probe(const std::vector<uint32_t>& cols,
                           const std::vector<Value>& key) {
-  Index& index = GetOrBuildIndex(cols);
-  const std::vector<uint32_t>* bucket = index.Find(store_, key.data());
+  MatchSpan out;
+  if (TryProbe(cols, key, &out)) return out;
+  // Published capacity exhausted: spill into the unpublished overflow
+  // list. Correct but single-writer only; parallel workers never reach
+  // this path (they use TryProbe and scan on failure).
+  Index* index = nullptr;
+  for (auto& candidate : overflow_indexes_) {
+    if (candidate->cols == cols) {
+      index = candidate.get();
+      break;
+    }
+  }
+  if (index == nullptr) {
+    overflow_indexes_.push_back(std::make_unique<Index>());
+    index = overflow_indexes_.back().get();
+    index->cols = cols;
+    for (uint32_t id = 0; id < store_.size(); ++id) index->Add(store_, id);
+  }
+  const std::vector<uint32_t>* bucket = index->Find(store_, key.data());
   if (bucket == nullptr) return MatchSpan();
   return MatchSpan(bucket, static_cast<uint32_t>(bucket->size()));
 }
@@ -240,7 +288,9 @@ MatchSpan Relation::Probe(const std::vector<uint32_t>& cols,
 size_t Relation::bytes() const {
   size_t n = store_.bytes() +
              round_marks_.capacity() * sizeof(round_marks_[0]);
-  for (const auto& index : indexes_) n += index->bytes();
+  uint32_t published = num_indexes_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < published; ++i) n += indexes_[i]->bytes();
+  for (const auto& index : overflow_indexes_) n += index->bytes();
   return n;
 }
 
@@ -249,30 +299,30 @@ size_t Relation::bytes() const {
 Relation& Database::relation(uint32_t pred, uint32_t arity) {
   auto it = relations_.find(pred);
   if (it == relations_.end()) {
-    it = relations_.emplace(pred, Relation(arity)).first;
+    it = relations_.emplace(pred, std::make_unique<Relation>(arity)).first;
   }
-  return it->second;
+  return *it->second;
 }
 
 const Relation* Database::Find(uint32_t pred) const {
   auto it = relations_.find(pred);
-  return it == relations_.end() ? nullptr : &it->second;
+  return it == relations_.end() ? nullptr : it->second.get();
 }
 
 Relation* Database::FindMutable(uint32_t pred) {
   auto it = relations_.find(pred);
-  return it == relations_.end() ? nullptr : &it->second;
+  return it == relations_.end() ? nullptr : it->second.get();
 }
 
 size_t Database::TotalTuples() const {
   size_t n = 0;
-  for (const auto& [_, rel] : relations_) n += rel.size();
+  for (const auto& [_, rel] : relations_) n += rel->size();
   return n;
 }
 
 size_t Database::TotalBytes() const {
   size_t n = 0;
-  for (const auto& [_, rel] : relations_) n += rel.bytes();
+  for (const auto& [_, rel] : relations_) n += rel->bytes();
   return n;
 }
 

@@ -1,9 +1,13 @@
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -135,6 +139,15 @@ class TupleStore {
 
   bool Contains(const Value* row) const;
 
+  /// Drops all tuples but keeps the arena and dedup capacity, so a store
+  /// reused as a per-round staging buffer stays allocation-free at steady
+  /// state.
+  void Clear() {
+    num_rows_ = 0;
+    arena_.clear();
+    std::fill(slots_.begin(), slots_.end(), 0u);
+  }
+
   /// Arena footprint in bytes (tuples + dedup table), for stats.
   size_t bytes() const {
     return arena_.capacity() * sizeof(Value) +
@@ -211,13 +224,42 @@ class Relation {
   /// Row ids whose values at `cols` equal `key`; builds the index on first
   /// use. `cols` must be sorted ascending. Returns an empty span when no
   /// row matches. The span stays valid while rows are inserted (see
-  /// MatchSpan).
+  /// MatchSpan). Single-writer like Insert: not safe against concurrent
+  /// calls (use TryProbe from parallel workers).
   MatchSpan Probe(const std::vector<uint32_t>& cols,
                   const std::vector<Value>& key);
+
+  /// Thread-safe probe for parallel evaluation: like Probe, but fails
+  /// (returns false) instead of building past the fixed published-index
+  /// capacity, in which case the caller must fall back to a filtered
+  /// scan. Safe to call concurrently with other TryProbe / Contains / row
+  /// reads — indexes are built under a mutex and published with a
+  /// release-store of the index count — but NOT concurrently with Insert.
+  bool TryProbe(const std::vector<uint32_t>& cols,
+                const std::vector<Value>& key, MatchSpan* out);
+
+  /// Bulk-merges `num_rows` staged tuples (flat TupleStore layout, arity()
+  /// stride) tagged with `round`, deduplicating against existing contents.
+  /// Returns the number actually inserted. This is the round-barrier merge
+  /// path for parallel workers' staging buffers; it is single-writer, like
+  /// Insert.
+  size_t InsertStaged(const Value* rows, size_t num_rows, uint32_t round);
+  size_t InsertStaged(const TupleStore& staged, uint32_t round) {
+    assert(staged.arity() == arity());
+    return InsertStaged(staged.row_data(0), staged.size(), round);
+  }
 
   /// Cursor over all rows in insertion order. Invalidated by inserts.
   TupleCursor rows() const {
     return TupleCursor(store_.row_data(0), store_.arity(), store_.size());
+  }
+
+  /// Cursor over the row-id shard `[lo, hi)` — the unit of work for the
+  /// sharded delta scan (the arena is contiguous, so a shard is one flat
+  /// segment). Invalidated by inserts.
+  TupleCursor rows(uint32_t lo, uint32_t hi) const {
+    assert(lo <= hi && hi <= store_.size());
+    return TupleCursor(store_.row_data(lo), store_.arity(), hi - lo);
   }
 
   /// Half-open row-id range of rows inserted in `round`. Valid because
@@ -256,18 +298,41 @@ class Relation {
     size_t bytes() const;
   };
 
-  Index& GetOrBuildIndex(const std::vector<uint32_t>& cols);
+  /// Looks up a published index by column subset; lock-free (acquire-load
+  /// of the published count, entries below it are fully built).
+  Index* FindPublishedIndex(const std::vector<uint32_t>& cols) const;
+  /// All indexes, published then overflow, for Insert maintenance.
+  template <typename Fn>
+  void ForEachIndex(Fn&& fn) {
+    uint32_t n = num_indexes_.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < n; ++i) fn(*indexes_[i]);
+    for (auto& index : overflow_indexes_) fn(*index);
+  }
 
   TupleStore store_;
   // (round, first row id of that round); appended when a round first
   // inserts. Rounds are strictly increasing across entries.
   std::vector<std::pair<uint32_t, uint32_t>> round_marks_;
-  // Few distinct column subsets are ever indexed per predicate; unique_ptr
-  // keeps Index addresses stable as the list grows.
-  std::vector<std::unique_ptr<Index>> indexes_;
+
+  // Indexes are published into a fixed slot array guarded by
+  // `index_build_mu_` for writers: a builder constructs the Index fully,
+  // stores its pointer, then release-increments `num_indexes_`, so
+  // lock-free readers that acquire-load the count only ever see complete
+  // indexes. Few distinct column subsets are ever probed per predicate
+  // (one per rule-atom binding pattern), so the capacity is generous; the
+  // single-threaded Probe path spills past it into `overflow_indexes_`,
+  // while the thread-safe TryProbe reports failure and callers scan.
+  static constexpr size_t kMaxPublishedIndexes = 64;
+  std::array<std::unique_ptr<Index>, kMaxPublishedIndexes> indexes_;
+  std::atomic<uint32_t> num_indexes_{0};
+  std::vector<std::unique_ptr<Index>> overflow_indexes_;
+  std::mutex index_build_mu_;
 };
 
 /// Named relation store shared by EDB facts and derived IDB tuples.
+/// Relations are heap-allocated (they carry a mutex and atomics for the
+/// thread-safe probe path), so Relation pointers stay stable across map
+/// growth — parallel workers hold them for a whole evaluation round.
 class Database {
  public:
   /// Relation for `pred`, created with `arity` if absent.
@@ -284,7 +349,7 @@ class Database {
   std::vector<uint32_t> Predicates() const;
 
  private:
-  std::unordered_map<uint32_t, Relation> relations_;
+  std::unordered_map<uint32_t, std::unique_ptr<Relation>> relations_;
 };
 
 }  // namespace sparqlog::datalog

@@ -48,11 +48,18 @@ class ExecContext {
   /// Returns Timeout / ResourceExhausted when a limit has been crossed.
   /// The deadline is only consulted every `kClockStride` calls to keep the
   /// common path branch-cheap.
-  Status CheckBudget() {
+  Status CheckBudget() { return CheckBudgetShared(&clock_phase_); }
+
+  /// Thread-safe variant for parallel evaluation: identical semantics, but
+  /// the clock-stride phase counter lives in caller-owned state, so
+  /// concurrent workers each pace their own deadline checks instead of
+  /// racing on a shared counter. Limits must be configured before workers
+  /// start (set_deadline_after / set_tuple_budget are not synchronized).
+  Status CheckBudgetShared(uint32_t* clock_phase) const {
     if (tuples_used_.load(std::memory_order_relaxed) > tuple_budget_) {
       return Status::ResourceExhausted("tuple budget exceeded (mem-out)");
     }
-    if (has_deadline_ && ++clock_phase_ % kClockStride == 0 &&
+    if (has_deadline_ && ++*clock_phase % kClockStride == 0 &&
         Clock::now() > deadline_) {
       return Status::Timeout("deadline exceeded");
     }

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// Fixed-size worker pool for "parallel regions". The Datalog evaluator
+/// uses one region per semi-naive round: every worker runs the same
+/// closure with its worker index, shards the round's delta scan by row-id
+/// range, and the region's return doubles as the round barrier that makes
+/// staged derivations safe to merge.
+///
+/// The pool owns `num_workers - 1` threads; the caller of RunOnWorkers
+/// participates as worker 0, so a pool of size 1 degenerates to a plain
+/// inline call with no synchronization at all.
+
+namespace sparqlog {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_workers)
+      : num_workers_(num_workers == 0 ? 1 : num_workers) {
+    threads_.reserve(num_workers_ - 1);
+    for (size_t w = 1; w < num_workers_; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// Invokes `fn(w)` once for every worker index `w` in `[0, num_workers)`
+  /// — `fn(0)` on the calling thread, the rest on pool threads — and
+  /// returns when all invocations have finished (full barrier). The
+  /// closure must not call RunOnWorkers reentrantly and must not throw;
+  /// report failures through captured state (Status per worker).
+  void RunOnWorkers(const std::function<void(size_t)>& fn) {
+    if (num_workers_ == 1) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_ = &fn;
+      pending_ = num_workers_ - 1;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(size_t worker_index) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(size_t)>* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_cv_.wait(lock,
+                       [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        task = task_;
+      }
+      (*task)(worker_index);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  const size_t num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;  // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for pending_ == 0
+  const std::function<void(size_t)>* task_ = nullptr;
+  uint64_t generation_ = 0;
+  size_t pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace sparqlog

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "datalog/ast.h"
 #include "datalog/evaluator.h"
 #include "datalog/printer.h"
@@ -80,6 +84,93 @@ TEST(RelationTest, ProbeBuildsAndMaintainsIndexes) {
   ASSERT_EQ(span.size(), 1u);
   EXPECT_EQ(rel.row(span[0]), (std::vector<Value>{2, 10}));
   EXPECT_TRUE(rel.Probe({1}, {99}).empty());
+}
+
+TEST(RelationTest, TryProbeMatchesProbeAndSurvivesConcurrentBuild) {
+  Relation rel(2);
+  for (Value i = 0; i < 200; ++i) rel.Insert({i % 20, i}, 0);
+  // Concurrent first-probe: workers race to build and publish the same
+  // two indexes; every probe must see a fully built index.
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rel, &mismatches] {
+      for (Value k = 0; k < 20; ++k) {
+        MatchSpan span;
+        if (!rel.TryProbe({0}, {k}, &span) || span.size() != 10) {
+          ++mismatches;
+        }
+        if (!rel.TryProbe({1}, {k}, &span) || span.size() != 1) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // The published indexes are the same ones Probe sees, and both stay
+  // maintained across later inserts.
+  rel.Insert({3, 1000}, 1);
+  EXPECT_EQ(rel.Probe({0}, {3}).size(), 11u);
+  MatchSpan span;
+  ASSERT_TRUE(rel.TryProbe({0}, {3}, &span));
+  EXPECT_EQ(span.size(), 11u);
+}
+
+TEST(RelationTest, InsertStagedMergesAndDedupes) {
+  Relation rel(2);
+  rel.Insert({1, 2}, 0);
+  rel.Insert({3, 4}, 0);
+  // Staging buffer holds one duplicate of the relation and two fresh
+  // tuples (already deduped within itself, as worker staging stores are).
+  TupleStore staged(2);
+  bool fresh = false;
+  const Value rows[][2] = {{1, 2}, {5, 6}, {7, 8}};
+  for (const auto& row : rows) staged.Insert(row, &fresh);
+  EXPECT_EQ(rel.InsertStaged(staged, 3), 2u);
+  EXPECT_EQ(rel.size(), 4u);
+  EXPECT_TRUE(rel.Contains({5, 6}));
+  // Merged rows carry the barrier round: they form round 3's delta.
+  auto [lo, hi] = rel.RoundRange(3);
+  EXPECT_EQ(hi - lo, 2u);
+  EXPECT_EQ(rel.row(lo), (std::vector<Value>{5, 6}));
+  // An empty staging store merges nothing.
+  TupleStore empty(2);
+  EXPECT_EQ(rel.InsertStaged(empty, 4), 0u);
+}
+
+TEST(TupleStoreTest, ClearKeepsCapacityAndResetsDedup) {
+  TupleStore store(2);
+  bool fresh = false;
+  for (Value i = 0; i < 100; ++i) {
+    store.Insert(std::vector<Value>{i, i + 1}.data(), &fresh);
+  }
+  EXPECT_EQ(store.size(), 100u);
+  size_t bytes_before = store.bytes();
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.bytes(), bytes_before);  // capacity retained
+  const Value row[] = {7, 8};
+  store.Insert(row, &fresh);
+  EXPECT_TRUE(fresh);  // dedup table was reset, not just truncated
+  store.Insert(row, &fresh);
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RelationTest, ShardRangeCursorCoversArenaSegments) {
+  Relation rel(2);
+  for (Value i = 0; i < 10; ++i) rel.Insert({i, i * 2}, 0);
+  TupleCursor shard = rel.rows(4, 7);
+  ASSERT_EQ(shard.size(), 3u);
+  EXPECT_EQ(shard[0], (std::vector<Value>{4, 8}));
+  EXPECT_EQ(shard[2], (std::vector<Value>{6, 12}));
+  // Shards tile the arena: [0,5) + [5,10) visit each row exactly once.
+  size_t visited = 0;
+  for (RowRef row : rel.rows(0, 5)) visited += row.size() ? 1 : 0;
+  for (RowRef row : rel.rows(5, 10)) visited += row.size() ? 1 : 0;
+  EXPECT_EQ(visited, rel.size());
+  EXPECT_TRUE(rel.rows(10, 10).empty());
 }
 
 TEST(RelationTest, CursorIteratesArenaInInsertionOrder) {

@@ -18,17 +18,28 @@ namespace {
 
 class FixpointDifferentialTest : public ::testing::Test {
  protected:
-  /// Evaluates `program` over `edb_facts` in both modes and asserts the
-  /// canonical dumps of every IDB relation are identical.
+  /// One evaluation configuration under test: fixpoint strategy plus the
+  /// worker-thread count of the sharded semi-naive path (ignored by naive
+  /// mode, which is the single-threaded reference semantics).
+  struct Config {
+    FixpointMode mode;
+    uint32_t num_threads;
+  };
+
+  /// Evaluates `program` over `edb_facts` under naive, serial semi-naive,
+  /// and sharded semi-naive (2 and 8 workers) and asserts the canonical
+  /// dumps of every IDB relation are identical across all four.
   void ExpectModesAgree(
       const Program& program,
       const std::vector<std::pair<PredicateId, std::vector<Value>>>&
           edb_facts,
       const std::vector<std::string>& skolem_fns = {}) {
-    std::string dumps[2];
-    const FixpointMode modes[2] = {FixpointMode::kSemiNaive,
-                                   FixpointMode::kNaive};
-    for (int m = 0; m < 2; ++m) {
+    const Config configs[] = {{FixpointMode::kNaive, 1},
+                              {FixpointMode::kSemiNaive, 1},
+                              {FixpointMode::kSemiNaive, 2},
+                              {FixpointMode::kSemiNaive, 8}};
+    std::string reference;
+    for (const Config& config : configs) {
       Database edb, idb;
       for (const auto& [pred, tuple] : edb_facts) {
         edb.relation(pred, static_cast<uint32_t>(tuple.size()))
@@ -39,13 +50,21 @@ class FixpointDifferentialTest : public ::testing::Test {
       SkolemStore skolems;
       for (const std::string& fn : skolem_fns) skolems.InternFunction(fn);
       Evaluator evaluator(&dict_, &skolems);
-      evaluator.set_mode(modes[m]);
+      evaluator.set_mode(config.mode);
+      evaluator.set_num_threads(config.num_threads);
       ExecContext ctx;
       ASSERT_TRUE(evaluator.Evaluate(program, &edb, &idb, &ctx).ok());
-      dumps[m] = ToString(idb, program.predicates, dict_, skolems);
-      ASSERT_FALSE(dumps[m].empty()) << "fixpoint derived nothing";
+      std::string dump = ToString(idb, program.predicates, dict_, skolems);
+      ASSERT_FALSE(dump.empty()) << "fixpoint derived nothing";
+      if (reference.empty()) {
+        reference = dump;
+      } else {
+        EXPECT_EQ(reference, dump)
+            << "divergence at mode="
+            << (config.mode == FixpointMode::kNaive ? "naive" : "semi-naive")
+            << " num_threads=" << config.num_threads;
+      }
     }
-    EXPECT_EQ(dumps[0], dumps[1]);
   }
 
   /// Interned integer term as a Datalog value (facts are rendered by

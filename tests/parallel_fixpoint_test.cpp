@@ -1,0 +1,270 @@
+// Tests for the parallel sharded semi-naive fixpoint: thread-count sweeps
+// over recursive programs (results must be set-identical to the serial
+// path), a stress program deriving into many relations concurrently, a
+// regression pin that num_threads=1 reproduces the seed single-threaded
+// insertion order byte-for-byte, budget enforcement across workers, and
+// mixed eligibility (shardable and serial-only rules sharing a recursive
+// stratum).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/evaluator.h"
+#include "datalog/printer.h"
+#include "datalog/relation.h"
+#include "datalog/value.h"
+
+namespace sparqlog::datalog {
+namespace {
+
+class ParallelFixpointTest : public ::testing::Test {
+ protected:
+  Value V(int64_t i) { return ValueFromTerm(dict_.InternInteger(i)); }
+
+  /// Evaluates `program` over `edb_facts` with `num_threads` workers and
+  /// returns the canonical IDB dump (empty string on evaluation error).
+  std::string Dump(const Program& program,
+                   const std::vector<std::pair<PredicateId,
+                                               std::vector<Value>>>& facts,
+                   uint32_t num_threads,
+                   const std::vector<std::string>& skolem_fns = {}) {
+    Database edb, idb;
+    for (const auto& [pred, tuple] : facts) {
+      edb.relation(pred, static_cast<uint32_t>(tuple.size()))
+          .Insert(tuple, 0);
+    }
+    SkolemStore skolems;
+    for (const std::string& fn : skolem_fns) skolems.InternFunction(fn);
+    Evaluator evaluator(&dict_, &skolems);
+    evaluator.set_num_threads(num_threads);
+    ExecContext ctx;
+    if (!evaluator.Evaluate(program, &edb, &idb, &ctx).ok()) return "";
+    return ToString(idb, program.predicates, dict_, skolems);
+  }
+
+  rdf::TermDictionary dict_;
+};
+
+/// Transitive closure over a graph with cycles, swept across worker
+/// counts including 0 (= hardware_concurrency auto-resolution).
+TEST_F(ParallelFixpointTest, ClosureAgreesAcrossThreadCounts) {
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  RuleBuilder rb(&program.predicates);
+  rb.Head("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("tc", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("tc", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+
+  std::vector<std::pair<PredicateId, std::vector<Value>>> facts;
+  for (int64_t i = 1; i <= 40; ++i) {
+    facts.push_back({edge, {V(i), V(i % 40 + 1)}});
+    if (i % 5 == 0) facts.push_back({edge, {V(i), V((i + 11) % 40 + 1)}});
+  }
+  std::string serial = Dump(program, facts, 1);
+  ASSERT_FALSE(serial.empty());
+  for (uint32_t threads : {0u, 2u, 3u, 8u}) {
+    EXPECT_EQ(serial, Dump(program, facts, threads))
+        << "num_threads=" << threads;
+  }
+
+  // Prove the sharded path actually engaged (no silent serial fallback).
+  Database edb, idb;
+  for (const auto& [pred, tuple] : facts) {
+    edb.relation(pred, static_cast<uint32_t>(tuple.size()))
+        .Insert(tuple, 0);
+  }
+  SkolemStore skolems;
+  Evaluator evaluator(&dict_, &skolems);
+  evaluator.set_num_threads(2);
+  ExecContext ctx;
+  ASSERT_TRUE(evaluator.Evaluate(program, &edb, &idb, &ctx).ok());
+  EXPECT_GT(evaluator.stats().parallel_rounds, 0u);
+}
+
+/// Stress: six mutually recursive predicates in one SCC, so every round
+/// fans out shards that derive into many relations concurrently and the
+/// barrier merges staging buffers for all of them.
+TEST_F(ParallelFixpointTest, ManyRelationsDerivedConcurrently) {
+  constexpr int kPreds = 6;
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  RuleBuilder rb(&program.predicates);
+  auto name = [](int i) { return "p" + std::to_string(i); };
+  rb.Head(name(0), {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  for (int i = 0; i < kPreds; ++i) {
+    // p_{i+1 mod k}(X,Z) :- p_i(X,Y), edge(Y,Z): one cyclic chain of
+    // predicates, all in the same stratum.
+    rb.Head(name((i + 1) % kPreds), {rb.Var("X"), rb.Var("Z")});
+    rb.Body(name(i), {rb.Var("X"), rb.Var("Y")});
+    rb.Body("edge", {rb.Var("Y"), rb.Var("Z")});
+    program.rules.push_back(rb.Build());
+  }
+
+  std::vector<std::pair<PredicateId, std::vector<Value>>> facts;
+  for (int64_t i = 1; i <= 24; ++i) {
+    facts.push_back({edge, {V(i), V(i % 24 + 1)}});
+    if (i % 4 == 0) facts.push_back({edge, {V(i), V((i + 7) % 24 + 1)}});
+  }
+  std::string serial = Dump(program, facts, 1);
+  ASSERT_FALSE(serial.empty());
+  for (uint32_t threads : {2u, 8u}) {
+    EXPECT_EQ(serial, Dump(program, facts, threads))
+        << "num_threads=" << threads;
+  }
+}
+
+/// Pins the seed single-threaded behavior: with num_threads=1 the arena
+/// insertion order of the semi-naive closure must stay exactly the
+/// pre-parallelism sequence (initial pass in rule order with same-pass
+/// visibility, then one delta scan per round). Byte-identical dumps
+/// follow a fortiori, since dumps are derived from arena contents.
+TEST_F(ParallelFixpointTest, SingleThreadKeepsSeedInsertionOrder) {
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  RuleBuilder rb(&program.predicates);
+  rb.Head("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("tc", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("tc", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+  PredicateId tc = *program.predicates.Lookup("tc");
+
+  Database edb, idb;
+  for (int64_t i = 1; i <= 3; ++i) {
+    edb.relation(edge, 2).Insert({V(i), V(i + 1)}, 0);
+  }
+  SkolemStore skolems;
+  Evaluator evaluator(&dict_, &skolems);
+  evaluator.set_num_threads(1);
+  ExecContext ctx;
+  ASSERT_TRUE(evaluator.Evaluate(program, &edb, &idb, &ctx).ok());
+
+  // Chain 1->2->3->4. Initial pass: rule 1 copies the edges in scan
+  // order, then rule 2 joins each edge against the tc rows already
+  // inserted this pass. Round 2's delta scan adds the last pair.
+  const std::vector<std::vector<Value>> expected = {
+      {V(1), V(2)}, {V(2), V(3)}, {V(3), V(4)},
+      {V(1), V(3)}, {V(2), V(4)}, {V(1), V(4)},
+  };
+  const Relation* rel = idb.Find(tc);
+  ASSERT_NE(rel, nullptr);
+  ASSERT_EQ(rel->size(), expected.size());
+  for (uint32_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(rel->row(i), expected[i]) << "row " << i;
+  }
+  EXPECT_EQ(evaluator.stats().parallel_rounds, 0u);
+}
+
+/// Shardable and serial-only rules sharing one recursive stratum: the
+/// Skolem-building rule must take the serial path within each parallel
+/// round, and results must match the fully serial evaluation.
+TEST_F(ParallelFixpointTest, MixedEligibilityStratumAgrees) {
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  SkolemStore naming;
+  uint32_t f = naming.InternFunction("f1");
+  RuleBuilder rb(&program.predicates);
+  rb.Head("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("a", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+  // b tags pairs with a Skolem id and feeds them back into a, closing the
+  // SCC {a, b} while staying a terminating program (b adds no new pairs).
+  rb.Head("b", {rb.Var("ID"), rb.Var("X"), rb.Var("Y")});
+  rb.Body("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Skolem(rb.Var("ID"), f, {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("b", {rb.Var("ID"), rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+
+  std::vector<std::pair<PredicateId, std::vector<Value>>> facts;
+  for (int64_t i = 1; i <= 12; ++i) {
+    facts.push_back({edge, {V(i), V(i % 12 + 1)}});
+  }
+  std::string serial = Dump(program, facts, 1, {"f1"});
+  ASSERT_FALSE(serial.empty());
+  for (uint32_t threads : {2u, 8u}) {
+    EXPECT_EQ(serial, Dump(program, facts, threads, {"f1"}))
+        << "num_threads=" << threads;
+  }
+}
+
+/// The tuple budget ("mem-out") must still trip when derivations are
+/// staged by parallel workers — enforced mid-round per worker and exactly
+/// at each merge barrier.
+TEST_F(ParallelFixpointTest, TupleBudgetTripsAcrossWorkers) {
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  RuleBuilder rb(&program.predicates);
+  rb.Head("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("tc", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("tc", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+
+  Database edb, idb;
+  for (int64_t i = 1; i <= 64; ++i) {
+    edb.relation(edge, 2).Insert({V(i), V(i % 64 + 1)}, 0);
+  }
+  SkolemStore skolems;
+  Evaluator evaluator(&dict_, &skolems);
+  evaluator.set_num_threads(8);
+  ExecContext ctx;
+  ctx.set_tuple_budget(500);  // full closure is 64*64 = 4096 tuples
+  Status st = evaluator.Evaluate(program, &edb, &idb, &ctx);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+}
+
+/// The deadline must still be sampled when an evaluation is made of many
+/// short rule runs: the clock-stride phase persists across serial
+/// invocations (as the pre-parallelism context-owned counter did), so an
+/// expired deadline trips even though no single RuleRun performs
+/// kClockStride checks on its own.
+TEST_F(ParallelFixpointTest, DeadlineTripsAcrossManyShortRuleRuns) {
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  RuleBuilder rb(&program.predicates);
+  rb.Head("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("tc", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("tc", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+
+  // A long chain: hundreds of fixpoint rounds with tiny deltas, so every
+  // individual rule run stays far under one clock stride.
+  Database edb, idb;
+  for (int64_t i = 1; i <= 400; ++i) {
+    edb.relation(edge, 2).Insert({V(i), V(i + 1)}, 0);
+  }
+  SkolemStore skolems;
+  Evaluator evaluator(&dict_, &skolems);
+  evaluator.set_num_threads(1);
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Status st = evaluator.Evaluate(program, &edb, &idb, &ctx);
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
+}
+
+}  // namespace
+}  // namespace sparqlog::datalog

@@ -1,15 +1,19 @@
 // Unit tests for the util substrate: Status/Result, string helpers,
-// deterministic RNG, and the ExecContext budget machinery that powers the
-// benchmark harness's time-out / mem-out rows.
+// deterministic RNG, the ExecContext budget machinery that powers the
+// benchmark harness's time-out / mem-out rows, and the worker pool behind
+// the parallel fixpoint.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "util/exec_context.h"
 #include "util/hash.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace sparqlog {
 namespace {
@@ -135,6 +139,67 @@ TEST(ExecContextTest, DeadlineTriggersTimeout) {
   Status last = Status::OK();
   for (int i = 0; i < 1000 && last.ok(); ++i) last = ctx.CheckBudget();
   EXPECT_TRUE(last.IsTimeout());
+}
+
+TEST(ExecContextTest, SharedBudgetCheckUsesCallerPhase) {
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Two workers with independent phase counters each detect the timeout
+  // within their own clock stride; the mem-out check is phase-free.
+  for (int worker = 0; worker < 2; ++worker) {
+    uint32_t phase = 0;
+    Status last = Status::OK();
+    for (int i = 0; i < 1000 && last.ok(); ++i) {
+      last = ctx.CheckBudgetShared(&phase);
+    }
+    EXPECT_TRUE(last.IsTimeout());
+  }
+  ExecContext memout;
+  memout.set_tuple_budget(10);
+  memout.AddTuples(11);
+  uint32_t phase = 0;
+  EXPECT_TRUE(memout.CheckBudgetShared(&phase).IsResourceExhausted());
+}
+
+TEST(ThreadPoolTest, RunsEveryWorkerExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.RunOnWorkers([&](size_t w) { ++hits[w]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, RegionsReuseWorkersAndBarrier) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int region = 0; region < 50; ++region) {
+    pool.RunOnWorkers([&](size_t w) {
+      sum.fetch_add(static_cast<int>(w) + 1);
+    });
+    // RunOnWorkers is a full barrier: after it returns, all three
+    // contributions of this region are visible.
+    EXPECT_EQ(sum.load(), (region + 1) * 6);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.RunOnWorkers([&](size_t w) {
+    EXPECT_EQ(w, 0u);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, ZeroRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  int runs = 0;
+  pool.RunOnWorkers([&](size_t) { ++runs; });
+  EXPECT_EQ(runs, 1);
 }
 
 TEST(HashTest, HashRangeDiffersOnContent) {
