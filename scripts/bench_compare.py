@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Perf-trajectory gate: diff a fresh BENCH_micro_datalog.json against the
 committed bench/baseline.json and fail CI on wall-time regressions in the
-gated benchmark families (BM_TupleStore*, BM_TransitiveClosure*).
+gated benchmark families (BM_TupleStore*, BM_TransitiveClosure*,
+BM_RepeatedQuery*). Both sides are reduced to the per-benchmark median of
+their recorded repetitions before comparing.
 
 Hosted runners are not the machine the baseline was recorded on, so the
 default comparison is *calibrated*: every gated benchmark's fresh/baseline
@@ -32,23 +34,31 @@ DEFAULT_BASELINE = "bench/baseline.json"
 # multi-thread rows are oversubscribed, so on a multi-core runner their
 # ratios are large outliers that calibration cannot gate meaningfully.
 # Re-record the baseline on a multi-core host before widening the gate.
-GATE_PATTERN = r"^(BM_TupleStore|BM_TransitiveClosure(?!_Parallel))"
+GATE_PATTERN = (
+    r"^(BM_TupleStore|BM_TransitiveClosure(?!_Parallel)|BM_RepeatedQuery)"
+)
 
 
 def load_benchmarks(path):
-    """Returns {name: real_time_ns} for per-iteration benchmark entries."""
+    """Returns {name: real_time_ns} for per-iteration benchmark entries.
+
+    With --benchmark_repetitions=N (see scripts/check.sh) each benchmark
+    contributes N iteration rows under the same name; the *median* of the
+    repetitions is used on both sides of the gate, which cuts the
+    run-to-run noise of hosted CI runners.
+    """
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    out = {}
+    samples = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue  # skip aggregate rows (mean/median/stddev)
-        out[b["name"]] = float(b["real_time"])
-    return out
+        samples.setdefault(b["name"], []).append(float(b["real_time"]))
+    return {name: statistics.median(times) for name, times in samples.items()}
 
 
 def fmt_ns(ns):

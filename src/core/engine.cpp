@@ -1,17 +1,23 @@
 #include "core/engine.h"
 
 #include "datalog/printer.h"
+#include "sparql/shape.h"
 
 namespace sparqlog::core {
 
 Engine::Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict,
                Options options)
-    : dataset_(dataset), dict_(dict), options_(options) {}
+    : dataset_(dataset),
+      dict_(dict),
+      options_(options),
+      program_cache_(options.program_cache_capacity),
+      stratum_memo_(options.stratum_memo_bytes) {}
 
 Status Engine::Load() {
   if (loaded_) return Status::OK();
   SPARQLOG_RETURN_NOT_OK(DataTranslator::Translate(*dataset_, dict_, &edb_));
   loaded_ = true;
+  loaded_generation_ = dataset_->Generation();
   return Status::OK();
 }
 
@@ -20,11 +26,73 @@ Result<datalog::Program> Engine::Translate(const sparql::Query& query) {
   return translator.Translate(query);
 }
 
+std::vector<datalog::Value> Engine::AmbientValues() {
+  using datalog::ValueFromTerm;
+  std::vector<datalog::Value> out;
+  out.push_back(ValueFromTerm(DefaultGraphTerm(dict_)));
+  out.push_back(ValueFromTerm(dict_->InternBoolean(true)));
+  out.push_back(ValueFromTerm(dict_->InternBoolean(false)));
+  if (options_.ontology) {
+    for (std::string_view iri :
+         {rdf::rdfns::kType, rdf::rdfns::kSubClassOf,
+          rdf::rdfns::kSubPropertyOf, rdf::rdfns::kDomain,
+          rdf::rdfns::kRange}) {
+      out.push_back(ValueFromTerm(dict_->InternIri(std::string(iri))));
+    }
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
+    const sparql::Query& query) {
+  sparql::QueryShape shape = sparql::ComputeQueryShape(query);
+  if (ProgramCache::Entry* entry = program_cache_.Lookup(shape)) {
+    if (entry->data_key == shape.data_key) {
+      ++cache_stats_.program_hits;
+      return entry->program;
+    }
+    std::optional<datalog::Program> rebound =
+        RebindProgram(*entry, shape, query, AmbientValues());
+    if (rebound.has_value()) {
+      ++cache_stats_.program_rebinds;
+      // Adopt the re-bound program as the shape's template: production
+      // traffic repeats the *latest* constants, so the next arrival of
+      // this exact query is a verbatim hit.
+      entry->program =
+          std::make_shared<const datalog::Program>(std::move(*rebound));
+      entry->params = shape.params;
+      entry->data_key = shape.data_key;
+      return entry->program;
+    }
+    // A changing parameter collided with an engine constant; fall through
+    // to a fresh translation and make it the shape's new template.
+  }
+  ++cache_stats_.program_misses;
+  SPARQLOG_ASSIGN_OR_RETURN(datalog::Program translated, Translate(query));
+  auto program =
+      std::make_shared<const datalog::Program>(std::move(translated));
+  ProgramCache::Entry entry;
+  entry.program = program;
+  entry.params = shape.params;
+  entry.data_key = shape.data_key;
+  program_cache_.Insert(shape, std::move(entry));
+  return program;
+}
+
 Result<eval::QueryResult> Engine::Execute(const sparql::Query& query) {
+  // Mutating the dataset after Load invalidates the materialized EDB and
+  // every memoized stratum result derived from it.
+  if (loaded_ && dataset_->Generation() != loaded_generation_) {
+    edb_ = datalog::Database();
+    loaded_ = false;
+    stratum_memo_.Clear();
+    ++cache_stats_.invalidations;
+  }
   SPARQLOG_RETURN_NOT_OK(Load());
   // FROM / FROM NAMED construct a query-specific dataset; translate its
   // data on the fly (the paper's engine likewise demands the query dataset
-  // to be loaded for answering, §4.3).
+  // to be loaded for answering, §4.3). The scoped EDB is not this
+  // dataset's generation, so the stratum memo sits out.
   if (!query.from.empty() || !query.from_named.empty()) {
     rdf::Dataset scoped =
         dataset_->WithClauses(query.from, query.from_named);
@@ -32,15 +100,23 @@ Result<eval::QueryResult> Engine::Execute(const sparql::Query& query) {
     SPARQLOG_RETURN_NOT_OK(
         DataTranslator::Translate(scoped, dict_, &scoped_edb));
     std::swap(edb_, scoped_edb);
-    auto result = ExecuteInternal(query);
+    auto result = ExecuteInternal(query, /*allow_stratum_memo=*/false);
     std::swap(edb_, scoped_edb);
     return result;
   }
-  return ExecuteInternal(query);
+  return ExecuteInternal(query, /*allow_stratum_memo=*/true);
 }
 
-Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query) {
-  SPARQLOG_ASSIGN_OR_RETURN(datalog::Program program, Translate(query));
+Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query,
+                                                  bool allow_stratum_memo) {
+  std::shared_ptr<const datalog::Program> program;
+  if (options_.program_cache) {
+    SPARQLOG_ASSIGN_OR_RETURN(program, TranslateCached(query));
+  } else {
+    SPARQLOG_ASSIGN_OR_RETURN(datalog::Program translated, Translate(query));
+    program =
+        std::make_shared<const datalog::Program>(std::move(translated));
+  }
 
   ExecContext ctx;
   if (options_.timeout.count() > 0) ctx.set_deadline_after(options_.timeout);
@@ -49,10 +125,16 @@ Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query) {
   datalog::Database idb;
   datalog::Evaluator evaluator(dict_, &skolems_);
   evaluator.set_num_threads(options_.num_threads);
-  SPARQLOG_RETURN_NOT_OK(evaluator.Evaluate(program, &edb_, &idb, &ctx));
+  if (options_.stratum_memo && allow_stratum_memo) {
+    evaluator.set_stratum_memo(&stratum_memo_, loaded_generation_);
+  }
+  SPARQLOG_RETURN_NOT_OK(evaluator.Evaluate(*program, &edb_, &idb, &ctx));
   last_stats_ = evaluator.stats();
+  cache_stats_.stratum_hits += last_stats_.strata_memo_hits;
+  cache_stats_.stratum_misses += last_stats_.strata_memo_misses;
+  cache_stats_.tuples_restored += last_stats_.tuples_restored;
 
-  return SolutionTranslator::Translate(program, query, idb, dict_, &ctx);
+  return SolutionTranslator::Translate(*program, query, idb, dict_, &ctx);
 }
 
 Result<eval::QueryResult> Engine::ExecuteText(std::string_view sparql_text) {

@@ -5,9 +5,11 @@
 #include <string_view>
 
 #include "core/data_translator.h"
+#include "core/program_cache.h"
 #include "core/query_translator.h"
 #include "core/solution_translator.h"
 #include "datalog/evaluator.h"
+#include "datalog/stratum_memo.h"
 #include "eval/binding.h"
 #include "rdf/graph.h"
 #include "sparql/parser.h"
@@ -39,6 +41,31 @@ class Engine {
     /// 1 runs the exact single-threaded semi-naive path. Thread count
     /// never changes query results, only evaluation parallelism.
     uint32_t num_threads = 0;
+    /// Shape-keyed translated-program cache: repeated queries (and
+    /// queries differing only in constants / LIMIT / OFFSET) skip T_Q
+    /// and re-bind parameters into the cached Datalog± program.
+    bool program_cache = true;
+    /// LRU capacity of the program cache, in distinct query shapes.
+    size_t program_cache_capacity = 64;
+    /// Cross-query memoization of stratum results: derived relations of
+    /// strata whose rules and inputs are unchanged (same dataset
+    /// generation) are snapshotted and replayed instead of re-derived.
+    bool stratum_memo = true;
+    /// Byte budget of the stratum memo (LRU-evicted beyond it).
+    size_t stratum_memo_bytes = 64ull << 20;
+  };
+
+  /// Cache observability (engine lifetime totals).
+  struct CacheStats {
+    uint64_t program_hits = 0;      ///< shape + data hit: program reused
+    uint64_t program_rebinds = 0;   ///< shape hit: parameters re-bound
+    uint64_t program_misses = 0;    ///< translated from scratch
+    uint64_t program_evictions = 0;
+    uint64_t stratum_hits = 0;      ///< strata replayed from snapshots
+    uint64_t stratum_misses = 0;    ///< fingerprinted strata evaluated
+    uint64_t stratum_evictions = 0;
+    uint64_t tuples_restored = 0;   ///< tuples replayed from snapshots
+    uint64_t invalidations = 0;     ///< dataset-generation EDB rebuilds
   };
 
   /// The engine keeps references to the dataset and dictionary; both must
@@ -71,6 +98,14 @@ class Engine {
   const datalog::EvalStats& last_stats() const { return last_stats_; }
   datalog::SkolemStore* skolems() { return &skolems_; }
 
+  /// Cache hit/miss/eviction totals since construction.
+  CacheStats cache_stats() const {
+    CacheStats s = cache_stats_;
+    s.program_evictions = program_cache_.evictions();
+    s.stratum_evictions = stratum_memo_.evictions();
+    return s;
+  }
+
   /// Storage footprint of the materialized EDB (TupleStore arenas, dedup
   /// tables and indexes), for benchmark loading-cost reporting.
   struct StorageStats {
@@ -82,7 +117,16 @@ class Engine {
   }
 
  private:
-  Result<eval::QueryResult> ExecuteInternal(const sparql::Query& query);
+  Result<eval::QueryResult> ExecuteInternal(const sparql::Query& query,
+                                            bool allow_stratum_memo);
+  /// Program for `query` via the shape-keyed cache: verbatim reuse on a
+  /// data-identical hit, parameter re-binding on a shape hit, fresh
+  /// translation (stored as the shape's template) otherwise.
+  Result<std::shared_ptr<const datalog::Program>> TranslateCached(
+      const sparql::Query& query);
+  /// Engine constants whose values must never be confused with query
+  /// parameters during re-binding (see program_cache.h).
+  std::vector<datalog::Value> AmbientValues();
 
   const rdf::Dataset* dataset_;
   rdf::TermDictionary* dict_;
@@ -90,7 +134,11 @@ class Engine {
   datalog::SkolemStore skolems_;
   datalog::Database edb_;
   bool loaded_ = false;
+  uint64_t loaded_generation_ = 0;
   datalog::EvalStats last_stats_;
+  ProgramCache program_cache_;
+  datalog::StratumMemo stratum_memo_;
+  CacheStats cache_stats_;
 };
 
 }  // namespace sparqlog::core

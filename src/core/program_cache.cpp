@@ -1,0 +1,137 @@
+#include "core/program_cache.h"
+
+#include <algorithm>
+
+#include "core/query_translator.h"
+
+namespace sparqlog::core {
+
+using datalog::Program;
+using datalog::Value;
+using datalog::ValueFromTerm;
+
+ProgramCache::Entry* ProgramCache::Lookup(const sparql::QueryShape& shape) {
+  auto it = index_.find(shape.key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->second;
+}
+
+ProgramCache::Entry* ProgramCache::Insert(const sparql::QueryShape& shape,
+                                          Entry entry) {
+  auto it = index_.find(shape.key);
+  if (it != index_.end()) {
+    it->second->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
+  }
+  lru_.emplace_front(shape.key, std::move(entry));
+  index_.emplace(shape.key, lru_.begin());
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return &lru_.front().second;
+}
+
+namespace {
+
+using TermMap = std::unordered_map<rdf::TermId, rdf::TermId>;
+
+/// Structure-preserving rewrite of constant terms inside an expression
+/// tree. Returns the input pointer when nothing changed, so unaffected
+/// subtrees stay shared with the cached program.
+sparql::ExprPtr RewriteExpr(const sparql::ExprPtr& e, const TermMap& m) {
+  bool changed = false;
+  std::vector<sparql::ExprPtr> args;
+  args.reserve(e->args.size());
+  for (const sparql::ExprPtr& a : e->args) {
+    sparql::ExprPtr r = RewriteExpr(a, m);
+    changed |= r != a;
+    args.push_back(std::move(r));
+  }
+  rdf::TermId term = e->term;
+  if (e->kind == sparql::ExprKind::kTerm) {
+    auto it = m.find(term);
+    if (it != m.end()) {
+      term = it->second;
+      changed = true;
+    }
+  }
+  if (!changed) return e;
+  auto n = std::make_shared<sparql::Expr>(*e);
+  n->term = term;
+  n->args = std::move(args);
+  return n;
+}
+
+void SubTerm(datalog::RuleTerm* t,
+             const std::unordered_map<Value, Value>& m) {
+  if (t->is_var) return;
+  auto it = m.find(t->constant);
+  if (it != m.end()) t->constant = it->second;
+}
+
+}  // namespace
+
+std::optional<Program> RebindProgram(
+    const ProgramCache::Entry& entry, const sparql::QueryShape& shape,
+    const sparql::Query& query, const std::vector<Value>& ambient) {
+  TermMap term_map;
+  std::unordered_map<Value, Value> value_map;
+  for (size_t k = 0; k < shape.params.size(); ++k) {
+    rdf::TermId old_term = entry.params[k];
+    rdf::TermId new_term = shape.params[k];
+    if (old_term == new_term) continue;
+    Value old_value = ValueFromTerm(old_term);
+    // A changing parameter whose old value doubles as an engine constant
+    // would make value substitution ambiguous; refuse, caller
+    // re-translates.
+    if (std::find(ambient.begin(), ambient.end(), old_value) !=
+        ambient.end()) {
+      return std::nullopt;
+    }
+    term_map[old_term] = new_term;
+    value_map[old_value] = ValueFromTerm(new_term);
+  }
+
+  Program program = *entry.program;
+  if (!value_map.empty()) {
+    // Simultaneous (map-based) substitution: slots may swap values, so
+    // each position is rewritten at most once.
+    for (datalog::Rule& rule : program.rules) {
+      for (datalog::RuleTerm& t : rule.head.args) SubTerm(&t, value_map);
+      for (datalog::Atom& atom : rule.positive) {
+        for (datalog::RuleTerm& t : atom.args) SubTerm(&t, value_map);
+      }
+      for (datalog::Atom& atom : rule.negative) {
+        for (datalog::RuleTerm& t : atom.args) SubTerm(&t, value_map);
+      }
+      for (datalog::BuiltinLit& b : rule.builtins) {
+        SubTerm(&b.lhs, value_map);
+        SubTerm(&b.rhs, value_map);
+        SubTerm(&b.target, value_map);
+        for (datalog::RuleTerm& t : b.skolem_args) SubTerm(&t, value_map);
+        if (b.expr) b.expr = RewriteExpr(b.expr, term_map);
+      }
+    }
+    for (datalog::Fact& f : program.facts) {
+      for (Value& v : f.tuple) {
+        auto it = value_map.find(v);
+        if (it != value_map.end()) v = it->second;
+      }
+    }
+  }
+  // Column *positions* are shape-invariant (the shape key pins the
+  // sort-rank permutation of variables); the names, ORDER BY expressions
+  // and LIMIT/OFFSET are data, refreshed from the live query via the
+  // same routine T_Q's SELECT emission uses. ASK output (a single fixed
+  // boolean column, no @post directives) has nothing to refresh.
+  if (!program.output.is_ask) {
+    RefreshOutputDirectives(query, &program.output);
+  }
+  return program;
+}
+
+}  // namespace sparqlog::core

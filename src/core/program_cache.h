@@ -1,0 +1,84 @@
+#pragma once
+
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "sparql/shape.h"
+
+/// \file program_cache.h
+/// Bounded LRU cache of translated Datalog± programs keyed by canonical
+/// query shape (sparql/shape.h), plus the parameter re-binding that turns
+/// a cached program for one query into the program for any shape-equal
+/// query:
+///  * identical data (same constants, same variable spellings, same
+///    LIMIT/OFFSET) reuses the cached program object outright;
+///  * different data re-binds: the cached program is copied, every
+///    occurrence of an old parameter value (rule constants, fact tuples,
+///    constants inside embedded filter/assignment expressions) is
+///    replaced by the new query's value for that slot, and the output
+///    directives (column names, ORDER BY keys, LIMIT/OFFSET) are rebuilt
+///    from the live query.
+///
+/// Re-binding is value-based, which is sound because shape keys assign
+/// one slot per *distinct* constant: any program value equal to an old
+/// parameter either is that parameter or is an engine-ambient constant
+/// (default-graph term, ASK booleans, ontology IRIs). The ambient set is
+/// passed in by the engine; when a changing parameter collides with it,
+/// Rebind refuses and the caller re-translates instead.
+///
+/// The cache is engine-owned: Values, TermIds and Skolem function ids in
+/// a cached program refer to the engine's dictionary and Skolem store.
+
+namespace sparqlog::core {
+
+class ProgramCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const datalog::Program> program;
+    /// Parameter values the program was translated with, one per shape
+    /// slot (distinct by construction of the shape key).
+    std::vector<rdf::TermId> params;
+    /// QueryShape::data_key of the query the program was built from.
+    std::string data_key;
+  };
+
+  explicit ProgramCache(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Entry for `shape`, promoted to most-recently-used; nullptr on miss.
+  /// The pointer stays valid until the next Insert.
+  Entry* Lookup(const sparql::QueryShape& shape);
+
+  /// Inserts (or overwrites) the entry for `shape`, evicting the
+  /// least-recently-used entry beyond capacity. Returns the stored entry.
+  Entry* Insert(const sparql::QueryShape& shape, Entry entry);
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t capacity_;
+  uint64_t evictions_ = 0;
+  // Front = most recently used. The map owns nothing; it points into the
+  // list, whose node addresses are stable under splice.
+  std::list<std::pair<std::string, Entry>> lru_;
+  std::unordered_map<std::string, std::list<std::pair<std::string, Entry>>::
+                                      iterator>
+      index_;
+};
+
+/// Re-binds `entry`'s cached program to `query` (shape-equal by
+/// precondition): substitutes parameter values and rebuilds the output
+/// directives. Returns nullopt when a changing parameter collides with an
+/// `ambient` engine constant, in which case the caller must re-translate.
+std::optional<datalog::Program> RebindProgram(
+    const ProgramCache::Entry& entry, const sparql::QueryShape& shape,
+    const sparql::Query& query, const std::vector<datalog::Value>& ambient);
+
+}  // namespace sparqlog::core

@@ -831,24 +831,13 @@ Status QueryTranslator::TransPath(const Path& pp, bool dst, const TermOrVar& S,
   return Status::Internal("unhandled path kind in translation");
 }
 
-// Definition A.21 (Select) plus the @post directives.
-Status QueryTranslator::EmitSelect(const Query& q, bool dst, const Ctx& g) {
-  auto pvars = q.where->Vars();
-  std::vector<std::string> pattern_vars;
-  for (const auto& v : pvars) pattern_vars.push_back(VName(v));
-
-  datalog::OutputSpec& out = program_.output;
-  out.has_tid_column = !dst;
-  out.is_ask = false;
-
+void RefreshOutputDirectives(const Query& q, datalog::OutputSpec* out) {
   if (q.HasAggregates() || !q.group_by.empty()) {
     // Aggregation is applied by the solution translation on the pattern
     // root (the paper delegates GROUP BY / COUNT to Vadalog's aggregation
     // support; our engine applies it in T_S over the TID-tagged tuples).
-    out.predicate = program_.predicates.Intern(
-        AnsName(1),
-        static_cast<uint32_t>(pattern_vars.size()) + (dst ? 1 : 2));
-    out.columns = pvars;
+    out->columns = q.where->Vars();
+    out->hidden_columns.clear();
   } else {
     std::vector<std::string> visible = q.ProjectedVars();
     // ORDER BY may reference non-projected variables; carry them along as
@@ -864,8 +853,49 @@ Status QueryTranslator::EmitSelect(const Query& q, bool dst, const Ctx& g) {
         }
       }
     }
-    std::vector<std::string> layout = visible;
-    layout.insert(layout.end(), hidden.begin(), hidden.end());
+    out->columns = std::move(visible);
+    out->hidden_columns = std::move(hidden);
+  }
+
+  out->order_by.clear();
+  for (const auto& key : q.order_by) {
+    datalog::OrderSpec spec;
+    spec.expr = key.expr;
+    spec.descending = key.descending;
+    if (key.expr->kind == sparql::ExprKind::kVar) {
+      auto it = std::find(out->columns.begin(), out->columns.end(),
+                          key.expr->var);
+      if (it != out->columns.end()) {
+        spec.column = static_cast<uint32_t>(it - out->columns.begin()) +
+                      (out->has_tid_column ? 1 : 0);
+      }
+    }
+    out->order_by.push_back(std::move(spec));
+  }
+  out->limit = q.limit;
+  out->offset = q.offset;
+  out->distinct = q.distinct;
+}
+
+// Definition A.21 (Select) plus the @post directives.
+Status QueryTranslator::EmitSelect(const Query& q, bool dst, const Ctx& g) {
+  auto pvars = q.where->Vars();
+  std::vector<std::string> pattern_vars;
+  for (const auto& v : pvars) pattern_vars.push_back(VName(v));
+
+  datalog::OutputSpec& out = program_.output;
+  out.has_tid_column = !dst;
+  out.is_ask = false;
+  RefreshOutputDirectives(q, &out);
+
+  if (q.HasAggregates() || !q.group_by.empty()) {
+    out.predicate = program_.predicates.Intern(
+        AnsName(1),
+        static_cast<uint32_t>(pattern_vars.size()) + (dst ? 1 : 2));
+  } else {
+    std::vector<std::string> layout = out.columns;
+    layout.insert(layout.end(), out.hidden_columns.begin(),
+                  out.hidden_columns.end());
 
     RuleBuilder rb(&program_.predicates);
     std::vector<std::string> head_vars;
@@ -881,27 +911,7 @@ Status QueryTranslator::EmitSelect(const Query& q, bool dst, const Ctx& g) {
     }
     program_.rules.push_back(rb.Build());
     out.predicate = *program_.predicates.Lookup("ans");
-    out.columns = visible;
-    out.hidden_columns = hidden;
   }
-
-  for (const auto& key : q.order_by) {
-    datalog::OrderSpec spec;
-    spec.expr = key.expr;
-    spec.descending = key.descending;
-    if (key.expr->kind == sparql::ExprKind::kVar) {
-      auto it = std::find(out.columns.begin(), out.columns.end(),
-                          key.expr->var);
-      if (it != out.columns.end()) {
-        spec.column = static_cast<uint32_t>(it - out.columns.begin()) +
-                      (out.has_tid_column ? 1 : 0);
-      }
-    }
-    out.order_by.push_back(std::move(spec));
-  }
-  out.limit = q.limit;
-  out.offset = q.offset;
-  out.distinct = q.distinct;
   return Status::OK();
 }
 

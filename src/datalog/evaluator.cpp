@@ -464,6 +464,15 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
   SPARQLOG_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
   stats_.strata = strat.num_strata;
 
+  // Cross-query stratum memoization (semi-naive only: naive mode is the
+  // reference semantics the differential tests compare against, and its
+  // arena insertion order differs).
+  const bool memo_ok = memo_ != nullptr && mode_ == FixpointMode::kSemiNaive;
+  std::vector<uint64_t> stratum_fp;
+  if (memo_ok) {
+    stratum_fp = StratumFingerprints(program, strat, *skolems_, dataset_fp_);
+  }
+
   uint32_t threads = num_threads_;
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
@@ -484,6 +493,42 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
   for (uint32_t s = 0; s < strat.num_strata; ++s) {
     const std::vector<uint32_t>& rule_ids = strat.strata_rules[s];
     if (rule_ids.empty()) continue;
+
+    // Memo hit: replay the snapshot (arena order preserved; program
+    // facts already seeded above dedup away) instead of evaluating.
+    if (memo_ok) {
+      if (const StratumSnapshot* snap = memo_->Lookup(stratum_fp[s])) {
+        // Resolve every snapshot predicate before touching the IDB, so a
+        // (vanishingly unlikely) fingerprint collision with a foreign
+        // rule set degrades to a miss instead of corrupting results.
+        bool resolvable = true;
+        for (const auto& rel : snap->relations) {
+          auto pid = program.predicates.Lookup(rel.predicate);
+          if (!pid || program.predicates.Arity(*pid) != rel.arity) {
+            resolvable = false;
+            break;
+          }
+        }
+        if (resolvable) {
+          uint64_t restored = 0;
+          for (const auto& rel : snap->relations) {
+            Relation& r = idb->relation(
+                *program.predicates.Lookup(rel.predicate), rel.arity);
+            const Value* row = rel.rows.data();
+            for (uint32_t i = 0; i < rel.num_rows; ++i, row += rel.arity) {
+              if (r.Insert(row, round)) ++restored;
+            }
+          }
+          ctx->AddTuples(restored);
+          stats_.tuples_restored += restored;
+          ++stats_.strata_memo_hits;
+          SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+          ++round;
+          continue;
+        }
+      }
+      ++stats_.strata_memo_misses;
+    }
 
     // Head predicates defined in this stratum (delta candidates).
     std::unordered_set<PredicateId> stratum_heads;
@@ -526,8 +571,38 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
     ++stats_.rounds;
     ++round;
 
+    // Snapshot the completed stratum for reuse by later queries. A head
+    // relation at this point holds exactly the stratum's derivations plus
+    // any program facts seeded into it (head predicates are defined in
+    // one stratum only), which is precisely what the fingerprint covers.
+    auto snapshot_stratum = [&]() {
+      if (!memo_ok) return;
+      StratumSnapshot snap;
+      std::vector<PredicateId> heads(stratum_heads.begin(),
+                                     stratum_heads.end());
+      std::sort(heads.begin(), heads.end());
+      for (PredicateId p : heads) {
+        const Relation* r = idb->Find(p);
+        if (r == nullptr) continue;
+        StratumSnapshot::RelationSnapshot rs;
+        rs.predicate = program.predicates.Name(p);
+        rs.arity = r->arity();
+        rs.num_rows = static_cast<uint32_t>(r->size());
+        rs.rows.reserve(static_cast<size_t>(rs.num_rows) * rs.arity);
+        for (RowRef row : r->rows()) {
+          rs.rows.insert(rs.rows.end(), row.begin(), row.end());
+        }
+        snap.tuples += rs.num_rows;
+        snap.relations.push_back(std::move(rs));
+      }
+      memo_->Insert(stratum_fp[s], std::move(snap));
+    };
+
     // Non-recursive strata are complete after the single pass.
-    if (!strat.stratum_recursive[s]) continue;
+    if (!strat.stratum_recursive[s]) {
+      snapshot_stratum();
+      continue;
+    }
 
     // Delta tasks for the fixpoint rounds, split into the sharded-parallel
     // and serial sets. Staging delays same-round visibility (a worker's
@@ -693,6 +768,7 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
       ++stats_.rounds;
       ++round;
     }
+    snapshot_stratum();
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 #include "datalog/ast.h"
 #include "datalog/relation.h"
 #include "datalog/stratify.h"
+#include "datalog/stratum_memo.h"
 #include "datalog/value.h"
 #include "eval/expr_eval.h"
 #include "util/exec_context.h"
@@ -31,6 +32,9 @@ struct EvalStats {
   uint32_t rounds = 0;            ///< total semi-naive rounds
   uint32_t parallel_rounds = 0;   ///< rounds that ran a sharded fan-out
   uint32_t strata = 0;
+  uint32_t strata_memo_hits = 0;    ///< strata restored from the memo
+  uint32_t strata_memo_misses = 0;  ///< fingerprinted strata evaluated
+  uint64_t tuples_restored = 0;     ///< tuples re-inserted from snapshots
 };
 
 /// Evaluation strategy knob for the micro-ablation benchmark: naive mode
@@ -54,6 +58,18 @@ class Evaluator {
   /// ids); naive mode and non-recursive strata always run serially.
   void set_num_threads(uint32_t n) { num_threads_ = n; }
 
+  /// Attaches a cross-query stratum memo (see stratum_memo.h).
+  /// `dataset_fp` is the generation fingerprint of the dataset the EDB
+  /// was materialized from; it anchors every EDB input in the composed
+  /// stratum fingerprints. Completed strata are snapshotted into the
+  /// memo, and strata whose fingerprint already has a snapshot are
+  /// restored instead of evaluated. Only the semi-naive mode consults
+  /// the memo (naive mode is the reference semantics for differentials).
+  void set_stratum_memo(StratumMemo* memo, uint64_t dataset_fp) {
+    memo_ = memo;
+    dataset_fp_ = dataset_fp;
+  }
+
   /// Evaluates `program` with EDB relations from `edb` (indexes may be
   /// built on it, tuples are never added), materializing derived tuples
   /// into `idb`. IDB and EDB predicate sets must be disjoint.
@@ -69,6 +85,8 @@ class Evaluator {
   SkolemStore* skolems_;
   FixpointMode mode_ = FixpointMode::kSemiNaive;
   uint32_t num_threads_ = 1;
+  StratumMemo* memo_ = nullptr;
+  uint64_t dataset_fp_ = 0;
   std::unique_ptr<ThreadPool> pool_;  // lazily sized on first parallel round
   EvalStats stats_;
 };

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/stratify.h"
+#include "datalog/value.h"
+
+/// \file stratum_memo.h
+/// Cross-query memoization of stratum results.
+///
+/// The EDB is immutable per loaded dataset (mutations bump the dataset
+/// generation and rebuild it), and stratum evaluation is a pure function
+/// of (rule set, input relations, program facts). Each stratum therefore
+/// gets a composed fingerprint:
+///
+///   fp(s) = H( canonical rules of s,
+///              for each input predicate p (body predicate not defined
+///              in s):  fp(stratum defining p)   if rule-defined below
+///                      H(name, dataset generation)  otherwise (EDB or
+///                                                   always-empty),
+///              program facts for s's inputs and heads )
+///
+/// Predicate *names* (not per-program ids) anchor the fingerprint, so
+/// independently translated programs share entries whenever the
+/// translation emits the same rules — e.g. the `comp` compatibility
+/// stratum is identical across all join/OPTIONAL/MINUS queries, and a
+/// repeated query shares every stratum. Snapshots store relation contents
+/// in arena order, so a warm restore reproduces the cold run's relation
+/// byte-for-byte (solution order included).
+///
+/// The memo is engine-owned: snapshot Values refer to the engine's term
+/// dictionary and Skolem store, both of which only grow, so stored
+/// snapshots stay valid for the engine's lifetime; the engine clears the
+/// memo when the dataset generation changes.
+
+namespace sparqlog::datalog {
+
+/// Derived relations of one completed stratum (including any program
+/// facts seeded into its head predicates), in arena insertion order.
+struct StratumSnapshot {
+  struct RelationSnapshot {
+    std::string predicate;  ///< predicate name (program-independent)
+    uint32_t arity = 0;
+    uint32_t num_rows = 0;
+    std::vector<Value> rows;  ///< flat, arity-strided, insertion order
+  };
+  std::vector<RelationSnapshot> relations;
+  uint64_t tuples = 0;
+
+  size_t bytes() const;
+};
+
+/// Bounded (by bytes) LRU store of stratum snapshots keyed by the
+/// composed stratum fingerprint.
+class StratumMemo {
+ public:
+  explicit StratumMemo(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Snapshot for `key`, promoted to most-recently-used; nullptr on miss.
+  /// The pointer stays valid until the next Insert or Clear.
+  const StratumSnapshot* Lookup(uint64_t key);
+
+  /// Stores (or overwrites) the snapshot for `key`, evicting LRU entries
+  /// until under the byte budget (the newest entry is always kept).
+  void Insert(uint64_t key, StratumSnapshot snapshot);
+
+  void Clear();
+
+  size_t size() const { return index_.size(); }
+  size_t bytes() const { return bytes_; }
+  size_t max_bytes() const { return max_bytes_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  uint64_t evictions_ = 0;
+  // Front = most recently used.
+  std::list<std::pair<uint64_t, StratumSnapshot>> lru_;
+  std::unordered_map<uint64_t,
+                     std::list<std::pair<uint64_t, StratumSnapshot>>::iterator>
+      index_;
+};
+
+/// Computes the composed fingerprint of every stratum of `program` under
+/// `strat`. `dataset_fp` is the engine's loaded dataset generation;
+/// `skolems` resolves Skolem function ids to their canonical names.
+std::vector<uint64_t> StratumFingerprints(const Program& program,
+                                          const Stratification& strat,
+                                          const SkolemStore& skolems,
+                                          uint64_t dataset_fp);
+
+}  // namespace sparqlog::datalog

@@ -11,6 +11,7 @@ const std::vector<Triple>& EmptyTriples() {
 
 bool Graph::Add(Triple t) {
   if (!set_.insert(t).second) return false;
+  ++version_;
   triples_.push_back(t);
   by_s_[t.s].push_back(t);
   by_p_[t.p].push_back(t);
@@ -93,6 +94,17 @@ size_t Dataset::TotalTriples() const {
   size_t n = default_graph_.size();
   for (const auto& [_, g] : named_) n += g.size();
   return n;
+}
+
+uint64_t Dataset::Generation() const {
+  size_t g = 0xcbf29ce484222325ULL;
+  HashCombine(g, default_graph_.version());
+  HashCombine(g, named_.size());
+  for (const auto& [id, graph] : named_) {
+    HashCombine(g, id);
+    HashCombine(g, graph.version());
+  }
+  return g;
 }
 
 Dataset Dataset::WithClauses(const std::vector<TermId>& from,

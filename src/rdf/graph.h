@@ -51,6 +51,11 @@ class Graph {
   bool Add(Triple t);
   bool Add(TermId s, TermId p, TermId o) { return Add(Triple{s, p, o}); }
 
+  /// Mutation counter: bumped on every successful Add (including via
+  /// MergeFrom). Folded into Dataset::Generation so engine-level caches
+  /// keyed by dataset state invalidate when a graph is mutated.
+  uint64_t version() const { return version_; }
+
   size_t size() const { return triples_.size(); }
   bool empty() const { return triples_.empty(); }
   const std::vector<Triple>& triples() const { return triples_; }
@@ -83,6 +88,7 @@ class Graph {
   void MergeFrom(const Graph& other);
 
  private:
+  uint64_t version_ = 0;
   std::vector<Triple> triples_;
   std::unordered_set<Triple, TripleHash> set_;
   std::unordered_map<TermId, std::vector<Triple>> by_s_;
@@ -116,6 +122,15 @@ class Dataset {
 
   /// Total triples across all graphs.
   size_t TotalTriples() const;
+
+  /// Generation fingerprint of the dataset's mutable state: folds the
+  /// per-graph mutation counters and the named-graph structure into one
+  /// 64-bit value. Any Add() to any graph (or creating a named graph)
+  /// changes it, so caches of EDB-derived state — the engine's
+  /// materialized EDB and its memoized stratum results — can detect
+  /// mutation and invalidate. Pure function of mutation history, not of
+  /// pointer identity.
+  uint64_t Generation() const;
 
   /// Restricts/rebuilds a dataset according to FROM / FROM NAMED clauses:
   /// `from` graphs are merged into the new default graph, `from_named`

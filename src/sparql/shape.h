@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sparql/ast.h"
+
+/// \file shape.h
+/// Canonical query shapes for the engine's translated-program cache.
+///
+/// Production SPARQL traffic is dominated by structurally identical
+/// queries that differ only in constants (Bonifati et al.'s query-log
+/// study), so the cache key must identify a query's *shape*: the algebra
+/// with variable names normalized away and constants lifted out.
+///
+/// ComputeQueryShape walks the parsed query once and emits
+///  * `key` — a canonical serialization of the algebra in which every
+///    variable is replaced by its first-appearance ordinal and every
+///    constant RDF term by a parameter slot (`$k`, one slot per
+///    *distinct* term, so the equality pattern among constants is part
+///    of the shape: `{ <a> p <a> }` and `{ <a> p <b> }` differ);
+///  * `params` — the lifted constants, one TermId per slot in
+///    first-appearance order; and
+///  * `data_key` — an exact serialization of everything that is *data*
+///    rather than shape (parameter values, the original variable names,
+///    LIMIT / OFFSET), which lets the cache distinguish "same shape,
+///    same data: reuse the translated program verbatim" from "same
+///    shape, new data: re-bind parameters into a copy". It is compared
+///    by content, never by hash, so a collision can't serve a program
+///    with the wrong constants baked in.
+///
+/// Because the translation lays predicate arguments out in the *sorted*
+/// order of the original variable names (Pattern::Vars), the key also
+/// records the lexicographic rank permutation of the canonical
+/// variables. Two queries therefore collide exactly when their
+/// translated programs are identical up to parameter values, variable
+/// spellings and output column names — which is what re-binding can
+/// patch. Alpha-renamings that preserve the relative order of variable
+/// names collide; renamings that permute the order conservatively miss.
+///
+/// FROM / FROM NAMED clauses and LIMIT / OFFSET are deliberately *not*
+/// part of the shape: neither influences the structure of the translated
+/// rules (the engine scopes the dataset outside translation, and
+/// LIMIT / OFFSET live in the output directives, which re-binding
+/// overwrites from the live query).
+
+namespace sparqlog::sparql {
+
+struct QueryShape {
+  /// Canonical serialization of the algebra; cache entries compare on the
+  /// full string, so hash collisions cannot alias two shapes.
+  std::string key;
+  /// Lifted constants (one per distinct term, first-appearance order).
+  std::vector<rdf::TermId> params;
+  /// Exact serialization of the non-structural data (params, variable
+  /// spellings, LIMIT/OFFSET): an equal data_key on a key hit means the
+  /// cached program can be reused without any re-binding.
+  std::string data_key;
+};
+
+/// Canonicalizes `query`. Total over the supported AST: every pattern,
+/// path, expression and query form has a serialization.
+QueryShape ComputeQueryShape(const Query& query);
+
+}  // namespace sparqlog::sparql

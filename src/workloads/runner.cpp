@@ -79,4 +79,15 @@ std::string FormatTime(const RunRecord& r, bool total) {
   return StringPrintf("%.4f", total ? r.total_seconds() : r.exec_seconds);
 }
 
+std::string FormatCacheStats(const RunRecord& r) {
+  return StringPrintf(
+      "Tq %lluh/%llur/%llum · strata %lluh/%llum · %llu tuples restored",
+      static_cast<unsigned long long>(r.program_cache_hits),
+      static_cast<unsigned long long>(r.program_cache_rebinds),
+      static_cast<unsigned long long>(r.program_cache_misses),
+      static_cast<unsigned long long>(r.stratum_memo_hits),
+      static_cast<unsigned long long>(r.stratum_memo_misses),
+      static_cast<unsigned long long>(r.tuples_restored));
+}
+
 }  // namespace sparqlog::workloads

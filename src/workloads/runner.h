@@ -26,6 +26,11 @@ namespace sparqlog::workloads {
 struct Limits {
   int timeout_ms = 5000;
   uint64_t tuple_budget = 40'000'000;
+  /// Re-execute each query once on the already-warm engine and record
+  /// RunRecord::warm_exec_seconds plus the cache counters — the
+  /// repeated-query serving scenario (SparqLog adapter only; the
+  /// baseline systems have no warm path and ignore this).
+  bool warm_repeat = false;
 };
 
 enum class Outcome { kOk, kTimeout, kMemOut, kNotSupported, kError };
@@ -38,6 +43,17 @@ struct RunRecord {
   double exec_seconds = 0.0;
   eval::QueryResult result;
   std::string message;
+  /// Warm re-execution time when Limits::warm_repeat is on; negative
+  /// when not measured.
+  double warm_exec_seconds = -1.0;
+  /// Engine cache counters for the run (SparqLog adapter only; zero for
+  /// the baseline systems, which have no translation pipeline to cache).
+  uint64_t program_cache_hits = 0;
+  uint64_t program_cache_rebinds = 0;
+  uint64_t program_cache_misses = 0;
+  uint64_t stratum_memo_hits = 0;
+  uint64_t stratum_memo_misses = 0;
+  uint64_t tuples_restored = 0;
 
   double total_seconds() const { return load_seconds + exec_seconds; }
   bool ok() const { return outcome == Outcome::kOk; }
@@ -88,5 +104,9 @@ class TablePrinter {
 /// Formats seconds with 4 significant digits, or the outcome name for
 /// failed runs (the paper's per-query tables, 9-11).
 std::string FormatTime(const RunRecord& r, bool total = false);
+
+/// One-line rendering of the cache counters carried in a RunRecord,
+/// e.g. "Tq 1h/2r/1m · strata 8h/8m · 42 tuples restored".
+std::string FormatCacheStats(const RunRecord& r);
 
 }  // namespace sparqlog::workloads

@@ -64,6 +64,21 @@ class SparqLogSystem : public System {
     RunRecord r;
     r.load_seconds = load_s;
     r.exec_seconds = exec_s;
+    if (limits_.warm_repeat) {
+      // Serving scenario: the same query again on the warm engine — the
+      // program cache and stratum memo carry it.
+      Stopwatch warm_watch;
+      auto warm = engine.ExecuteText(query_text);
+      if (!warm.ok()) return Fail(warm.status(), load_s, exec_s);
+      r.warm_exec_seconds = warm_watch.ElapsedSeconds();
+    }
+    core::Engine::CacheStats cs = engine.cache_stats();
+    r.program_cache_hits = cs.program_hits;
+    r.program_cache_rebinds = cs.program_rebinds;
+    r.program_cache_misses = cs.program_misses;
+    r.stratum_memo_hits = cs.stratum_hits;
+    r.stratum_memo_misses = cs.stratum_misses;
+    r.tuples_restored = cs.tuples_restored;
     r.result = std::move(result).ValueOrDie();
     return r;
   }

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/engine.h"
 #include "datalog/ast.h"
 #include "datalog/evaluator.h"
 #include "datalog/printer.h"
@@ -231,6 +232,57 @@ TEST_F(ParallelFixpointTest, TupleBudgetTripsAcrossWorkers) {
   ctx.set_tuple_budget(500);  // full closure is 64*64 = 4096 tuples
   Status st = evaluator.Evaluate(program, &edb, &idb, &ctx);
   EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+}
+
+/// Parallel fixpoint × cache interaction: a full-pipeline engine swept at
+/// num_threads {1, 2, 8} must serve warm (program-cache + stratum-memo)
+/// repeats bit-identically to its own cold run at every thread count, and
+/// the thread count must never change the solution multiset. The warm
+/// path replays memoized stratum snapshots instead of re-running the
+/// sharded fixpoint, so this pins the snapshot/restore machinery under
+/// the same configurations the TSan job sweeps.
+TEST_F(ParallelFixpointTest, EngineWarmHitsAgreeAcrossThreadCounts) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  rdf::TermId p = dict.InternIri("http://par.org/p");
+  auto node = [&](int64_t i) {
+    return dict.InternIri("http://par.org/n" + std::to_string(i));
+  };
+  for (int64_t i = 1; i <= 40; ++i) {
+    dataset.default_graph().Add(node(i), p, node(i % 40 + 1));
+    if (i % 5 == 0) dataset.default_graph().Add(node(i), p, node((i + 11) % 40 + 1));
+  }
+  const std::string query =
+      "SELECT ?x ?y WHERE { ?x <http://par.org/p>+ ?y }";
+
+  eval::QueryResult serial_cold;
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    core::Engine::Options options;
+    options.num_threads = threads;
+    core::Engine engine(&dataset, &dict, options);
+
+    auto cold = engine.ExecuteText(query);
+    ASSERT_TRUE(cold.ok()) << "threads=" << threads << ": "
+                           << cold.status().ToString();
+    auto warm = engine.ExecuteText(query);
+    ASSERT_TRUE(warm.ok()) << "threads=" << threads << ": "
+                           << warm.status().ToString();
+    // Warm must be bit-identical to this engine's own cold run.
+    EXPECT_TRUE(cold->rows == warm->rows) << "threads=" << threads;
+    EXPECT_EQ(cold->columns, warm->columns) << "threads=" << threads;
+    EXPECT_EQ(engine.cache_stats().program_hits, 1u)
+        << "threads=" << threads;
+    EXPECT_GT(engine.cache_stats().stratum_hits, 0u)
+        << "threads=" << threads;
+
+    // Across thread counts the multiset (not the order) is pinned.
+    if (threads == 1) {
+      serial_cold = std::move(*cold);
+    } else {
+      EXPECT_TRUE(warm->SameSolutions(serial_cold))
+          << "threads=" << threads;
+    }
+  }
 }
 
 /// The deadline must still be sampled when an evaluation is made of many

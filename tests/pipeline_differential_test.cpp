@@ -74,6 +74,22 @@ class DifferentialTest
         << expected->ToString(dict, 30) << "\nsparqlog (" << got->rows.size()
         << " rows):\n"
         << got->ToString(dict, 30);
+
+    // Cache differential: a second execution through the same engine must
+    // hit the program cache (and any memoized strata) and reproduce the
+    // cold run bit-identically — same rows, same order, same columns.
+    auto warm = engine.Execute(*parsed);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    EXPECT_EQ(got->columns, warm->columns) << query_text;
+    EXPECT_TRUE(got->rows == warm->rows)
+        << "warm run diverged, seed " << seed << "\nquery: " << query_text
+        << "\ncold (" << got->rows.size() << " rows):\n"
+        << got->ToString(dict, 30) << "\nwarm (" << warm->rows.size()
+        << " rows):\n"
+        << warm->ToString(dict, 30);
+    EXPECT_EQ(warm->is_ask, got->is_ask);
+    EXPECT_EQ(warm->ask_value, got->ask_value);
+    EXPECT_EQ(engine.cache_stats().program_hits, 1u) << query_text;
   }
 };
 

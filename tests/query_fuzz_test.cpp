@@ -140,6 +140,13 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
   rdf::Dataset dataset(&dict);
   BuildGraph(seed * 31 + 1, &dataset);
 
+  // One cached engine serves every query of the seed (its caches
+  // accumulate across queries, like a long-lived server), while each
+  // query also runs on a fresh cache-less engine as the uncached oracle.
+  core::Engine::Options options;
+  options.timeout = std::chrono::seconds(30);
+  core::Engine engine(&dataset, &dict, options);
+
   QueryGen gen(seed);
   // Several queries per seed.
   for (int qi = 0; qi < 5; ++qi) {
@@ -154,9 +161,6 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
     ASSERT_TRUE(expected.ok()) << text << "\n"
                                << expected.status().ToString();
 
-    core::Engine::Options options;
-    options.timeout = std::chrono::seconds(30);
-    core::Engine engine(&dataset, &dict, options);
     auto got = engine.Execute(*parsed);
     ASSERT_TRUE(got.ok()) << text << "\n" << got.status().ToString();
 
@@ -166,7 +170,34 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
         << expected->ToString(dict, 40) << "\npipeline (" << got->rows.size()
         << "):\n"
         << got->ToString(dict, 40);
+
+    // Cached-vs-fresh equivalence: the warm repeat must be bit-identical
+    // to the cold run, and a cache-less engine must agree on the
+    // solution multiset.
+    auto warm = engine.Execute(*parsed);
+    ASSERT_TRUE(warm.ok()) << text << "\n" << warm.status().ToString();
+    EXPECT_EQ(got->columns, warm->columns) << text;
+    EXPECT_TRUE(got->rows == warm->rows)
+        << "seed " << seed << " query " << qi
+        << ": warm run diverged\n" << text << "\ncold ("
+        << got->rows.size() << "):\n" << got->ToString(dict, 40)
+        << "\nwarm (" << warm->rows.size() << "):\n"
+        << warm->ToString(dict, 40);
+    EXPECT_EQ(warm->ask_value, got->ask_value) << text;
+
+    core::Engine::Options uncached_opts = options;
+    uncached_opts.program_cache = false;
+    uncached_opts.stratum_memo = false;
+    core::Engine uncached(&dataset, &dict, uncached_opts);
+    auto fresh = uncached.Execute(*parsed);
+    ASSERT_TRUE(fresh.ok()) << text << "\n" << fresh.status().ToString();
+    EXPECT_TRUE(warm->SameSolutions(*fresh))
+        << "seed " << seed << " query " << qi
+        << ": cached and cache-less engines disagree\n" << text;
   }
+  // The per-seed engine must have served every repeat from the cache
+  // (more if the generator happened to repeat a shape across queries).
+  EXPECT_GE(engine.cache_stats().program_hits, 5u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest, ::testing::Range(1, 25));

@@ -173,6 +173,99 @@ TEST(OntoBenchTest, SixQueriesAndOntologyTriples) {
   EXPECT_GE(n, 6u);
 }
 
+// Cache differential over the bundled workloads: every query swept twice
+// through one engine (cold then warm) must reproduce bit-identical
+// solutions, with the warm pass served from the program cache. This is
+// the repeated-query serving scenario the caches exist for, exercised on
+// realistic query mixes (SP2Bench's joins/optionals/filters and gMark's
+// recursive paths).
+TEST(CacheDifferentialTest, Sp2bQueriesColdWarmBitIdentical) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  Sp2bOptions options;
+  options.target_triples = 800;
+  GenerateSp2b(options, &dataset);
+
+  core::Engine::Options eopts;
+  eopts.timeout = std::chrono::seconds(10);
+  eopts.tuple_budget = 4'000'000;
+  core::Engine engine(&dataset, &dict, eopts);
+
+  size_t swept = 0;
+  for (const auto& [name, text] : Sp2bQueries()) {
+    uint64_t hits_before = engine.cache_stats().program_hits;
+    auto cold = engine.ExecuteText(text);
+    if (!cold.ok()) continue;  // over-budget queries can't be compared
+    auto warm = engine.ExecuteText(text);
+    ASSERT_TRUE(warm.ok()) << name << ": " << warm.status().ToString();
+    EXPECT_EQ(cold->columns, warm->columns) << name;
+    EXPECT_TRUE(cold->rows == warm->rows)
+        << name << ": warm run diverged (" << cold->rows.size() << " vs "
+        << warm->rows.size() << " rows)";
+    EXPECT_EQ(warm->ask_value, cold->ask_value) << name;
+    EXPECT_GT(engine.cache_stats().program_hits, hits_before) << name;
+    ++swept;
+  }
+  // The suite must actually sweep the workload, not skip it wholesale.
+  EXPECT_GE(swept, 12u);
+}
+
+TEST(CacheDifferentialTest, GmarkQueriesColdWarmBitIdentical) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  GmarkScenario scenario = GmarkTest();
+  GenerateGmarkGraph(scenario, &dataset);
+
+  core::Engine::Options eopts;
+  eopts.timeout = std::chrono::seconds(10);
+  eopts.tuple_budget = 4'000'000;
+  core::Engine engine(&dataset, &dict, eopts);
+
+  size_t swept = 0;
+  for (const auto& text : GenerateGmarkQueries(scenario)) {
+    uint64_t hits_before = engine.cache_stats().program_hits;
+    auto cold = engine.ExecuteText(text);
+    if (!cold.ok()) continue;
+    auto warm = engine.ExecuteText(text);
+    ASSERT_TRUE(warm.ok()) << text << "\n" << warm.status().ToString();
+    EXPECT_EQ(cold->columns, warm->columns) << text;
+    EXPECT_TRUE(cold->rows == warm->rows)
+        << text << "\nwarm run diverged (" << cold->rows.size() << " vs "
+        << warm->rows.size() << " rows)";
+    EXPECT_GT(engine.cache_stats().program_hits, hits_before) << text;
+    ++swept;
+  }
+  EXPECT_GE(swept, 30u);
+  // The recursive-path workload must exercise the stratum memo.
+  EXPECT_GT(engine.cache_stats().stratum_hits, 0u);
+}
+
+// The warm-repeat serving mode of the SparqLog adapter: Run() re-executes
+// the query on the warm engine, records the warm timing and real cache
+// hits, and FormatCacheStats renders them for harness tables.
+TEST(CacheDifferentialTest, SparqLogSystemWarmRepeatRecordsCacheHits) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  Sp2bOptions options;
+  options.target_triples = 400;
+  GenerateSp2b(options, &dataset);
+  Limits limits;
+  limits.timeout_ms = 10000;
+  limits.warm_repeat = true;
+
+  auto system = MakeSparqLogSystem(&dataset, &dict, limits);
+  RunRecord r = system->Run(
+      Sp2bPrefixes() + "SELECT ?j WHERE { ?j rdf:type bench:Journal }");
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_GE(r.warm_exec_seconds, 0.0);
+  EXPECT_EQ(r.program_cache_hits, 1u);
+  EXPECT_EQ(r.program_cache_misses, 1u);
+  EXPECT_GT(r.stratum_memo_hits, 0u);
+  EXPECT_GT(r.tuples_restored, 0u);
+  std::string line = FormatCacheStats(r);
+  EXPECT_NE(line.find("Tq 1h/0r/1m"), std::string::npos) << line;
+}
+
 TEST(RunnerTest, OutcomeClassification) {
   EXPECT_EQ(ClassifyStatus(Status::OK()), Outcome::kOk);
   EXPECT_EQ(ClassifyStatus(Status::Timeout("t")), Outcome::kTimeout);
