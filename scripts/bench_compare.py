@@ -35,7 +35,8 @@ DEFAULT_BASELINE = "bench/baseline.json"
 # ratios are large outliers that calibration cannot gate meaningfully.
 # Re-record the baseline on a multi-core host before widening the gate.
 GATE_PATTERN = (
-    r"^(BM_TupleStore|BM_TransitiveClosure(?!_Parallel)|BM_RepeatedQuery)"
+    r"^(BM_TupleStore|BM_TransitiveClosure(?!_Parallel)|BM_RepeatedQuery"
+    r"|BM_BulkLoad)"
 )
 
 

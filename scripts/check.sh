@@ -18,6 +18,10 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 TEST_TIMEOUT="${TEST_TIMEOUT:-300}"
 
+# Docs stay honest: relative links and repo-path references in README.md
+# and docs/*.md must resolve. Runs first — it is the cheapest gate.
+python3 scripts/check_docs.py
+
 cmake -B "$BUILD_DIR" -S . -DSPARQLOG_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSPARQLOG_TEST_TIMEOUT="$TEST_TIMEOUT"
@@ -48,7 +52,7 @@ if [[ "${BENCH_JSON:-0}" == "1" ]]; then
   # benchmark: bench_compare.py gates on the median, which cuts
   # hosted-runner noise.
   "$BUILD_DIR/micro_datalog" \
-    --benchmark_filter='BM_TupleStore|BM_TransitiveClosure|BM_RepeatedQuery' \
+    --benchmark_filter='BM_TupleStore|BM_TransitiveClosure|BM_RepeatedQuery|BM_BulkLoad' \
     --benchmark_repetitions=3 \
     --benchmark_out="$BUILD_DIR/BENCH_micro_datalog.json" \
     --benchmark_out_format=json \

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Docs link check: every relative markdown link and every repo-path
+reference in README.md and docs/*.md must resolve to a real file.
+
+Checked:
+  - markdown links [text](target): http(s) and pure-fragment targets are
+    skipped; everything else resolves relative to the containing file
+    (fragments are stripped first).
+  - inline-code repo paths like `src/datalog/relation.h`, `scripts/foo.sh`
+    or `docs/ARCHITECTURE.md:42`: recognized by a known top-level prefix,
+    resolved from the repo root. `:line` suffixes are stripped and
+    `{a,b}` alternation is expanded; references containing placeholders
+    (<...>, *, $) are ignored.
+
+Exit status: 0 = all references resolve, 1 = at least one is broken.
+"""
+
+import itertools
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO / "README.md", *(REPO / "docs").glob("*.md")]
+)
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`([^`\n]+)`")
+# A code span is treated as a repo path when it starts with one of these.
+PATH_PREFIXES = (
+    "src/", "docs/", "scripts/", "bench/", "tests/", "examples/",
+    ".github/", ".claude/",
+)
+
+
+def expand_braces(ref):
+    """`a.{h,cpp}` -> [`a.h`, `a.cpp`] (single level is all docs use)."""
+    m = re.search(r"\{([^}]+)\}", ref)
+    if not m:
+        return [ref]
+    alts = m.group(1).split(",")
+    return list(
+        itertools.chain.from_iterable(
+            expand_braces(ref[: m.start()] + alt + ref[m.end():])
+            for alt in alts
+        )
+    )
+
+
+def check_file(doc):
+    broken = []
+    text = doc.read_text(encoding="utf-8")
+    for target in MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.is_relative_to(REPO):
+            continue  # GitHub web path (e.g. the ../../actions CI badge)
+        if not resolved.exists():
+            broken.append(f"{doc.relative_to(REPO)}: link target `{target}`")
+    for span in CODE_SPAN.findall(text):
+        if not span.startswith(PATH_PREFIXES):
+            continue
+        if any(c in span for c in "<>*$ ()|"):
+            continue  # placeholder / glob / prose, not a concrete path
+        ref = re.sub(r":\d+(-\d+)?$", "", span)  # strip `:line` pointers
+        for candidate in expand_braces(ref):
+            if not (REPO / candidate).exists():
+                broken.append(
+                    f"{doc.relative_to(REPO)}: path reference `{span}`"
+                )
+                break
+    return broken
+
+
+def main():
+    missing_docs = [d for d in DOC_FILES if not d.exists()]
+    if missing_docs or not DOC_FILES:
+        print(f"check_docs: doc set incomplete: {missing_docs}")
+        return 1
+    broken = []
+    for doc in DOC_FILES:
+        broken.extend(check_file(doc))
+    if broken:
+        print(f"check_docs: FAIL — {len(broken)} broken reference(s):")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"check_docs: OK ({len(DOC_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "core/data_translator.h"
 
 #include <unordered_set>
+#include <vector>
 
 namespace sparqlog::core {
 
@@ -30,6 +31,10 @@ rdf::TermId DefaultGraphTerm(TermDictionary* dict) {
 }
 
 namespace {
+
+// --- Per-tuple reference path ----------------------------------------------
+// The original tuple-at-a-time build; the bulk-vs-insert differential
+// tests hold the bulk path to this one's semantics.
 
 void AddTermFacts(TermId id, const TermDictionary& dict,
                   const EdbPredicates& preds,
@@ -73,13 +78,9 @@ void TranslateGraph(const rdf::Graph& graph, Value graph_value,
   }
 }
 
-}  // namespace
-
-Status DataTranslator::Translate(const rdf::Dataset& dataset,
-                                 TermDictionary* dict, Database* edb) {
-  PredicateTable scratch;
-  EdbPredicates preds = InternEdbPredicates(&scratch);
-
+Status TranslatePerTuple(const rdf::Dataset& dataset,
+                         TermDictionary* dict, const EdbPredicates& preds,
+                         Database* edb) {
   std::unordered_set<TermId> seen;
   Value default_graph = ValueFromTerm(DefaultGraphTerm(dict));
   TranslateGraph(dataset.default_graph(), default_graph, *dict, preds, &seen,
@@ -91,6 +92,115 @@ Status DataTranslator::Translate(const rdf::Dataset& dataset,
   }
   // null("null"): the distinguished unbound marker (the undef term).
   edb->relation(preds.null_pred, 1).Insert({datalog::kNullValue}, 0);
+  return Status::OK();
+}
+
+// --- Bulk-load path ---------------------------------------------------------
+// One flat batch per EDB predicate: the graph walk only appends — no
+// per-tuple vector construction, no relation-map lookups, no `seen`-set
+// probing — then every batch is deduplicated + table-built in a single
+// Relation::BulkLoad pass. Occurrences are appended in walk order and
+// term kinds read straight off the dictionary (an array lookup), so the
+// batches preserve first-occurrence order and the loaded EDB is
+// bit-identical, arena order included, to the per-tuple build.
+
+struct EdbBatch {
+  std::vector<Value> triples;  // 4-stride: s, p, o, g
+  std::vector<Value> named;    // 1-stride
+  std::vector<Value> so;       // 2-stride: node, g
+  std::vector<Value> iri, literal, bnode, term;  // 1-stride, per kind
+};
+
+/// First-occurrence filter: one byte per interned term id (ids are dense),
+/// so repeat occurrences cost a single flat-array read instead of a
+/// (string-heavy) Term record fetch plus a duplicate batch entry.
+using SeenTerms = std::vector<uint8_t>;
+
+void BatchTerm(TermId id, const TermDictionary& dict, SeenTerms* seen,
+               EdbBatch* batch) {
+  uint8_t& mark = (*seen)[id];
+  if (mark) return;
+  mark = 1;
+  Value v = ValueFromTerm(id);
+  switch (dict.get(id).kind) {
+    case rdf::TermKind::kIri:
+      batch->iri.push_back(v);
+      break;
+    case rdf::TermKind::kLiteral:
+      batch->literal.push_back(v);
+      break;
+    case rdf::TermKind::kBlank:
+      batch->bnode.push_back(v);
+      break;
+    case rdf::TermKind::kUndef:
+      return;  // the null marker is not an RDF term
+  }
+  batch->term.push_back(v);
+}
+
+void BatchGraph(const rdf::Graph& graph, Value graph_value,
+                const TermDictionary& dict, SeenTerms* seen,
+                EdbBatch* batch) {
+  batch->triples.reserve(batch->triples.size() + graph.triples().size() * 4);
+  for (const rdf::Triple& t : graph.triples()) {
+    batch->triples.push_back(ValueFromTerm(t.s));
+    batch->triples.push_back(ValueFromTerm(t.p));
+    batch->triples.push_back(ValueFromTerm(t.o));
+    batch->triples.push_back(graph_value);
+    BatchTerm(t.s, dict, seen, batch);
+    BatchTerm(t.p, dict, seen, batch);
+    BatchTerm(t.o, dict, seen, batch);
+  }
+  for (TermId n : graph.SubjectsAndObjects()) {
+    batch->so.push_back(ValueFromTerm(n));
+    batch->so.push_back(graph_value);
+  }
+}
+
+Status TranslateBulk(const rdf::Dataset& dataset, TermDictionary* dict,
+                     const EdbPredicates& preds, Database* edb) {
+  EdbBatch batch;
+  Value default_graph = ValueFromTerm(DefaultGraphTerm(dict));
+  SeenTerms seen(dict->size(), 0);  // after DefaultGraphTerm's intern
+  BatchGraph(dataset.default_graph(), default_graph, *dict, &seen, &batch);
+  for (const auto& [name, graph] : dataset.named_graphs()) {
+    batch.named.push_back(ValueFromTerm(name));
+    BatchTerm(name, *dict, &seen, &batch);
+    BatchGraph(graph, ValueFromTerm(name), *dict, &seen, &batch);
+  }
+
+  // Empty batches are skipped (not loaded as empty relations) so the
+  // bulk and per-tuple strategies materialize the *same relation set*:
+  // per-tuple only creates a relation on first insert, and the caller's
+  // ensure-exists block covers the core predicates for both.
+  auto load = [&](datalog::PredicateId pred, uint32_t arity,
+                  const std::vector<Value>& rows) {
+    if (!rows.empty()) edb->relation(pred, arity).BulkLoad(rows);
+  };
+  load(preds.triple, 4, batch.triples);
+  load(preds.named, 1, batch.named);
+  load(preds.iri, 1, batch.iri);
+  load(preds.literal, 1, batch.literal);
+  load(preds.bnode, 1, batch.bnode);
+  load(preds.term, 1, batch.term);
+  load(preds.subject_or_object, 2, batch.so);
+  // null("null"): the distinguished unbound marker (the undef term).
+  edb->relation(preds.null_pred, 1).BulkLoad({datalog::kNullValue});
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DataTranslator::Translate(const rdf::Dataset& dataset,
+                                 TermDictionary* dict, Database* edb,
+                                 EdbBuild build) {
+  PredicateTable scratch;
+  EdbPredicates preds = InternEdbPredicates(&scratch);
+
+  Status st = build == EdbBuild::kBulkLoad
+                  ? TranslateBulk(dataset, dict, preds, edb)
+                  : TranslatePerTuple(dataset, dict, preds, edb);
+  SPARQLOG_RETURN_NOT_OK(st);
   // Ensure core relations exist even for empty datasets.
   edb->relation(preds.triple, 4);
   edb->relation(preds.term, 1);

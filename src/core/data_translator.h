@@ -24,6 +24,18 @@
 /// Predicate-id convention: T_D interns the EDB predicates in a fixed
 /// order; the query translator does the same, so EDB predicate ids agree
 /// between the shared EDB database and every per-query program.
+///
+/// Two build strategies produce bit-identical EDBs (same relations, same
+/// tuples, same arena order — BulkLoad preserves first-occurrence order):
+///   - kBulkLoad (default): one flat batch per predicate, handed to
+///     `Relation::BulkLoad` — deduplicated against a table allocated once
+///     at final size, with no per-tuple vector construction, relation-map
+///     lookup, growth check or `seen`-set probe. This is the cold-start
+///     ingest path the engine uses, including the EDB rebuild after a
+///     `Dataset::Generation` bump.
+///   - kPerTupleInsert: the original tuple-at-a-time `Relation::Insert`
+///     walk, kept as the reference semantics the bulk-vs-insert
+///     differential tests compare against.
 
 namespace sparqlog::core {
 
@@ -45,11 +57,16 @@ EdbPredicates InternEdbPredicates(datalog::PredicateTable* table);
 /// The graph constant used for the default graph ("default" in Figure 2).
 rdf::TermId DefaultGraphTerm(rdf::TermDictionary* dict);
 
+/// How T_D materializes the EDB relations (see the file comment).
+enum class EdbBuild : uint8_t { kBulkLoad, kPerTupleInsert };
+
 class DataTranslator {
  public:
-  /// Materializes the EDB facts for `dataset` into `edb`.
+  /// Materializes the EDB facts for `dataset` into `edb`, which must be
+  /// empty for the bulk-load strategy.
   static Status Translate(const rdf::Dataset& dataset,
-                          rdf::TermDictionary* dict, datalog::Database* edb);
+                          rdf::TermDictionary* dict, datalog::Database* edb,
+                          EdbBuild build = EdbBuild::kBulkLoad);
 };
 
 }  // namespace sparqlog::core

@@ -15,7 +15,12 @@ Engine::Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict,
 
 Status Engine::Load() {
   if (loaded_) return Status::OK();
-  SPARQLOG_RETURN_NOT_OK(DataTranslator::Translate(*dataset_, dict_, &edb_));
+  // Cold EDB build (and the rebuild Execute triggers on a generation
+  // bump): bulk-load by default — per-relation batches deduped in one
+  // pass against a one-shot-sized table — instead of tuple-at-a-time
+  // inserts.
+  SPARQLOG_RETURN_NOT_OK(
+      DataTranslator::Translate(*dataset_, dict_, &edb_, options_.edb_build));
   loaded_ = true;
   loaded_generation_ = dataset_->Generation();
   return Status::OK();
@@ -98,7 +103,8 @@ Result<eval::QueryResult> Engine::Execute(const sparql::Query& query) {
         dataset_->WithClauses(query.from, query.from_named);
     datalog::Database scoped_edb;
     SPARQLOG_RETURN_NOT_OK(
-        DataTranslator::Translate(scoped, dict_, &scoped_edb));
+        DataTranslator::Translate(scoped, dict_, &scoped_edb,
+                                  options_.edb_build));
     std::swap(edb_, scoped_edb);
     auto result = ExecuteInternal(query, /*allow_stratum_memo=*/false);
     std::swap(edb_, scoped_edb);

@@ -53,6 +53,14 @@ class Engine {
     bool stratum_memo = true;
     /// Byte budget of the stratum memo (LRU-evicted beyond it).
     size_t stratum_memo_bytes = 64ull << 20;
+    /// EDB materialization strategy for Load() and the rebuild after a
+    /// Dataset::Generation bump: kBulkLoad (default) batches each EDB
+    /// relation and dedup-builds it in one pass against a table
+    /// allocated once at final size; kPerTupleInsert is the
+    /// tuple-at-a-time reference path the differential tests compare
+    /// against. The strategies produce bit-identical EDBs (bulk loads
+    /// preserve first-occurrence order); only build cost differs.
+    EdbBuild edb_build = EdbBuild::kBulkLoad;
   };
 
   /// Cache observability (engine lifetime totals).

@@ -248,12 +248,27 @@ Result<QueryResult> SolutionTranslator::Translate(const Program& program,
       }
       keyed.push_back(std::move(k));
     }
+    // Ties on the ORDER BY keys are broken by the visible output row
+    // (ascending, same CompareForOrder order). SPARQL leaves tie order
+    // undefined; making it a deterministic function of row *content*
+    // keeps LIMIT/OFFSET pagination stable across storage layouts and
+    // evaluation strategies — the reference evaluator applies the same
+    // rule (see AlgebraEvaluator::Sort), so the differential and fuzz
+    // harnesses can compare truncated results exactly. Visible columns
+    // are the prefix of all_columns (hidden ones are stripped below).
+    const size_t visible = columns.size();
     std::stable_sort(keyed.begin(), keyed.end(),
                      [&](const Keyed& a, const Keyed& b) {
                        for (size_t i = 0; i < spec.order_by.size(); ++i) {
                          int c = eval::CompareForOrder(*dict, a.keys[i],
                                                        b.keys[i]);
                          if (spec.order_by[i].descending) c = -c;
+                         if (c != 0) return c < 0;
+                       }
+                       const std::vector<TermId>& ra = rows[a.index];
+                       const std::vector<TermId>& rb = rows[b.index];
+                       for (size_t i = 0; i < visible; ++i) {
+                         int c = eval::CompareForOrder(*dict, ra[i], rb[i]);
                          if (c != 0) return c < 0;
                        }
                        return false;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "datalog/stride.h"
 #include "util/thread_pool.h"
 
 namespace sparqlog::datalog {
@@ -323,11 +324,14 @@ struct Evaluator::RuleRun {
   }
 
   bool TryRow(const Relation* rel, uint32_t row_id, size_t depth) {
-    const Atom& atom = rule->positive[order[depth]];
-    size_t trail_start = trail.size();
     // RowRef is a view into the relation's arena; it is consumed fully
     // before JoinStep below can insert (and potentially reallocate).
-    RowRef row = rel->row(row_id);
+    return TryRowAt(rel->row(row_id), depth);
+  }
+
+  bool TryRowAt(RowRef row, size_t depth) {
+    const Atom& atom = rule->positive[order[depth]];
+    size_t trail_start = trail.size();
     bool ok = true;
     for (size_t i = 0; i < atom.args.size(); ++i) {
       const RuleTerm& t = atom.args[i];
@@ -400,6 +404,24 @@ struct Evaluator::RuleRun {
       auto [lo, hi] = rel->RoundRange(delta_round);
       lo = std::max(lo, shard_lo);
       hi = std::min(hi, shard_hi);
+      if (staging != nullptr && lo < hi) {
+        // Parallel shard: every relation is frozen until the round
+        // barrier, so the arena cannot reallocate mid-scan — walk the
+        // shard pointer-stepped with a compile-time stride for the hot
+        // arity <= 4 case instead of recomputing base + id * arity per
+        // row. The serial path below must keep the id-based fetch: a
+        // recursive rule may insert into the very relation it is
+        // scanning, growing the arena.
+        const uint32_t k = rel->arity();
+        const Value* base = rel->row(lo).data();
+        return WithStride(k, [&](auto stride) {
+          const Value* p = base;
+          for (uint32_t id = lo; id < hi; ++id, p += stride.arity()) {
+            if (!TryRowAt(RowRef(p, k), depth)) return false;
+          }
+          return true;
+        });
+      }
       for (uint32_t id = lo; id < hi; ++id) {
         if (!TryRow(rel, id, depth)) return false;
       }

@@ -15,20 +15,23 @@ inline bool NeedsGrow(size_t count, size_t slots) {
   return (count + 1) * 2 >= slots;
 }
 
+/// Smallest power-of-two slot count that holds `count` keys below the 0.5
+/// load factor — the one-shot table size used by BulkLoad.
+inline size_t SlotsFor(size_t count) {
+  size_t n = kInitialSlots;
+  while (NeedsGrow(count, n)) n *= 2;
+  return n;
+}
+
 }  // namespace
 
 // --- TupleStore -------------------------------------------------------------
 
-bool TupleStore::RowEquals(uint32_t id, const Value* row) const {
-  const Value* stored = arena_.data() + static_cast<size_t>(id) * arity_;
-  for (uint32_t i = 0; i < arity_; ++i) {
-    if (stored[i] != row[i]) return false;
-  }
-  return true;
+void TupleStore::Grow() {
+  Rehash(slots_.empty() ? kInitialSlots : slots_.size() * 2);
 }
 
-void TupleStore::Grow() {
-  size_t new_size = slots_.empty() ? kInitialSlots : slots_.size() * 2;
+void TupleStore::Rehash(size_t new_size) {
   std::vector<uint32_t> fresh(new_size, 0);
   size_t mask = new_size - 1;
   for (uint32_t id = 0; id < num_rows_; ++id) {
@@ -39,13 +42,14 @@ void TupleStore::Grow() {
   slots_ = std::move(fresh);
 }
 
-uint32_t TupleStore::Insert(const Value* row, bool* inserted) {
+template <typename Stride>
+uint32_t TupleStore::InsertImpl(Stride s, const Value* row, bool* inserted) {
   if (NeedsGrow(num_rows_, slots_.size())) Grow();
   size_t mask = slots_.size() - 1;
-  size_t slot = HashRow(row) & mask;
+  size_t slot = StrideHashRow(s, row) & mask;
   while (slots_[slot] != 0) {
     uint32_t candidate = slots_[slot] - 1;
-    if (RowEquals(candidate, row)) {
+    if (StrideRowEquals(s, row_data(candidate), row)) {
       *inserted = false;
       return candidate;
     }
@@ -57,7 +61,7 @@ uint32_t TupleStore::Insert(const Value* row, bool* inserted) {
   // appends below cannot reallocate mid-loop and invalidate it. The
   // per-element push_back (rather than a range insert) keeps the append
   // well-defined even for an aliased source.
-  if (arena_.size() + arity_ > arena_.capacity()) {
+  if (arena_.size() + s.arity() > arena_.capacity()) {
     // std::less gives the total pointer order [expr.rel] doesn't
     // guarantee for pointers into different objects.
     std::less<const Value*> lt;
@@ -65,24 +69,85 @@ uint32_t TupleStore::Insert(const Value* row, bool* inserted) {
                    lt(row, arena_.data() + arena_.size());
     size_t offset = aliases ? static_cast<size_t>(row - arena_.data()) : 0;
     arena_.reserve(std::max(arena_.capacity() * 2,
-                            arena_.size() + arity_));
+                            arena_.size() + s.arity()));
     if (aliases) row = arena_.data() + offset;
   }
-  for (uint32_t i = 0; i < arity_; ++i) arena_.push_back(row[i]);
+  for (uint32_t i = 0; i < s.arity(); ++i) arena_.push_back(row[i]);
   slots_[slot] = id + 1;
   *inserted = true;
   return id;
 }
 
-bool TupleStore::Contains(const Value* row) const {
+uint32_t TupleStore::Insert(const Value* row, bool* inserted) {
+  return WithStride(arity_, [&](auto s) {
+    return InsertImpl(s, row, inserted);
+  });
+}
+
+template <typename Stride>
+bool TupleStore::ContainsImpl(Stride s, const Value* row) const {
   if (slots_.empty()) return false;
   size_t mask = slots_.size() - 1;
-  size_t slot = HashRow(row) & mask;
+  size_t slot = StrideHashRow(s, row) & mask;
   while (slots_[slot] != 0) {
-    if (RowEquals(slots_[slot] - 1, row)) return true;
+    if (StrideRowEquals(s, row_data(slots_[slot] - 1), row)) return true;
     slot = (slot + 1) & mask;
   }
   return false;
+}
+
+bool TupleStore::Contains(const Value* row) const {
+  return WithStride(arity_, [&](auto s) { return ContainsImpl(s, row); });
+}
+
+template <typename Stride>
+uint32_t TupleStore::BulkLoadImpl(Stride s, const Value* rows,
+                                  size_t num_rows) {
+  const uint32_t k = s.arity();
+  if (k == 0) return 0;  // nullary stores are never bulk-loaded
+
+  // One-shot dedup table sized for the all-distinct worst case: the whole
+  // load runs without a single NeedsGrow check, table doubling or
+  // rehash, and the arena is reserved up front so appends never
+  // reallocate. Rows keep their first-occurrence order, which makes a
+  // bulk-built store bit-identical — arena order included — to one built
+  // by per-tuple Insert of the same batch.
+  slots_.assign(SlotsFor(num_rows), 0u);
+  const size_t mask = slots_.size() - 1;
+  arena_.reserve(num_rows * static_cast<size_t>(k));
+  const Value* row = rows;
+  for (size_t i = 0; i < num_rows; ++i, row += k) {
+    size_t slot = StrideHashRow(s, row) & mask;
+    bool duplicate = false;
+    while (slots_[slot] != 0) {
+      if (StrideRowEquals(s, row_data(slots_[slot] - 1), row)) {
+        duplicate = true;
+        break;
+      }
+      slot = (slot + 1) & mask;
+    }
+    if (duplicate) continue;
+    arena_.insert(arena_.end(), row, row + k);
+    slots_[slot] = ++num_rows_;  // row id + 1
+  }
+
+  // A duplicate-heavy batch leaves the worst-case table mostly empty and
+  // the arena reservation mostly unused; rebuild the table compactly
+  // (distinct rows only — cheap) and release the spare arena capacity so
+  // the resident footprint tracks the deduplicated relation, not the
+  // raw batch.
+  size_t compact = SlotsFor(num_rows_);
+  if (compact * 4 <= slots_.size()) Rehash(compact);
+  if (arena_.size() * 4 <= arena_.capacity()) arena_.shrink_to_fit();
+  return num_rows_;
+}
+
+uint32_t TupleStore::BulkLoad(const Value* rows, size_t num_rows) {
+  assert(num_rows_ == 0 && arena_.empty());
+  assert(arity_ > 0);
+  return WithStride(arity_, [&](auto s) {
+    return BulkLoadImpl(s, rows, num_rows);
+  });
 }
 
 // --- Relation::Index --------------------------------------------------------
@@ -184,11 +249,12 @@ size_t Relation::Index::bytes() const {
 
 // --- Relation ---------------------------------------------------------------
 
-bool Relation::Insert(const Value* row, uint32_t round) {
+template <typename Stride>
+bool Relation::InsertWithStride(Stride s, const Value* row, uint32_t round) {
   // Semi-naive RoundRange bookkeeping requires non-decreasing rounds.
   assert(round_marks_.empty() || round >= round_marks_.back().first);
   bool inserted = false;
-  uint32_t id = store_.Insert(row, &inserted);
+  uint32_t id = store_.InsertImpl(s, row, &inserted);
   if (!inserted) return false;
   if (round_marks_.empty() || round_marks_.back().first != round) {
     round_marks_.emplace_back(round, id);
@@ -197,14 +263,36 @@ bool Relation::Insert(const Value* row, uint32_t round) {
   return true;
 }
 
+bool Relation::Insert(const Value* row, uint32_t round) {
+  return WithStride(arity(), [&](auto s) {
+    return InsertWithStride(s, row, round);
+  });
+}
+
 size_t Relation::InsertStaged(const Value* rows, size_t num_rows,
                               uint32_t round) {
-  size_t inserted = 0;
-  const uint32_t k = arity();
-  for (size_t i = 0; i < num_rows; ++i) {
-    if (Insert(rows + i * k, round)) ++inserted;
-  }
-  return inserted;
+  // One stride dispatch for the whole staged batch: the barrier merge of
+  // a parallel round is a straight run of same-arity inserts.
+  return WithStride(arity(), [&](auto s) {
+    size_t inserted = 0;
+    const Value* row = rows;
+    for (size_t i = 0; i < num_rows; ++i, row += s.arity()) {
+      if (InsertWithStride(s, row, round)) ++inserted;
+    }
+    return inserted;
+  });
+}
+
+uint32_t Relation::BulkLoad(const Value* rows, size_t num_rows,
+                            uint32_t round) {
+  // Bulk loads must be the relation's first mutation: the arena must be
+  // empty and no index may exist yet (it would not see the loaded rows).
+  assert(size() == 0);
+  assert(num_indexes_.load(std::memory_order_relaxed) == 0 &&
+         overflow_indexes_.empty());
+  uint32_t loaded = store_.BulkLoad(rows, num_rows);
+  if (loaded > 0) round_marks_.emplace_back(round, 0);
+  return loaded;
 }
 
 uint32_t Relation::row_round(uint32_t id) const {

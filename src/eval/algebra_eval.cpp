@@ -455,11 +455,24 @@ Status AlgebraEvaluator::Sort(const Query& q, Multiset* sols) {
     }
     keyed.push_back(std::move(k));
   }
+  // Deterministic tie-break on the projected output row (ascending),
+  // mirroring SolutionTranslator's rule: tie order among equal ORDER BY
+  // keys is undefined in SPARQL, so both evaluators resolve it by row
+  // content, which keeps LIMIT/OFFSET results comparable between the
+  // pipeline and this reference regardless of iteration order.
+  std::vector<uint32_t> proj_slots;
+  for (const auto& c : q.ProjectedVars()) proj_slots.push_back(vars_.SlotOf(c));
   std::stable_sort(keyed.begin(), keyed.end(),
                    [&](const Keyed& a, const Keyed& b) {
                      for (size_t i = 0; i < q.order_by.size(); ++i) {
                        int c = CompareForOrder(*dict_, a.keys[i], b.keys[i]);
                        if (q.order_by[i].descending) c = -c;
+                       if (c != 0) return c < 0;
+                     }
+                     const Solution& sa = (*sols)[a.index];
+                     const Solution& sb = (*sols)[b.index];
+                     for (uint32_t slot : proj_slots) {
+                       int c = CompareForOrder(*dict_, sa[slot], sb[slot]);
                        if (c != 0) return c < 0;
                      }
                      return false;
