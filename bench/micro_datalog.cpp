@@ -8,6 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <memory>
+#include <vector>
 
 #include "core/engine.h"
 #include "datalog/evaluator.h"
@@ -15,6 +17,7 @@
 #include "rdf/dictionary.h"
 #include "sparql/parser.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 #include "workloads/sp2bench.h"
 
 namespace {
@@ -121,6 +124,133 @@ BENCHMARK(BM_TransitiveClosure_Parallel)
     ->Args({400, 1})
     ->Args({400, 2})
     ->Args({400, 4});
+
+// --- Barrier-merge microbenchmark ------------------------------------------
+// The round-barrier merge in isolation: W=4 workers' staging stores for P
+// predicates, merged into fresh relations either serially
+// (worker-then-predicate, the pre-fan-out path) or with the per-predicate
+// fan-out (MergeStagedParallel on a 4-worker pool). Arenas are
+// bit-identical either way; on a multi-core host the fan-out row should
+// beat the serial row once P > 1. The arg is P.
+
+struct BarrierMergeFixture {
+  static constexpr size_t kWorkers = 4;
+  static constexpr size_t kTuplesPerStore = 20000;
+
+  explicit BarrierMergeFixture(size_t num_preds) {
+    Rng rng(7);
+    staging.resize(num_preds);
+    for (size_t p = 0; p < num_preds; ++p) {
+      for (size_t w = 0; w < kWorkers; ++w) {
+        staging[p].emplace_back(2);
+        datalog::TupleStore& store = staging[p].back();
+        for (size_t i = 0; i < kTuplesPerStore; ++i) {
+          // ~25% of tuples overlap across workers (re-derivation mix).
+          uint64_t k = rng.Uniform(4) == 0
+                           ? i
+                           : (w + 1) * 1000003u + i;
+          datalog::Value row[2] = {k * 2654435761u % 500009, k % 977};
+          bool fresh = false;
+          store.Insert(row, &fresh);
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<datalog::TupleStore>> staging;
+};
+
+void BM_BarrierMerge_Serial(benchmark::State& state) {
+  BarrierMergeFixture fx(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<datalog::Relation>> targets;
+    uint64_t merged = 0;
+    for (size_t p = 0; p < fx.staging.size(); ++p) {
+      targets.push_back(std::make_unique<datalog::Relation>(2));
+    }
+    for (size_t w = 0; w < BarrierMergeFixture::kWorkers; ++w) {
+      for (size_t p = 0; p < fx.staging.size(); ++p) {
+        merged += targets[p]->InsertStaged(fx.staging[p][w], 1);
+      }
+    }
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.staging.size() *
+                          BarrierMergeFixture::kWorkers *
+                          BarrierMergeFixture::kTuplesPerStore);
+}
+BENCHMARK(BM_BarrierMerge_Serial)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_BarrierMerge_Fanout(benchmark::State& state) {
+  BarrierMergeFixture fx(static_cast<size_t>(state.range(0)));
+  ThreadPool pool(BarrierMergeFixture::kWorkers);
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<datalog::Relation>> targets;
+    std::vector<datalog::StagedMergeTask> tasks;
+    for (size_t p = 0; p < fx.staging.size(); ++p) {
+      targets.push_back(std::make_unique<datalog::Relation>(2));
+      datalog::StagedMergeTask task;
+      task.target = targets[p].get();
+      for (const datalog::TupleStore& s : fx.staging[p]) {
+        task.sources.push_back(&s);
+      }
+      tasks.push_back(std::move(task));
+    }
+    ExecContext ctx;
+    uint32_t phases[BarrierMergeFixture::kWorkers] = {0, 0, 0, 0};
+    uint32_t fanout = 0;
+    auto merged =
+        datalog::MergeStagedParallel(&tasks, 1, &pool, &ctx, phases, &fanout);
+    if (!merged.ok()) {
+      state.SkipWithError(merged.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(*merged);
+  }
+  state.SetItemsProcessed(state.iterations() * fx.staging.size() *
+                          BarrierMergeFixture::kWorkers *
+                          BarrierMergeFixture::kTuplesPerStore);
+}
+BENCHMARK(BM_BarrierMerge_Fanout)->Arg(1)->Arg(4)->Arg(8);
+
+// --- End-to-end parallel SP2Bench row --------------------------------------
+// The workload the ISSUE-5 fan-out targets: a recursive property path
+// over the SP2Bench citation graph (dcterms:references+), engine
+// end-to-end with caches off so every iteration runs the full sharded
+// fixpoint. Args are (target_triples, num_threads); the 1-thread row is
+// the in-run serial baseline for the multi-core speedup.
+
+void BM_Sp2b_Parallel(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  workloads::Sp2bOptions options;
+  options.target_triples = static_cast<size_t>(state.range(0));
+  workloads::GenerateSp2b(options, &dataset);
+  core::Engine::Options engine_options;
+  engine_options.program_cache = false;
+  engine_options.stratum_memo = false;
+  engine_options.num_threads = static_cast<uint32_t>(state.range(1));
+  core::Engine engine(&dataset, &dict, engine_options);
+  if (!engine.Load().ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const std::string query =
+      "PREFIX dcterms: <http://purl.org/dc/terms/> "
+      "SELECT ?x ?y WHERE { ?x dcterms:references+ ?y }";
+  for (auto _ : state) {
+    auto result = engine.ExecuteText(query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+}
+BENCHMARK(BM_Sp2b_Parallel)
+    ->Args({6000, 1})
+    ->Args({6000, 2})
+    ->Args({6000, 4});
 
 // --- TupleStore microbenchmarks --------------------------------------------
 // Isolate the columnar storage hot paths the fixpoint loop is built on:

@@ -131,6 +131,8 @@ Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query,
   datalog::Database idb;
   datalog::Evaluator evaluator(dict_, &skolems_);
   evaluator.set_num_threads(options_.num_threads);
+  evaluator.set_parallel_merge(options_.parallel_merge);
+  evaluator.set_parallel_naive(options_.parallel_naive);
   if (options_.stratum_memo && allow_stratum_memo) {
     evaluator.set_stratum_memo(&stratum_memo_, loaded_generation_);
   }

@@ -41,6 +41,15 @@ class Engine {
     /// 1 runs the exact single-threaded semi-naive path. Thread count
     /// never changes query results, only evaluation parallelism.
     uint32_t num_threads = 0;
+    /// Fans the parallel round-barrier merge out per target predicate
+    /// (each predicate's staged tuples merge on their own worker, in
+    /// worker order, so arenas stay bit-identical to the serial merge).
+    /// Off = the serial worker-then-predicate merge.
+    bool parallel_merge = true;
+    /// Shards the initial naive pass of recursive strata like the delta
+    /// rounds (serial for non-recursive strata either way). Off = the
+    /// serial initial pass.
+    bool parallel_naive = true;
     /// Shape-keyed translated-program cache: repeated queries (and
     /// queries differing only in constants / LIMIT / OFFSET) skip T_Q
     /// and re-bind parameters into the cached Datalog± program.
@@ -105,6 +114,25 @@ class Engine {
   /// Stats of the last Execute call (for benchmarks).
   const datalog::EvalStats& last_stats() const { return last_stats_; }
   datalog::SkolemStore* skolems() { return &skolems_; }
+
+  /// Fixpoint-parallelism observability for the last Execute call:
+  /// how much of the evaluation actually fanned out, and what it cost.
+  struct Stats {
+    uint32_t rounds = 0;                ///< total fixpoint rounds
+    uint32_t parallel_rounds = 0;       ///< rounds run as sharded fan-outs
+    uint32_t naive_rounds_sharded = 0;  ///< initial passes run sharded
+    uint64_t staged_tuples_merged = 0;  ///< tuples via the barrier merge
+    uint32_t merge_fanout_width = 0;    ///< max merge workers in any round
+    uint64_t interning_contention = 0;  ///< dict+Skolem lock contention
+  };
+  Stats stats() const {
+    return {last_stats_.rounds,
+            last_stats_.parallel_rounds,
+            last_stats_.naive_rounds_sharded,
+            last_stats_.staged_merged,
+            last_stats_.merge_fanout_width,
+            last_stats_.interning_contention};
+  }
 
   /// Cache hit/miss/eviction totals since construction.
   CacheStats cache_stats() const {

@@ -14,20 +14,6 @@ namespace {
 
 constexpr uint32_t kNoDelta = 0xffffffffu;
 
-/// A rule may run on the sharded parallel path only when its builtins are
-/// pure value comparisons. Skolem construction interns into the shared
-/// SkolemStore and FILTER/BIND expressions may intern terms into the
-/// shared dictionary — both single-writer structures — so rules using
-/// them fall back to the serial path within the round.
-bool RuleIsShardable(const Rule& rule) {
-  for (const BuiltinLit& b : rule.builtins) {
-    if (b.kind != BuiltinKind::kEq && b.kind != BuiltinKind::kNe) {
-      return false;
-    }
-  }
-  return true;
-}
-
 /// Per-worker round state: one staging TupleStore per parallel head
 /// predicate (deduped locally, merged into the Relation at the barrier)
 /// plus worker-local counters so the shared EvalStats is only touched
@@ -54,13 +40,17 @@ struct Evaluator::RuleRun {
   uint32_t insert_round = 0;
   uint32_t delta_round = 0;
   uint32_t delta_atom = kNoDelta;
-  // Sharded parallel execution (staging != nullptr): the delta scan is
-  // clipped to [shard_lo, shard_hi), heads are staged into the worker's
-  // TupleStore instead of inserted, and `staging_target` (the read-only
-  // target relation) pre-filters re-derivations. `staged` counts fresh
-  // staged tuples across all of the worker's shards for budget checks.
+  // Sharded parallel execution (staging != nullptr): the scan of
+  // `delta_atom` is pinned to rows [shard_lo, shard_hi) of `scan_rel` —
+  // the IDB delta for fixpoint rounds, either source of the pivot atom
+  // for the sharded initial naive pass — heads are staged into the
+  // worker's TupleStore instead of inserted, and `staging_target` (the
+  // read-only target relation) pre-filters re-derivations. `staged`
+  // counts fresh staged tuples across all of the worker's shards for
+  // budget checks.
   uint32_t shard_lo = 0;
   uint32_t shard_hi = 0xffffffffu;
+  const Relation* scan_rel = nullptr;
   TupleStore* staging = nullptr;
   const Relation* staging_target = nullptr;
   uint64_t* staged = nullptr;
@@ -397,31 +387,32 @@ struct Evaluator::RuleRun {
     }
 
     if (is_delta) {
-      Relation* rel = idb->FindMutable(atom.predicate);
-      if (rel == nullptr) return true;
-      // Sharded workers clip the delta scan to their row-id range; the
-      // serial path keeps the full-range defaults.
-      auto [lo, hi] = rel->RoundRange(delta_round);
-      lo = std::max(lo, shard_lo);
-      hi = std::min(hi, shard_hi);
-      if (staging != nullptr && lo < hi) {
-        // Parallel shard: every relation is frozen until the round
-        // barrier, so the arena cannot reallocate mid-scan — walk the
-        // shard pointer-stepped with a compile-time stride for the hot
-        // arity <= 4 case instead of recomputing base + id * arity per
-        // row. The serial path below must keep the id-based fetch: a
-        // recursive rule may insert into the very relation it is
-        // scanning, growing the arena.
-        const uint32_t k = rel->arity();
-        const Value* base = rel->row(lo).data();
+      if (staging != nullptr) {
+        // Parallel shard: the task pinned the relation and row range
+        // (the IDB delta for fixpoint rounds, one EDB/IDB source of the
+        // pivot atom for the sharded naive pass). Every relation is
+        // frozen until the round barrier, so the arena cannot
+        // reallocate mid-scan — walk the shard pointer-stepped with a
+        // compile-time stride for the hot arity <= 4 case instead of
+        // recomputing base + id * arity per row.
+        if (shard_lo >= shard_hi) return true;
+        const uint32_t k = scan_rel->arity();
+        const Value* base = scan_rel->row(shard_lo).data();
         return WithStride(k, [&](auto stride) {
           const Value* p = base;
-          for (uint32_t id = lo; id < hi; ++id, p += stride.arity()) {
+          for (uint32_t id = shard_lo; id < shard_hi;
+               ++id, p += stride.arity()) {
             if (!TryRowAt(RowRef(p, k), depth)) return false;
           }
           return true;
         });
       }
+      // Serial path: id-based fetch, not pointer-stepped — a recursive
+      // rule may insert into the very relation it is scanning, growing
+      // the arena.
+      Relation* rel = idb->FindMutable(atom.predicate);
+      if (rel == nullptr) return true;
+      auto [lo, hi] = rel->RoundRange(delta_round);
       for (uint32_t id = lo; id < hi; ++id) {
         if (!TryRow(rel, id, depth)) return false;
       }
@@ -482,6 +473,10 @@ struct Evaluator::RuleRun {
 Status Evaluator::Evaluate(const Program& program, Database* edb,
                            Database* idb, ExecContext* ctx) {
   stats_ = EvalStats();
+  // Interning contention is reported as a delta over this evaluation;
+  // both interners only ever grow their counters.
+  const uint64_t contention_start = expr_eval_.dict()->intern_contention() +
+                                    skolems_->intern_contention();
   SPARQLOG_RETURN_NOT_OK(program.Validate());
   SPARQLOG_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
   stats_.strata = strat.num_strata;
@@ -532,15 +527,8 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
           }
         }
         if (resolvable) {
-          uint64_t restored = 0;
-          for (const auto& rel : snap->relations) {
-            Relation& r = idb->relation(
-                *program.predicates.Lookup(rel.predicate), rel.arity);
-            const Value* row = rel.rows.data();
-            for (uint32_t i = 0; i < rel.num_rows; ++i, row += rel.arity) {
-              if (r.Insert(row, round)) ++restored;
-            }
-          }
+          uint64_t restored =
+              snap->Restore(program.predicates, round, idb);
           ctx->AddTuples(restored);
           stats_.tuples_restored += restored;
           ++stats_.strata_memo_hits;
@@ -581,85 +569,28 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
       return run.inserted;
     };
 
-    // Initial (naive) pass over the current database state. Always
-    // serial: rules of the same stratum see each other's same-pass
-    // insertions here, which the single-pass completeness of
-    // non-recursive strata relies on.
-    uint64_t new_tuples = 0;
-    for (uint32_t ri : rule_ids) {
-      SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_rule(ri, kNoDelta, 0));
-      new_tuples += n;
-    }
-    ++stats_.rounds;
-    ++round;
-
-    // Snapshot the completed stratum for reuse by later queries. A head
-    // relation at this point holds exactly the stratum's derivations plus
-    // any program facts seeded into it (head predicates are defined in
-    // one stratum only), which is precisely what the fingerprint covers.
-    auto snapshot_stratum = [&]() {
-      if (!memo_ok) return;
-      StratumSnapshot snap;
-      std::vector<PredicateId> heads(stratum_heads.begin(),
-                                     stratum_heads.end());
-      std::sort(heads.begin(), heads.end());
-      for (PredicateId p : heads) {
-        const Relation* r = idb->Find(p);
-        if (r == nullptr) continue;
-        StratumSnapshot::RelationSnapshot rs;
-        rs.predicate = program.predicates.Name(p);
-        rs.arity = r->arity();
-        rs.num_rows = static_cast<uint32_t>(r->size());
-        rs.rows.reserve(static_cast<size_t>(rs.num_rows) * rs.arity);
-        for (RowRef row : r->rows()) {
-          rs.rows.insert(rs.rows.end(), row.begin(), row.end());
-        }
-        snap.tuples += rs.num_rows;
-        snap.relations.push_back(std::move(rs));
-      }
-      memo_->Insert(stratum_fp[s], std::move(snap));
-    };
-
-    // Non-recursive strata are complete after the single pass.
-    if (!strat.stratum_recursive[s]) {
-      snapshot_stratum();
-      continue;
-    }
-
-    // Delta tasks for the fixpoint rounds, split into the sharded-parallel
-    // and serial sets. Staging delays same-round visibility (a worker's
-    // derivations surface at the barrier, not mid-round), which is sound
-    // here: within a stratum the rules are monotone — negation is
-    // stratified strictly below — so any fair round order reaches the
-    // same fixpoint, and the `new_tuples` loop keeps iterating until no
-    // round adds anything.
-    struct DeltaTask {
-      uint32_t rule;
-      uint32_t atom;
-    };
-    std::vector<DeltaTask> par_tasks;
-    std::vector<DeltaTask> ser_tasks;
-    for (uint32_t ri : rule_ids) {
-      const Rule& rule = program.rules[ri];
-      bool shardable = parallel_ok && RuleIsShardable(rule);
-      for (uint32_t ai = 0; ai < rule.positive.size(); ++ai) {
-        if (stratum_heads.count(rule.positive[ai].predicate) == 0) continue;
-        (shardable ? par_tasks : ser_tasks).push_back({ri, ai});
-      }
-    }
+    const bool recursive = strat.stratum_recursive[s];
+    // Sharded evaluation of this stratum. Interning (TermDictionary,
+    // SkolemStore) is thread-safe, so *every* rule shards — there is no
+    // serial-eligibility split any more: a recursive stratum fans out
+    // its initial naive pass and every delta round.
+    const bool shard_stratum = parallel_ok && recursive;
 
     std::vector<WorkerState> workers;
-    std::vector<PredicateId> par_heads;  // sorted, for deterministic merge
-    if (!par_tasks.empty()) {
+    std::vector<uint32_t> merge_phases;      // per merge worker, persists
+    std::vector<PredicateId> par_heads;      // sorted, deterministic merge
+    std::vector<StagedMergeTask> merge_tasks;  // one per head predicate
+    if (shard_stratum) {
       if (pool_ == nullptr || pool_->num_workers() != threads) {
         pool_ = std::make_unique<ThreadPool>(threads);
       }
-      // Pre-create every head relation the parallel rules derive into (so
+      // Pre-create every head relation this stratum derives into (so
       // workers never mutate the Database map; empty relations are
       // invisible to dumps and solutions) and per-worker staging stores.
       workers.resize(threads);
-      for (const DeltaTask& t : par_tasks) {
-        const Atom& head = program.rules[t.rule].head;
+      merge_phases.assign(threads, 0);
+      for (uint32_t ri : rule_ids) {
+        const Atom& head = program.rules[ri].head;
         uint32_t arity = static_cast<uint32_t>(head.args.size());
         idb->relation(head.predicate, arity);
         for (WorkerState& ws : workers) {
@@ -670,27 +601,37 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
       std::sort(par_heads.begin(), par_heads.end());
       par_heads.erase(std::unique(par_heads.begin(), par_heads.end()),
                       par_heads.end());
+      // Merge fan-out plan: one task per head predicate, sources in
+      // worker order. Relation and staging-store addresses are stable
+      // for the stratum, so the plan is built once.
+      for (PredicateId pred : par_heads) {
+        StagedMergeTask task;
+        task.target = idb->FindMutable(pred);
+        for (WorkerState& ws : workers) {
+          task.sources.push_back(&ws.staging.at(pred));
+        }
+        merge_tasks.push_back(std::move(task));
+      }
     }
 
-    auto run_parallel_round = [&](uint32_t delta_round) -> Result<uint64_t> {
-      // Snapshot each task's delta row range before workers start; the
-      // ranges (and all relation contents) are frozen for the round.
-      struct TaskRange {
-        uint32_t rule;
-        uint32_t atom;
-        uint32_t lo;
-        uint32_t hi;
-      };
-      std::vector<TaskRange> ranges;
-      for (const DeltaTask& t : par_tasks) {
-        const Atom& datom = program.rules[t.rule].positive[t.atom];
-        const Relation* rel = idb->Find(datom.predicate);
-        if (rel == nullptr) continue;
-        auto [lo, hi] = rel->RoundRange(delta_round);
-        if (lo < hi) ranges.push_back({t.rule, t.atom, lo, hi});
-      }
-      if (ranges.empty()) return uint64_t{0};
-
+    // One sharded scan over `tasks` (each task pins a rule, its scan
+    // atom, and a frozen relation row range), then the round-barrier
+    // merge — per-predicate fan-out by default, the serial
+    // worker-then-predicate loop as reference. Merge order within each
+    // predicate is worker order either way, so a relation's arena is
+    // bit-identical across merge modes and deterministic for a fixed
+    // thread count; across thread counts only arena row ids change,
+    // never set semantics.
+    struct ScanTask {
+      uint32_t rule;
+      uint32_t atom;
+      const Relation* rel;
+      uint32_t lo;
+      uint32_t hi;
+    };
+    auto run_parallel_round =
+        [&](const std::vector<ScanTask>& tasks) -> Result<uint64_t> {
+      if (tasks.empty()) return uint64_t{0};
       const uint32_t num_workers =
           static_cast<uint32_t>(pool_->num_workers());
       for (WorkerState& ws : workers) {
@@ -701,9 +642,9 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
       }
       pool_->RunOnWorkers([&](size_t w) {
         WorkerState& ws = workers[w];
-        for (const TaskRange& tr : ranges) {
+        for (const ScanTask& tr : tasks) {
           const Rule& rule = program.rules[tr.rule];
-          // Block-cyclic sharding of the delta range: contiguous blocks
+          // Block-cyclic sharding of the scan range: contiguous blocks
           // dealt round-robin across workers, so skewed per-row join
           // costs still balance without a work queue.
           uint32_t range = tr.hi - tr.lo;
@@ -719,8 +660,8 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
           run.idb = idb;
           run.ctx = ctx;
           run.insert_round = round;
-          run.delta_round = delta_round;
           run.delta_atom = tr.atom;
+          run.scan_rel = tr.rel;
           run.staging = &ws.staging.at(rule.head.predicate);
           run.staging_target = idb->Find(rule.head.predicate);
           run.staged = &ws.staged;
@@ -742,29 +683,141 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
         }
       });
       for (WorkerState& ws : workers) {
+        stats_.rules_fired += ws.fired;
         SPARQLOG_RETURN_NOT_OK(ws.status);
       }
 
-      // Round barrier: merge the staging buffers single-writer, in worker
-      // then predicate order. Merge order only affects arena row ids,
-      // never set semantics, so results are deterministic for a fixed
-      // thread count and set-identical across thread counts.
+      // Round barrier: merge the staging buffers into the target
+      // relations.
       uint64_t merged = 0;
-      for (WorkerState& ws : workers) {
-        stats_.rules_fired += ws.fired;
-        for (PredicateId pred : par_heads) {
-          TupleStore& store = ws.staging.at(pred);
-          if (store.size() == 0) continue;
-          merged += idb->relation(pred, store.arity())
-                        .InsertStaged(store, round);
+      if (parallel_merge_) {
+        uint32_t fanout = 0;
+        SPARQLOG_ASSIGN_OR_RETURN(
+            merged, MergeStagedParallel(&merge_tasks, round, pool_.get(),
+                                        ctx, merge_phases.data(), &fanout));
+        stats_.merge_fanout_width =
+            std::max(stats_.merge_fanout_width, fanout);
+      } else {
+        // Serial reference merge, single-writer in worker-then-predicate
+        // order (the BM_BarrierMerge baseline).
+        for (WorkerState& ws : workers) {
+          for (PredicateId pred : par_heads) {
+            TupleStore& store = ws.staging.at(pred);
+            if (store.size() == 0) continue;
+            merged += idb->FindMutable(pred)->InsertStaged(store, round);
+          }
         }
+        ctx->AddTuples(merged);
       }
       stats_.tuples_derived += merged;
-      ctx->AddTuples(merged);
+      stats_.staged_merged += merged;
       SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
       ++stats_.parallel_rounds;
       return merged;
     };
+
+    // Initial (naive) pass over the current database state. Serial by
+    // default: rules of the same stratum see each other's same-pass
+    // insertions here, which the single-pass completeness of
+    // non-recursive strata relies on. Recursive strata don't need that
+    // visibility — the fixpoint rounds below deliver any derivation the
+    // no-visibility pass misses — so the sharded path fans the initial
+    // pass out too, pivoting each rule on one positive atom: sharding
+    // any single atom over its full row range partitions the rule's
+    // output, and the EDB/IDB source split of the pivot predicate
+    // partitions its rows.
+    uint64_t new_tuples = 0;
+    if (shard_stratum && parallel_naive_) {
+      std::vector<ScanTask> tasks;
+      for (uint32_t ri : rule_ids) {
+        const Rule& rule = program.rules[ri];
+        if (rule.positive.empty()) {
+          // Nothing to shard on (builtins-only body); run serially
+          // before the region, so the frozen scans below see it.
+          SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_rule(ri, kNoDelta, 0));
+          new_tuples += n;
+          continue;
+        }
+        // Pivot on the largest relation: the most rows to deal out.
+        uint32_t pivot = 0;
+        size_t best = 0;
+        for (uint32_t ai = 0;
+             ai < static_cast<uint32_t>(rule.positive.size()); ++ai) {
+          size_t sz = 0;
+          PredicateId p = rule.positive[ai].predicate;
+          if (const Relation* r = edb->Find(p)) sz += r->size();
+          if (const Relation* r = idb->Find(p)) sz += r->size();
+          if (ai == 0 || sz > best) {
+            pivot = ai;
+            best = sz;
+          }
+        }
+        PredicateId p = rule.positive[pivot].predicate;
+        for (const Database* db :
+             {static_cast<const Database*>(edb),
+              static_cast<const Database*>(idb)}) {
+          const Relation* r = db->Find(p);
+          if (r != nullptr && r->size() > 0) {
+            tasks.push_back(
+                {ri, pivot, r, 0, static_cast<uint32_t>(r->size())});
+          }
+        }
+      }
+      if (!tasks.empty()) ++stats_.naive_rounds_sharded;
+      SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_parallel_round(tasks));
+      new_tuples += n;
+    } else {
+      for (uint32_t ri : rule_ids) {
+        SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_rule(ri, kNoDelta, 0));
+        new_tuples += n;
+      }
+    }
+    ++stats_.rounds;
+    ++round;
+
+    // Snapshot the completed stratum for reuse by later queries. A head
+    // relation at this point holds exactly the stratum's derivations plus
+    // any program facts seeded into it (head predicates are defined in
+    // one stratum only), which is precisely what the fingerprint covers.
+    auto snapshot_stratum = [&]() {
+      if (!memo_ok) return;
+      StratumSnapshot snap;
+      std::vector<PredicateId> heads(stratum_heads.begin(),
+                                     stratum_heads.end());
+      std::sort(heads.begin(), heads.end());
+      for (PredicateId p : heads) {
+        const Relation* r = idb->Find(p);
+        if (r == nullptr) continue;
+        snap.Capture(program.predicates.Name(p), *r);
+      }
+      memo_->Insert(stratum_fp[s], std::move(snap));
+    };
+
+    // Non-recursive strata are complete after the single pass.
+    if (!recursive) {
+      snapshot_stratum();
+      continue;
+    }
+
+    // Delta tasks for the fixpoint rounds: every (rule, stratum-head
+    // atom) pair. Staging delays same-round visibility (a worker's
+    // derivations surface at the barrier, not mid-round), which is sound
+    // here: within a stratum the rules are monotone — negation is
+    // stratified strictly below — so any fair round order reaches the
+    // same fixpoint, and the `new_tuples` loop keeps iterating until no
+    // round adds anything.
+    struct DeltaTask {
+      uint32_t rule;
+      uint32_t atom;
+    };
+    std::vector<DeltaTask> delta_tasks;
+    for (uint32_t ri : rule_ids) {
+      const Rule& rule = program.rules[ri];
+      for (uint32_t ai = 0; ai < rule.positive.size(); ++ai) {
+        if (stratum_heads.count(rule.positive[ai].predicate) == 0) continue;
+        delta_tasks.push_back({ri, ai});
+      }
+    }
 
     // Fixpoint iterations.
     while (new_tuples > 0) {
@@ -774,16 +827,25 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
           SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_rule(ri, kNoDelta, 0));
           new_tuples += n;
         }
+      } else if (shard_stratum) {
+        // Snapshot each task's delta row range before workers start; the
+        // ranges (and all relation contents) are frozen for the round.
+        uint32_t delta_round = round - 1;
+        std::vector<ScanTask> tasks;
+        for (const DeltaTask& t : delta_tasks) {
+          const Atom& datom = program.rules[t.rule].positive[t.atom];
+          const Relation* rel = idb->Find(datom.predicate);
+          if (rel == nullptr) continue;
+          auto [lo, hi] = rel->RoundRange(delta_round);
+          if (lo < hi) tasks.push_back({t.rule, t.atom, rel, lo, hi});
+        }
+        SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_parallel_round(tasks));
+        new_tuples += n;
       } else {
         uint32_t delta_round = round - 1;
-        for (const DeltaTask& t : ser_tasks) {
+        for (const DeltaTask& t : delta_tasks) {
           SPARQLOG_ASSIGN_OR_RETURN(uint64_t n,
                                     run_rule(t.rule, t.atom, delta_round));
-          new_tuples += n;
-        }
-        if (!par_tasks.empty()) {
-          SPARQLOG_ASSIGN_OR_RETURN(uint64_t n,
-                                    run_parallel_round(delta_round));
           new_tuples += n;
         }
       }
@@ -792,6 +854,9 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
     }
     snapshot_stratum();
   }
+  stats_.interning_contention = expr_eval_.dict()->intern_contention() +
+                                skolems_->intern_contention() -
+                                contention_start;
   return Status::OK();
 }
 

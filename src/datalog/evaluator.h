@@ -35,6 +35,11 @@ struct EvalStats {
   uint32_t strata_memo_hits = 0;    ///< strata restored from the memo
   uint32_t strata_memo_misses = 0;  ///< fingerprinted strata evaluated
   uint64_t tuples_restored = 0;     ///< tuples re-inserted from snapshots
+  // Parallel-fixpoint observability (see Engine::stats()).
+  uint32_t naive_rounds_sharded = 0;  ///< initial naive passes run sharded
+  uint64_t staged_merged = 0;         ///< tuples inserted by barrier merges
+  uint32_t merge_fanout_width = 0;    ///< max merge workers in any round
+  uint64_t interning_contention = 0;  ///< dict+Skolem lock contention delta
 };
 
 /// Evaluation strategy knob for the micro-ablation benchmark: naive mode
@@ -49,14 +54,26 @@ class Evaluator {
 
   void set_mode(FixpointMode mode) { mode_ = mode; }
 
-  /// Worker count for the fixpoint rounds of recursive strata. 1 (the
-  /// default) runs the exact single-threaded semi-naive path; 0 resolves
-  /// to std::thread::hardware_concurrency() at Evaluate time; values > 1
-  /// shard each round's delta scan by row-id range across a fixed-size
-  /// pool, staging derivations per worker and merging at the round
-  /// barrier. Thread count never affects result sets (only arena row
-  /// ids); naive mode and non-recursive strata always run serially.
+  /// Worker count for recursive strata. 1 (the default) runs the exact
+  /// single-threaded semi-naive path; 0 resolves to
+  /// std::thread::hardware_concurrency() at Evaluate time; values > 1
+  /// shard the initial naive pass and every delta round by row-id range
+  /// across a fixed-size pool, staging derivations per worker and merging
+  /// at the round barrier. Every rule shards — interning
+  /// (TermDictionary / SkolemStore) is thread-safe, so Skolem and
+  /// FILTER/BIND builtins no longer force a serial path. Thread count
+  /// never affects result sets (only arena row ids); naive mode and
+  /// non-recursive strata always run serially.
   void set_num_threads(uint32_t n) { num_threads_ = n; }
+
+  /// Fans the round-barrier merge out per target predicate (default on).
+  /// Off = the serial worker-then-predicate merge, kept as the
+  /// BM_BarrierMerge baseline and a safety valve.
+  void set_parallel_merge(bool on) { parallel_merge_ = on; }
+
+  /// Shards the initial naive pass of recursive strata (default on).
+  /// Off = the serial initial pass with same-pass visibility.
+  void set_parallel_naive(bool on) { parallel_naive_ = on; }
 
   /// Attaches a cross-query stratum memo (see stratum_memo.h).
   /// `dataset_fp` is the generation fingerprint of the dataset the EDB
@@ -85,6 +102,8 @@ class Evaluator {
   SkolemStore* skolems_;
   FixpointMode mode_ = FixpointMode::kSemiNaive;
   uint32_t num_threads_ = 1;
+  bool parallel_merge_ = true;
+  bool parallel_naive_ = true;
   StratumMemo* memo_ = nullptr;
   uint64_t dataset_fp_ = 0;
   std::unique_ptr<ThreadPool> pool_;  // lazily sized on first parallel round

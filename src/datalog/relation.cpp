@@ -382,6 +382,62 @@ size_t Relation::bytes() const {
   return n;
 }
 
+// --- Parallel barrier merge -------------------------------------------------
+
+Result<uint64_t> MergeStagedParallel(std::vector<StagedMergeTask>* tasks,
+                                     uint32_t round, ThreadPool* pool,
+                                     ExecContext* ctx, uint32_t* merge_phases,
+                                     uint32_t* fanout_width) {
+  // Only predicates with staged rows occupy a merge slot; an all-empty
+  // barrier costs no worker wake-up at all.
+  std::vector<StagedMergeTask*> live;
+  live.reserve(tasks->size());
+  for (StagedMergeTask& task : *tasks) {
+    task.merged = 0;
+    size_t staged = 0;
+    for (const TupleStore* s : task.sources) {
+      if (s != nullptr) staged += s->size();
+    }
+    if (staged > 0) live.push_back(&task);
+  }
+  const size_t num_workers = pool->num_workers();
+  *fanout_width = static_cast<uint32_t>(std::min(live.size(), num_workers));
+  if (live.empty()) return uint64_t{0};
+
+  // One worker owns each live predicate end to end: it merges the
+  // predicate's staging stores in worker order, which reproduces the
+  // serial merge's first-occurrence order (and thus arena row ids)
+  // exactly — parallelism across predicates, determinism within each.
+  std::vector<Status> statuses(num_workers);
+  auto merge_worker = [&](size_t w) {
+    Status& st = statuses[w];
+    for (size_t i = w; i < live.size(); i += num_workers) {
+      StagedMergeTask& task = *live[i];
+      for (const TupleStore* s : task.sources) {
+        if (s == nullptr || s->size() == 0) continue;
+        uint64_t inserted = task.target->InsertStaged(*s, round);
+        task.merged += inserted;
+        ctx->AddTuples(inserted);
+        st = ctx->CheckBudgetShared(&merge_phases[w],
+                                    static_cast<uint32_t>(s->size()));
+        if (!st.ok()) return;
+      }
+    }
+  };
+  if (*fanout_width <= 1) {
+    merge_worker(0);
+  } else {
+    pool->RunOnWorkers(merge_worker);
+  }
+
+  uint64_t merged = 0;
+  for (const StagedMergeTask* task : live) merged += task->merged;
+  for (const Status& st : statuses) {
+    SPARQLOG_RETURN_NOT_OK(st);
+  }
+  return merged;
+}
+
 // --- Database ---------------------------------------------------------------
 
 Relation& Database::relation(uint32_t pred, uint32_t arity) {

@@ -13,7 +13,10 @@
 
 #include "datalog/stride.h"
 #include "datalog/value.h"
+#include "util/exec_context.h"
 #include "util/hash.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 /// \file relation.h
 /// Columnar tuple storage for the Datalog engine.
@@ -386,6 +389,36 @@ class Relation {
   std::vector<std::unique_ptr<Index>> overflow_indexes_;
   std::mutex index_build_mu_;
 };
+
+/// One per-predicate unit of the parallel round-barrier merge: a target
+/// relation plus every worker's staging store for that predicate, in
+/// worker order (the order the serial merge visits them).
+struct StagedMergeTask {
+  Relation* target = nullptr;
+  std::vector<const TupleStore*> sources;  // worker order; empties allowed
+  uint64_t merged = 0;                     // out: tuples inserted
+};
+
+/// Fans the round-barrier merge out **per target predicate**: each task
+/// (one predicate) is handled by exactly one merge worker, which merges
+/// that predicate's staging stores in worker order — so every relation's
+/// arena ends up bit-identical to the serial worker-then-predicate merge,
+/// while distinct predicates merge concurrently (disjoint relations, no
+/// shared mutable state). Tasks with no staged rows are skipped; the rest
+/// are dealt round-robin across the pool.
+///
+/// `merge_phases` must point at `pool->num_workers()` stride-phase
+/// counters that persist across rounds: each merge worker charges the
+/// merged tuples to `ctx` per batch and budget-checks with the batch size
+/// as stride advance, so deadline sampling stays proportional to tuples
+/// merged regardless of fan-out width (see ExecContext::CheckBudgetShared).
+/// `*fanout_width` is set to the number of workers that received a task.
+/// Returns the total tuples inserted, or the first failing worker's
+/// budget status.
+Result<uint64_t> MergeStagedParallel(std::vector<StagedMergeTask>* tasks,
+                                     uint32_t round, ThreadPool* pool,
+                                     ExecContext* ctx, uint32_t* merge_phases,
+                                     uint32_t* fanout_width);
 
 /// Named relation store shared by EDB facts and derived IDB tuples.
 /// Relations are heap-allocated (they carry a mutex and atomics for the

@@ -6,6 +6,31 @@
 
 namespace sparqlog::datalog {
 
+void StratumSnapshot::Capture(std::string predicate, const Relation& rel) {
+  RelationSnapshot rs;
+  rs.predicate = std::move(predicate);
+  rs.arity = rel.arity();
+  rs.num_rows = static_cast<uint32_t>(rel.size());
+  rs.rows.reserve(static_cast<size_t>(rs.num_rows) * rs.arity);
+  for (RowRef row : rel.rows()) {
+    rs.rows.insert(rs.rows.end(), row.begin(), row.end());
+  }
+  tuples += rs.num_rows;
+  relations.push_back(std::move(rs));
+}
+
+uint64_t StratumSnapshot::Restore(const PredicateTable& preds, uint32_t round,
+                                  Database* idb) const {
+  uint64_t restored = 0;
+  for (const RelationSnapshot& rel : relations) {
+    auto pid = preds.Lookup(rel.predicate);
+    assert(pid && preds.Arity(*pid) == rel.arity);  // caller pre-validated
+    Relation& r = idb->relation(*pid, rel.arity);
+    restored += r.InsertStaged(rel.rows.data(), rel.num_rows, round);
+  }
+  return restored;
+}
+
 size_t StratumSnapshot::bytes() const {
   size_t n = sizeof(StratumSnapshot);
   for (const RelationSnapshot& rel : relations) {

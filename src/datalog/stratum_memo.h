@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "datalog/ast.h"
+#include "datalog/relation.h"
 #include "datalog/stratify.h"
 #include "datalog/value.h"
 
@@ -51,6 +52,21 @@ struct StratumSnapshot {
   };
   std::vector<RelationSnapshot> relations;
   uint64_t tuples = 0;
+
+  /// Appends `rel`'s rows (arena order, flat) as one RelationSnapshot.
+  void Capture(std::string predicate, const Relation& rel);
+
+  /// Replays every captured relation into `idb`, resolving predicates by
+  /// name through `preds`, tagging rows with `round`. Precondition: the
+  /// caller has verified every snapshot predicate resolves in `preds`
+  /// with matching arity (the evaluator's `resolvable` pre-check, which
+  /// degrades a fingerprint collision to a memo miss); asserted in debug
+  /// builds. Snapshots store rows in the flat staged layout, so each
+  /// relation restores through one InsertStaged batch (one stride
+  /// dispatch, not one per row). Returns the number of rows actually
+  /// inserted (program facts seeded earlier dedup away).
+  uint64_t Restore(const PredicateTable& preds, uint32_t round,
+                   Database* idb) const;
 
   size_t bytes() const;
 };

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "rdf/dictionary.h"
+#include "util/bucket_array.h"
 #include "util/hash.h"
 
 /// \file value.h
@@ -49,11 +53,25 @@ struct SkolemTermHash {
   }
 };
 
-/// Interner for Skolem terms. Owned by the evaluation session; TermIds in
-/// Skolem arguments refer to the session's TermDictionary.
+/// Thread-safe interner for Skolem terms. Owned by the evaluation
+/// session; TermIds in Skolem arguments refer to the session's
+/// TermDictionary.
+///
+/// Same concurrency contract as rdf::TermDictionary: `get` /
+/// `FunctionName` are lock-free over BucketArray slots that never move,
+/// `Intern` stripes its reverse index by term hash and serializes id
+/// allocation on one mutex, and id numbering (not term identity) is the
+/// only thing that can vary across runs when multiple workers intern.
+/// This is what lets existential (Skolem-building) rules run on the
+/// sharded parallel fixpoint path instead of falling back to serial.
 class SkolemStore {
  public:
+  SkolemStore() = default;
+  SkolemStore(const SkolemStore&) = delete;
+  SkolemStore& operator=(const SkolemStore&) = delete;
+
   /// Interns a function symbol name (e.g. "f3a"), returning its id.
+  /// Called at translation time (serially); safe concurrently anyway.
   uint32_t InternFunction(const std::string& name);
 
   const std::string& FunctionName(uint32_t fn) const { return fn_names_[fn]; }
@@ -62,19 +80,36 @@ class SkolemStore {
   Value Intern(uint32_t fn, std::vector<Value> args);
 
   const SkolemTerm& get(Value v) const {
-    return terms_[static_cast<size_t>((v >> 32) - 1)];
+    return terms_[static_cast<uint32_t>((v >> 32) - 1)];
   }
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return num_terms_.load(std::memory_order_acquire); }
+
+  /// Failed lock acquisitions since construction (see
+  /// TermDictionary::intern_contention).
+  uint64_t intern_contention() const {
+    return contention_.load(std::memory_order_relaxed);
+  }
 
   /// Debug rendering: ["f3", <iri>, ...].
   std::string Render(Value v, const rdf::TermDictionary& dict) const;
 
  private:
-  std::vector<std::string> fn_names_;
-  std::unordered_map<std::string, uint32_t> fn_index_;
-  std::vector<SkolemTerm> terms_;
-  std::unordered_map<SkolemTerm, uint32_t, SkolemTermHash> term_index_;
+  static constexpr size_t kStripes = 16;
+
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<SkolemTerm, uint32_t, SkolemTermHash> index;
+  };
+
+  BucketArray<std::string, 6> fn_names_;
+  std::atomic<uint32_t> num_fns_{0};
+  std::unordered_map<std::string, uint32_t> fn_index_;  // under alloc_mu_
+  BucketArray<SkolemTerm> terms_;
+  std::atomic<uint32_t> num_terms_{0};
+  mutable std::array<Stripe, kStripes> stripes_;
+  std::mutex alloc_mu_;
+  mutable std::atomic<uint64_t> contention_{0};
 };
 
 /// Renders any Value (term or Skolem) for diagnostics.

@@ -7,18 +7,31 @@
 namespace sparqlog::rdf {
 
 TermDictionary::TermDictionary() {
-  // Slot 0: the undef/null term.
-  terms_.push_back(std::make_unique<Term>());
-  index_.emplace(terms_[0]->CanonicalKey(), 0);
+  // Slot 0: the undef/null term. Constructed serially, before any reader.
+  *terms_.Slot(0) = Term();
+  num_terms_.store(1, std::memory_order_release);
+  StripeFor(Term().CanonicalKey())
+      .index.emplace(Term().CanonicalKey(), kUndef);
 }
 
 TermId TermDictionary::Intern(const Term& term) {
   std::string key = term.CanonicalKey();
-  auto it = index_.find(key);
-  if (it != index_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(std::make_unique<Term>(term));
-  index_.emplace(std::move(key), id);
+  Stripe& stripe = StripeFor(key);
+  auto stripe_lock = LockCounted(stripe.mu, contention_);
+  auto it = stripe.index.find(key);
+  if (it != stripe.index.end()) return it->second;
+  TermId id;
+  {
+    // The slot is fully written before the id escapes: threads learn ids
+    // through this stripe's mutex (same key), another synchronizing
+    // channel (relation publish, round barrier), or not at all — so the
+    // lock-free get() below always reads a completed Term.
+    auto alloc_lock = LockCounted(alloc_mu_, contention_);
+    id = num_terms_.load(std::memory_order_relaxed);
+    *terms_.Slot(id) = term;
+    num_terms_.store(id + 1, std::memory_order_release);
+  }
+  stripe.index.emplace(std::move(key), id);
   return id;
 }
 
@@ -40,13 +53,17 @@ TermId TermDictionary::InternBoolean(bool v) {
 }
 
 std::optional<TermId> TermDictionary::Lookup(const Term& term) const {
-  auto it = index_.find(term.CanonicalKey());
-  if (it == index_.end()) return std::nullopt;
+  std::string key = term.CanonicalKey();
+  Stripe& stripe = StripeFor(key);
+  auto stripe_lock = LockCounted(stripe.mu, contention_);
+  auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) return std::nullopt;
   return it->second;
 }
 
 std::string TermDictionary::FreshBlankLabel() {
-  return "gen" + std::to_string(blank_counter_++);
+  return "gen" + std::to_string(
+                     blank_counter_.fetch_add(1, std::memory_order_relaxed));
 }
 
 }  // namespace sparqlog::rdf

@@ -1,14 +1,16 @@
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
+#include "util/bucket_array.h"
 
 /// \file dictionary.h
 /// Interning dictionary mapping RDF terms to dense 32-bit ids. All engines
@@ -18,15 +20,35 @@
 
 namespace sparqlog::rdf {
 
-/// Thread-compatible (externally synchronized) term interner.
+/// Thread-safe term interner.
 ///
 /// Id 0 is reserved for the undef/null term, so a default TermId acts as
 /// SPARQL's "unbound" marker throughout the system.
+///
+/// Concurrency contract (what the parallel fixpoint relies on):
+/// - `get` is lock-free: terms live in a `BucketArray` whose slots never
+///   move, so a published id resolves with one acquire-load. Any id a
+///   thread holds was handed to it through a synchronizing operation (the
+///   stripe mutex below, a frozen relation published before the parallel
+///   region, or the round barrier), which orders the slot write.
+/// - `Intern*` / `Lookup` take one of `kStripes` mutexes selected by the
+///   term's canonical-key hash, so unrelated terms intern concurrently;
+///   id allocation serializes briefly on a global allocation mutex.
+/// - Ids are first-come-first-served: with multiple interning threads the
+///   id *numbering* can vary run to run, but a given term content always
+///   maps to exactly one id within a run, and nothing user-visible orders
+///   by raw id (dumps, ORDER BY and solution comparison all order by term
+///   content).
+/// `intern_contention()` counts failed lock acquisitions, surfaced
+/// through `Engine::stats()` as the interning-contention counter.
 class TermDictionary {
  public:
   static constexpr TermId kUndef = 0;
 
   TermDictionary();
+
+  TermDictionary(const TermDictionary&) = delete;
+  TermDictionary& operator=(const TermDictionary&) = delete;
 
   /// Interns a term, returning its id (existing id if already present).
   TermId Intern(const Term& term);
@@ -50,10 +72,10 @@ class TermDictionary {
   /// Id of a term if present, without interning.
   std::optional<TermId> Lookup(const Term& term) const;
 
-  const Term& get(TermId id) const { return *terms_[id]; }
+  const Term& get(TermId id) const { return terms_[id]; }
 
   /// Number of interned terms (including undef).
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return num_terms_.load(std::memory_order_acquire); }
 
   /// A fresh blank node label unique within this dictionary.
   std::string FreshBlankLabel();
@@ -61,10 +83,30 @@ class TermDictionary {
   /// Rendering helper: ToString of the term behind `id`.
   std::string Render(TermId id) const { return get(id).ToString(); }
 
+  /// Failed stripe/allocation lock acquisitions since construction — the
+  /// interning-contention signal for parallel-fixpoint observability.
+  uint64_t intern_contention() const {
+    return contention_.load(std::memory_order_relaxed);
+  }
+
  private:
-  std::vector<std::unique_ptr<Term>> terms_;
-  std::unordered_map<std::string, TermId> index_;
-  uint64_t blank_counter_ = 0;
+  static constexpr size_t kStripes = 16;
+
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::string, TermId> index;
+  };
+
+  Stripe& StripeFor(const std::string& key) const {
+    return stripes_[std::hash<std::string>()(key) % kStripes];
+  }
+
+  BucketArray<Term> terms_;
+  std::atomic<uint32_t> num_terms_{0};
+  mutable std::array<Stripe, kStripes> stripes_;
+  std::mutex alloc_mu_;  // serializes id allocation + slot construction
+  std::atomic<uint64_t> blank_counter_{0};
+  mutable std::atomic<uint64_t> contention_{0};
 };
 
 }  // namespace sparqlog::rdf

@@ -56,12 +56,30 @@ class ExecContext {
   /// racing on a shared counter. Limits must be configured before workers
   /// start (set_deadline_after / set_tuple_budget are not synchronized).
   Status CheckBudgetShared(uint32_t* clock_phase) const {
+    return CheckBudgetShared(clock_phase, 1);
+  }
+
+  /// Batch variant: advances the caller's stride phase by `advance` work
+  /// units in one call and samples the clock whenever a stride boundary
+  /// is crossed. This keeps the deadline-sampling cadence proportional to
+  /// work *done*, not to call count — the per-predicate merge fan-out
+  /// processes a whole staged batch per call, so a merge worker that
+  /// checked once per batch with the unit variant would sample the clock
+  /// `fan_out * kClockStride` batches apart and could overshoot a
+  /// deadline by several rounds. With `advance` = batch tuple count,
+  /// every worker still samples about once per kClockStride tuples it
+  /// merges, whatever the fan-out width.
+  Status CheckBudgetShared(uint32_t* clock_phase, uint32_t advance) const {
     if (tuples_used_.load(std::memory_order_relaxed) > tuple_budget_) {
       return Status::ResourceExhausted("tuple budget exceeded (mem-out)");
     }
-    if (has_deadline_ && ++*clock_phase % kClockStride == 0 &&
-        Clock::now() > deadline_) {
-      return Status::Timeout("deadline exceeded");
+    if (has_deadline_) {
+      const uint32_t before = *clock_phase;
+      *clock_phase = before + advance;
+      if (before / kClockStride != *clock_phase / kClockStride &&
+          Clock::now() > deadline_) {
+        return Status::Timeout("deadline exceeded");
+      }
     }
     return Status::OK();
   }
@@ -71,8 +89,11 @@ class ExecContext {
     return has_deadline_ && Clock::now() > deadline_;
   }
 
- private:
+  /// Deadline checks are sampled once per this many work units (see
+  /// CheckBudgetShared); exposed for tests and pacing callers.
   static constexpr uint32_t kClockStride = 256;
+
+ private:
 
   bool has_deadline_ = false;
   Clock::time_point deadline_{};

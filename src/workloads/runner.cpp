@@ -80,7 +80,7 @@ std::string FormatTime(const RunRecord& r, bool total) {
 }
 
 std::string FormatCacheStats(const RunRecord& r) {
-  return StringPrintf(
+  std::string out = StringPrintf(
       "Tq %lluh/%llur/%llum · strata %lluh/%llum · %llu tuples restored",
       static_cast<unsigned long long>(r.program_cache_hits),
       static_cast<unsigned long long>(r.program_cache_rebinds),
@@ -88,6 +88,15 @@ std::string FormatCacheStats(const RunRecord& r) {
       static_cast<unsigned long long>(r.stratum_memo_hits),
       static_cast<unsigned long long>(r.stratum_memo_misses),
       static_cast<unsigned long long>(r.tuples_restored));
+  if (r.parallel_rounds > 0) {
+    out += StringPrintf(
+        " · par %ur/%un · %llu merged ×%u · %llu contended",
+        r.parallel_rounds, r.naive_rounds_sharded,
+        static_cast<unsigned long long>(r.staged_tuples_merged),
+        r.merge_fanout_width,
+        static_cast<unsigned long long>(r.interning_contention));
+  }
+  return out;
 }
 
 }  // namespace sparqlog::workloads

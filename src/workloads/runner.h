@@ -54,6 +54,13 @@ struct RunRecord {
   uint64_t stratum_memo_hits = 0;
   uint64_t stratum_memo_misses = 0;
   uint64_t tuples_restored = 0;
+  /// Fixpoint-parallelism counters (SparqLog adapter only, from
+  /// Engine::stats(): zero for baselines and single-threaded runs).
+  uint32_t parallel_rounds = 0;
+  uint32_t naive_rounds_sharded = 0;
+  uint64_t staged_tuples_merged = 0;
+  uint32_t merge_fanout_width = 0;
+  uint64_t interning_contention = 0;
 
   double total_seconds() const { return load_seconds + exec_seconds; }
   bool ok() const { return outcome == Outcome::kOk; }
@@ -106,7 +113,9 @@ class TablePrinter {
 std::string FormatTime(const RunRecord& r, bool total = false);
 
 /// One-line rendering of the cache counters carried in a RunRecord,
-/// e.g. "Tq 1h/2r/1m · strata 8h/8m · 42 tuples restored".
+/// e.g. "Tq 1h/2r/1m · strata 8h/8m · 42 tuples restored"; when the run
+/// fanned out, the fixpoint-parallelism counters are appended, e.g.
+/// " · par 6r/1n · 120 merged ×4 · 0 contended".
 std::string FormatCacheStats(const RunRecord& r);
 
 }  // namespace sparqlog::workloads

@@ -79,6 +79,12 @@ class SparqLogSystem : public System {
     r.stratum_memo_hits = cs.stratum_hits;
     r.stratum_memo_misses = cs.stratum_misses;
     r.tuples_restored = cs.tuples_restored;
+    core::Engine::Stats es = engine.stats();
+    r.parallel_rounds = es.parallel_rounds;
+    r.naive_rounds_sharded = es.naive_rounds_sharded;
+    r.staged_tuples_merged = es.staged_tuples_merged;
+    r.merge_fanout_width = es.merge_fanout_width;
+    r.interning_contention = es.interning_contention;
     r.result = std::move(result).ValueOrDie();
     return r;
   }

@@ -2,14 +2,20 @@
 // over recursive programs (results must be set-identical to the serial
 // path), a stress program deriving into many relations concurrently, a
 // regression pin that num_threads=1 reproduces the seed single-threaded
-// insertion order byte-for-byte, budget enforcement across workers, and
-// mixed eligibility (shardable and serial-only rules sharing a recursive
-// stratum).
+// insertion order byte-for-byte, budget enforcement across workers,
+// Skolem- and builtin-heavy strata proving the serial-eligibility
+// carve-outs are gone (thread-safe interning), the sharded initial naive
+// pass, the per-predicate merge fan-out (bit-identical to the serial
+// merge), and concurrent-interning hammers for TermDictionary and
+// SkolemStore (the TSan job sweeps this suite).
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.h"
@@ -18,6 +24,8 @@
 #include "datalog/printer.h"
 #include "datalog/relation.h"
 #include "datalog/value.h"
+#include "sparql/ast.h"
+#include "util/thread_pool.h"
 
 namespace sparqlog::datalog {
 namespace {
@@ -168,9 +176,10 @@ TEST_F(ParallelFixpointTest, SingleThreadKeepsSeedInsertionOrder) {
   EXPECT_EQ(evaluator.stats().parallel_rounds, 0u);
 }
 
-/// Shardable and serial-only rules sharing one recursive stratum: the
-/// Skolem-building rule must take the serial path within each parallel
-/// round, and results must match the fully serial evaluation.
+/// Comparison-only and Skolem-building rules sharing one recursive
+/// stratum: with thread-safe interning every rule shards (there is no
+/// serial path within a round any more), and results must match the
+/// fully serial evaluation.
 TEST_F(ParallelFixpointTest, MixedEligibilityStratumAgrees) {
   Program program;
   PredicateId edge = program.predicates.Intern("edge", 2);
@@ -204,6 +213,412 @@ TEST_F(ParallelFixpointTest, MixedEligibilityStratumAgrees) {
     EXPECT_EQ(serial, Dump(program, facts, threads, {"f1"}))
         << "num_threads=" << threads;
   }
+}
+
+/// Regression pin for the removed serial-eligibility carve-outs: a
+/// recursive stratum whose ONLY recursive rule builds a Skolem term used
+/// to be forced onto the serial path (parallel_rounds stayed 0); with
+/// thread-safe SkolemStore interning it must fan out.
+TEST_F(ParallelFixpointTest, SkolemOnlyRecursiveRuleShards) {
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  SkolemStore naming;
+  uint32_t f = naming.InternFunction("f1");
+  RuleBuilder rb(&program.predicates);
+  rb.Head("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  // The one recursive rule: tags reachable pairs with a Skolem id and
+  // re-derives a through b, closing the SCC {a, b}.
+  rb.Head("b", {rb.Var("ID"), rb.Var("X"), rb.Var("Z")});
+  rb.Body("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("Y"), rb.Var("Z")});
+  rb.Skolem(rb.Var("ID"), f, {rb.Var("X"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+  rb.Head("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("b", {rb.Var("ID"), rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+
+  std::vector<std::pair<PredicateId, std::vector<Value>>> facts;
+  for (int64_t i = 1; i <= 16; ++i) {
+    facts.push_back({edge, {V(i), V(i % 16 + 1)}});
+  }
+  std::string serial = Dump(program, facts, 1, {"f1"});
+  ASSERT_FALSE(serial.empty());
+  for (uint32_t threads : {2u, 8u}) {
+    EXPECT_EQ(serial, Dump(program, facts, threads, {"f1"}))
+        << "num_threads=" << threads;
+  }
+
+  Database edb, idb;
+  for (const auto& [pred, tuple] : facts) {
+    edb.relation(pred, static_cast<uint32_t>(tuple.size()))
+        .Insert(tuple, 0);
+  }
+  SkolemStore skolems;
+  skolems.InternFunction("f1");
+  Evaluator evaluator(&dict_, &skolems);
+  evaluator.set_num_threads(2);
+  ExecContext ctx;
+  ASSERT_TRUE(evaluator.Evaluate(program, &edb, &idb, &ctx).ok());
+  EXPECT_GT(evaluator.stats().parallel_rounds, 0u)
+      << "Skolem rule fell back to the serial path";
+  EXPECT_GT(evaluator.stats().staged_merged, 0u);
+}
+
+/// Builtin-heavy recursion: the recursive rule evaluates a FILTER and a
+/// BIND arithmetic expression per derivation, interning fresh integer
+/// literals into the shared dictionary from every worker. Results must be
+/// set-identical across thread counts and the stratum must fan out.
+TEST_F(ParallelFixpointTest, ExprBuiltinRecursionShardsAndAgrees) {
+  Program program;
+  PredicateId seed = program.predicates.Intern("seed", 1);
+  RuleBuilder rb(&program.predicates);
+  rb.Head("n", {rb.Var("X")});
+  rb.Body("seed", {rb.Var("X")});
+  program.rules.push_back(rb.Build());
+  // n(Z) :- n(Y), FILTER(Y < 60), BIND(Y + 1 AS Z): counts upward, with
+  // both expression kinds interning terms mid-join.
+  rb.Head("n", {rb.Var("Z")});
+  rb.Body("n", {rb.Var("Y")});
+  {
+    using sparql::Expr;
+    auto y = Expr::MakeVar("Y");
+    auto bound = Expr::MakeTerm(dict_.InternInteger(60));
+    auto one = Expr::MakeTerm(dict_.InternInteger(1));
+    rb.Filter(Expr::MakeCompare(sparql::CompareOp::kLt, y, bound),
+              {{"Y", rb.VarIdOf("Y")}});
+    rb.AssignExpr(rb.Var("Z"),
+                  Expr::MakeArith(sparql::ArithOp::kAdd, y, one),
+                  {{"Y", rb.VarIdOf("Y")}});
+  }
+  program.rules.push_back(rb.Build());
+
+  std::vector<std::pair<PredicateId, std::vector<Value>>> facts;
+  for (int64_t i = 1; i <= 8; ++i) facts.push_back({seed, {V(i * 3)}});
+  std::string serial = Dump(program, facts, 1);
+  ASSERT_FALSE(serial.empty());
+  for (uint32_t threads : {2u, 8u}) {
+    EXPECT_EQ(serial, Dump(program, facts, threads))
+        << "num_threads=" << threads;
+  }
+
+  Database edb, idb;
+  for (const auto& [pred, tuple] : facts) {
+    edb.relation(pred, static_cast<uint32_t>(tuple.size()))
+        .Insert(tuple, 0);
+  }
+  SkolemStore skolems;
+  Evaluator evaluator(&dict_, &skolems);
+  evaluator.set_num_threads(8);
+  ExecContext ctx;
+  ASSERT_TRUE(evaluator.Evaluate(program, &edb, &idb, &ctx).ok());
+  EXPECT_GT(evaluator.stats().parallel_rounds, 0u)
+      << "expression-builtin rule fell back to the serial path";
+}
+
+/// The initial naive pass of a recursive stratum shards too: the base
+/// rule's full EDB scan is the bulk of round 1 here, and the stats must
+/// show it ran as a sharded fan-out — with the set result unchanged, and
+/// the parallel_naive=false knob falling back to the serial initial pass
+/// with identical results.
+TEST_F(ParallelFixpointTest, InitialNaivePassShards) {
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  RuleBuilder rb(&program.predicates);
+  rb.Head("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("tc", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("tc", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+
+  std::vector<std::pair<PredicateId, std::vector<Value>>> facts;
+  for (int64_t i = 1; i <= 60; ++i) {
+    facts.push_back({edge, {V(i), V(i % 60 + 1)}});
+  }
+  std::string serial = Dump(program, facts, 1);
+  ASSERT_FALSE(serial.empty());
+
+  Database edb, idb;
+  for (const auto& [pred, tuple] : facts) {
+    edb.relation(pred, static_cast<uint32_t>(tuple.size()))
+        .Insert(tuple, 0);
+  }
+  SkolemStore skolems;
+  Evaluator evaluator(&dict_, &skolems);
+  evaluator.set_num_threads(4);
+  ExecContext ctx;
+  ASSERT_TRUE(evaluator.Evaluate(program, &edb, &idb, &ctx).ok());
+  EXPECT_GT(evaluator.stats().naive_rounds_sharded, 0u);
+  EXPECT_EQ(serial, ToString(idb, program.predicates, dict_, skolems));
+
+  // Knob off: serial initial pass, same results.
+  Database edb2, idb2;
+  for (const auto& [pred, tuple] : facts) {
+    edb2.relation(pred, static_cast<uint32_t>(tuple.size()))
+        .Insert(tuple, 0);
+  }
+  Evaluator ev2(&dict_, &skolems);
+  ev2.set_num_threads(4);
+  ev2.set_parallel_naive(false);
+  ExecContext ctx2;
+  ASSERT_TRUE(ev2.Evaluate(program, &edb2, &idb2, &ctx2).ok());
+  EXPECT_EQ(ev2.stats().naive_rounds_sharded, 0u);
+  EXPECT_EQ(serial, ToString(idb2, program.predicates, dict_, skolems));
+}
+
+/// The per-predicate merge fan-out must produce each relation's arena
+/// BIT-identical (insertion order included) to the serial
+/// worker-then-predicate merge at the same thread count — the
+/// determinism claim the parallel barrier rests on — and must actually
+/// fan out on a many-head stratum.
+TEST_F(ParallelFixpointTest, MergeFanOutBitIdenticalToSerialMerge) {
+  // One SCC {a, b, c} where every delta round derives into all three
+  // heads: a closes transitively, b and c copy/flip each new a row, and
+  // both feed back into a — so each barrier merges three predicates and
+  // the fan-out actually spreads.
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  RuleBuilder rb(&program.predicates);
+  rb.Head("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("a", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+  rb.Head("b", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("a", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("c", {rb.Var("Y"), rb.Var("X")});
+  rb.Body("a", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("b", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("a", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("c", {rb.Var("Y"), rb.Var("X")});
+  program.rules.push_back(rb.Build());
+
+  auto evaluate = [&](bool parallel_merge, Database* idb,
+                      EvalStats* stats) {
+    Database edb;
+    for (int64_t i = 1; i <= 24; ++i) {
+      edb.relation(edge, 2).Insert({V(i), V(i % 24 + 1)}, 0);
+      if (i % 4 == 0) {
+        edb.relation(edge, 2).Insert({V(i), V((i + 7) % 24 + 1)}, 0);
+      }
+    }
+    SkolemStore skolems;
+    Evaluator evaluator(&dict_, &skolems);
+    evaluator.set_num_threads(4);
+    evaluator.set_parallel_merge(parallel_merge);
+    ExecContext ctx;
+    ASSERT_TRUE(evaluator.Evaluate(program, &edb, idb, &ctx).ok());
+    *stats = evaluator.stats();
+  };
+
+  Database fanout_idb, serial_idb;
+  EvalStats fanout_stats, serial_stats;
+  evaluate(true, &fanout_idb, &fanout_stats);
+  evaluate(false, &serial_idb, &serial_stats);
+  EXPECT_GT(fanout_stats.merge_fanout_width, 1u);
+  EXPECT_EQ(serial_stats.merge_fanout_width, 0u);
+  EXPECT_EQ(fanout_stats.staged_merged, serial_stats.staged_merged);
+
+  // Same thread count => same per-worker staging => the per-predicate
+  // merge must reproduce the serial merge's arena order exactly.
+  for (uint32_t pred : fanout_idb.Predicates()) {
+    const Relation* a = fanout_idb.Find(pred);
+    const Relation* b = serial_idb.Find(pred);
+    ASSERT_NE(b, nullptr) << "predicate " << pred;
+    ASSERT_EQ(a->size(), b->size()) << "predicate " << pred;
+    for (uint32_t i = 0; i < a->size(); ++i) {
+      ASSERT_TRUE(a->row(i) == b->row(i))
+          << "predicate " << pred << " row " << i;
+    }
+  }
+}
+
+/// Direct unit test of the per-predicate merge fan-out: staged stores
+/// merge in worker order per predicate, duplicates collapse against the
+/// target and across workers, the tuple budget is charged per batch, and
+/// the fan-out width reports the workers actually used.
+TEST_F(ParallelFixpointTest, MergeStagedParallelUnit) {
+  constexpr size_t kWorkers = 4;
+  constexpr int kPreds = 3;
+  ThreadPool pool(kWorkers);
+  std::vector<std::unique_ptr<Relation>> targets;
+  std::vector<std::vector<TupleStore>> staging(kPreds);
+  std::vector<StagedMergeTask> tasks;
+  for (int p = 0; p < kPreds; ++p) {
+    targets.push_back(std::make_unique<Relation>(2));
+    targets[p]->Insert({V(0), V(p)}, 0);  // pre-existing row to dedup against
+    StagedMergeTask task;
+    task.target = targets[p].get();
+    for (size_t w = 0; w < kWorkers; ++w) {
+      staging[p].emplace_back(2);
+      TupleStore& store = staging[p].back();
+      for (int64_t i = 0; i < 10; ++i) {
+        // Overlap across workers: tuple (i, p) staged by every worker;
+        // (w*100 + i, p) unique per worker. Plus the target's (0, p).
+        std::vector<Value> dup = {V(i), V(p)};
+        std::vector<Value> uniq = {V(static_cast<int64_t>(w) * 100 + i + 10),
+                                   V(p)};
+        bool fresh = false;
+        store.Insert(dup.data(), &fresh);
+        store.Insert(uniq.data(), &fresh);
+      }
+    }
+    for (size_t w = 0; w < kWorkers; ++w) {
+      task.sources.push_back(&staging[p][w]);
+    }
+    tasks.push_back(std::move(task));
+  }
+
+  ExecContext ctx;
+  std::vector<uint32_t> phases(kWorkers, 0);
+  uint32_t fanout = 0;
+  auto merged =
+      MergeStagedParallel(&tasks, 1, &pool, &ctx, phases.data(), &fanout);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  // Per predicate: 10 shared dups minus the pre-existing (0,p) -> 9 new,
+  // plus 10 unique per worker * 4 workers.
+  EXPECT_EQ(*merged, static_cast<uint64_t>(kPreds) * (9 + 10 * kWorkers));
+  EXPECT_EQ(fanout, 3u);  // three live predicates, four workers
+  EXPECT_EQ(ctx.tuples_used(), *merged);
+  for (int p = 0; p < kPreds; ++p) {
+    EXPECT_EQ(targets[p]->size(), 1u + 9 + 10 * kWorkers);
+    // Worker-order merge: worker 0's unique rows precede worker 1's.
+    EXPECT_TRUE(targets[p]->Contains({V(10), V(p)}));
+  }
+
+  // Budget enforcement: a tiny budget trips during the merge.
+  std::vector<StagedMergeTask> tasks2;
+  Relation target2(2);
+  TupleStore big(2);
+  for (int64_t i = 0; i < 600; ++i) {
+    std::vector<Value> row = {V(i), V(i)};
+    bool fresh = false;
+    big.Insert(row.data(), &fresh);
+  }
+  StagedMergeTask t2;
+  t2.target = &target2;
+  t2.sources.push_back(&big);
+  tasks2.push_back(std::move(t2));
+  ExecContext small;
+  small.set_tuple_budget(100);
+  std::vector<uint32_t> phases2(kWorkers, 0);
+  auto tripped = MergeStagedParallel(&tasks2, 1, &pool, &small,
+                                     phases2.data(), &fanout);
+  EXPECT_TRUE(tripped.status().IsResourceExhausted());
+}
+
+/// Concurrent interning hammer: every worker interns an overlapping
+/// stream of terms; a given term content must resolve to exactly one id,
+/// ids must round-trip through the lock-free get(), and the count must
+/// equal the distinct-content count. (TSan sweeps this suite: a racy
+/// slot publish or index stripe would surface here.)
+TEST_F(ParallelFixpointTest, DictionaryConcurrentInterningIsConsistent) {
+  constexpr size_t kWorkers = 8;
+  constexpr int kDistinct = 300;
+  rdf::TermDictionary dict;
+  ThreadPool pool(kWorkers);
+  std::vector<std::vector<rdf::TermId>> ids(kWorkers);
+  pool.RunOnWorkers([&](size_t w) {
+    std::vector<rdf::TermId>& mine = ids[w];
+    for (int i = 0; i < kDistinct; ++i) {
+      // Overlapping across workers, interleaved kinds.
+      int k = (i + static_cast<int>(w) * 37) % kDistinct;
+      mine.push_back(dict.InternIri("http://c.org/e" + std::to_string(k)));
+      mine.push_back(dict.InternInteger(k));
+    }
+  });
+  // Same content -> same id, across all workers.
+  for (size_t w = 1; w < kWorkers; ++w) {
+    for (int i = 0; i < kDistinct; ++i) {
+      int k = (i + static_cast<int>(w) * 37) % kDistinct;
+      rdf::TermId iri = dict.InternIri("http://c.org/e" + std::to_string(k));
+      rdf::TermId num = dict.InternInteger(k);
+      EXPECT_EQ(ids[w][2 * i], iri);
+      EXPECT_EQ(ids[w][2 * i + 1], num);
+    }
+  }
+  // undef + kDistinct IRIs + kDistinct integers.
+  EXPECT_EQ(dict.size(), 1u + 2u * kDistinct);
+  // Lock-free get() round-trips content.
+  for (int k = 0; k < kDistinct; ++k) {
+    auto id = dict.Lookup(rdf::Term::Iri("http://c.org/e" + std::to_string(k)));
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(dict.get(*id).lexical, "http://c.org/e" + std::to_string(k));
+  }
+}
+
+/// Same hammer for SkolemStore: concurrent Intern of overlapping Skolem
+/// terms must be consistent and get() must round-trip.
+TEST_F(ParallelFixpointTest, SkolemStoreConcurrentInterningIsConsistent) {
+  constexpr size_t kWorkers = 8;
+  constexpr uint64_t kDistinct = 400;
+  SkolemStore skolems;
+  uint32_t f = skolems.InternFunction("f1");
+  uint32_t g = skolems.InternFunction("f2");
+  ThreadPool pool(kWorkers);
+  std::vector<std::vector<Value>> vals(kWorkers);
+  pool.RunOnWorkers([&](size_t w) {
+    for (uint64_t i = 0; i < kDistinct; ++i) {
+      uint64_t k = (i + w * 53) % kDistinct;
+      vals[w].push_back(skolems.Intern(f, {k, k % 7}));
+      vals[w].push_back(skolems.Intern(g, {k}));
+    }
+  });
+  for (size_t w = 0; w < kWorkers; ++w) {
+    for (uint64_t i = 0; i < kDistinct; ++i) {
+      uint64_t k = (i + w * 53) % kDistinct;
+      EXPECT_EQ(vals[w][2 * i], skolems.Intern(f, {k, k % 7}));
+      EXPECT_EQ(vals[w][2 * i + 1], skolems.Intern(g, {k}));
+      const SkolemTerm& t = skolems.get(vals[w][2 * i]);
+      EXPECT_EQ(t.fn, f);
+      ASSERT_EQ(t.args.size(), 2u);
+      EXPECT_EQ(t.args[0], k);
+    }
+  }
+  EXPECT_EQ(skolems.size(), 2 * kDistinct);
+}
+
+/// The deadline must trip within one round even when all the round's
+/// work happens in the barrier merge fan-out: with an already-expired
+/// deadline and multi-thread merge workers, Evaluate must return Timeout
+/// (the batch-advance budget pacing samples the clock once per
+/// kClockStride merged tuples per worker, whatever the fan-out width).
+TEST_F(ParallelFixpointTest, DeadlineTripsUnderMergeFanOut) {
+  constexpr int kPreds = 4;
+  Program program;
+  PredicateId edge = program.predicates.Intern("edge", 2);
+  RuleBuilder rb(&program.predicates);
+  auto name = [](int i) { return "p" + std::to_string(i); };
+  rb.Head(name(0), {rb.Var("X"), rb.Var("Y")});
+  rb.Body("edge", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  for (int i = 0; i < kPreds; ++i) {
+    rb.Head(name((i + 1) % kPreds), {rb.Var("X"), rb.Var("Z")});
+    rb.Body(name(i), {rb.Var("X"), rb.Var("Y")});
+    rb.Body("edge", {rb.Var("Y"), rb.Var("Z")});
+    program.rules.push_back(rb.Build());
+  }
+  Database edb, idb;
+  for (int64_t i = 1; i <= 48; ++i) {
+    edb.relation(edge, 2).Insert({V(i), V(i % 48 + 1)}, 0);
+  }
+  SkolemStore skolems;
+  Evaluator evaluator(&dict_, &skolems);
+  evaluator.set_num_threads(8);
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Status st = evaluator.Evaluate(program, &edb, &idb, &ctx);
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
 }
 
 /// The tuple budget ("mem-out") must still trip when derivations are
@@ -283,6 +698,44 @@ TEST_F(ParallelFixpointTest, EngineWarmHitsAgreeAcrossThreadCounts) {
           << "threads=" << threads;
     }
   }
+}
+
+/// Engine::stats() surfaces the fixpoint-parallelism counters for the
+/// last Execute: a recursive path query at num_threads=4 must report
+/// sharded rounds, a sharded initial pass and merged staged tuples,
+/// while the single-threaded engine reports none.
+TEST_F(ParallelFixpointTest, EngineStatsExposeParallelCounters) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  rdf::TermId p = dict.InternIri("http://stat.org/p");
+  auto node = [&](int64_t i) {
+    return dict.InternIri("http://stat.org/n" + std::to_string(i));
+  };
+  for (int64_t i = 1; i <= 40; ++i) {
+    dataset.default_graph().Add(node(i), p, node(i % 40 + 1));
+  }
+  const std::string query =
+      "SELECT ?x ?y WHERE { ?x <http://stat.org/p>+ ?y }";
+
+  core::Engine::Options options;
+  options.num_threads = 4;
+  core::Engine engine(&dataset, &dict, options);
+  auto result = engine.ExecuteText(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  core::Engine::Stats stats = engine.stats();
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.parallel_rounds, 0u);
+  EXPECT_GT(stats.naive_rounds_sharded, 0u);
+  EXPECT_GT(stats.staged_tuples_merged, 0u);
+
+  core::Engine::Options serial_options;
+  serial_options.num_threads = 1;
+  core::Engine serial(&dataset, &dict, serial_options);
+  auto serial_result = serial.ExecuteText(query);
+  ASSERT_TRUE(serial_result.ok()) << serial_result.status().ToString();
+  EXPECT_EQ(serial.stats().parallel_rounds, 0u);
+  EXPECT_EQ(serial.stats().staged_tuples_merged, 0u);
+  EXPECT_TRUE(result->SameSolutions(*serial_result));
 }
 
 /// The deadline must still be sampled when an evaluation is made of many

@@ -162,6 +162,45 @@ TEST(ExecContextTest, SharedBudgetCheckUsesCallerPhase) {
   EXPECT_TRUE(memout.CheckBudgetShared(&phase).IsResourceExhausted());
 }
 
+TEST(ExecContextTest, BatchAdvanceSamplesClockPerStrideOfWork) {
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // A batch that crosses a stride boundary samples the clock in ONE call
+  // — this is the merge-worker recalibration: cadence follows work done
+  // (tuples merged), not call count, so a wide merge fan-out still trips
+  // an expired deadline within its round.
+  uint32_t phase = 0;
+  EXPECT_TRUE(
+      ctx.CheckBudgetShared(&phase, ExecContext::kClockStride).IsTimeout());
+  // A batch inside one stride window does not sample...
+  uint32_t phase2 = 0;
+  EXPECT_TRUE(ctx.CheckBudgetShared(&phase2, 10).ok());
+  EXPECT_EQ(phase2, 10u);
+  // ...but cumulative batches that cross the boundary do.
+  Status last = Status::OK();
+  int batches = 0;
+  for (; batches < 100 && last.ok(); ++batches) {
+    last = ctx.CheckBudgetShared(&phase2, 100);
+  }
+  EXPECT_TRUE(last.IsTimeout());
+  // 10 + 100k crosses the 256 boundary at the 3rd batch.
+  EXPECT_EQ(batches, 3);
+}
+
+TEST(ExecContextTest, BatchAdvanceMatchesUnitVariantSemantics) {
+  // advance=1 is exactly the historical unit check: the clock is first
+  // consulted on the kClockStride-th call.
+  ExecContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  uint32_t phase = 0;
+  for (uint32_t i = 0; i + 1 < ExecContext::kClockStride; ++i) {
+    EXPECT_TRUE(ctx.CheckBudgetShared(&phase, 1).ok()) << i;
+  }
+  EXPECT_TRUE(ctx.CheckBudgetShared(&phase, 1).IsTimeout());
+}
+
 TEST(ThreadPoolTest, RunsEveryWorkerExactlyOnce) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.num_workers(), 4u);

@@ -266,6 +266,25 @@ TEST(CacheDifferentialTest, SparqLogSystemWarmRepeatRecordsCacheHits) {
   EXPECT_NE(line.find("Tq 1h/0r/1m"), std::string::npos) << line;
 }
 
+// The fixpoint-parallelism counters render only when a run actually
+// fanned out, so serial baselines keep the historical one-line format.
+TEST(RunnerTest, FormatCacheStatsIncludesParallelCounters) {
+  RunRecord r;
+  r.program_cache_hits = 1;
+  r.program_cache_misses = 1;
+  std::string serial_line = FormatCacheStats(r);
+  EXPECT_EQ(serial_line.find("par "), std::string::npos) << serial_line;
+  r.parallel_rounds = 6;
+  r.naive_rounds_sharded = 1;
+  r.staged_tuples_merged = 120;
+  r.merge_fanout_width = 4;
+  r.interning_contention = 2;
+  std::string line = FormatCacheStats(r);
+  EXPECT_NE(line.find("par 6r/1n"), std::string::npos) << line;
+  EXPECT_NE(line.find("120 merged ×4"), std::string::npos) << line;
+  EXPECT_NE(line.find("2 contended"), std::string::npos) << line;
+}
+
 TEST(RunnerTest, OutcomeClassification) {
   EXPECT_EQ(ClassifyStatus(Status::OK()), Outcome::kOk);
   EXPECT_EQ(ClassifyStatus(Status::Timeout("t")), Outcome::kTimeout);
