@@ -252,6 +252,87 @@ BENCHMARK(BM_Sp2b_Parallel)
     ->Args({6000, 2})
     ->Args({6000, 4});
 
+// --- Cost-based join planner -------------------------------------------
+
+// Plan-sensitive SP2Bench star, written dense-atoms-first: dcterms:issued
+// and dc:title cover every document, rdf:type bench:Journal a handful.
+// All three patterns scan the one `triple` relation, so the planner-off
+// runtime heuristic (size-based) cannot tell them apart and executes in
+// written order — a full-document scan. Planner-on reads the predicate
+// histogram and starts from the Journal pattern. Arg(1): 0 = planner
+// off, 1 = on.
+void BM_JoinPlanner_Sp2bStar(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  workloads::Sp2bOptions options;
+  options.target_triples = static_cast<size_t>(state.range(0));
+  workloads::GenerateSp2b(options, &dataset);
+  core::Engine::Options engine_options;
+  engine_options.program_cache = false;
+  engine_options.stratum_memo = false;
+  engine_options.join_planner = state.range(1) != 0;
+  core::Engine engine(&dataset, &dict, engine_options);
+  if (!engine.Load().ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const std::string query = workloads::Sp2bPrefixes() +
+                            "SELECT ?yr ?t WHERE { ?d dcterms:issued ?yr . "
+                            "?d dc:title ?t . ?d rdf:type bench:Journal }";
+  for (auto _ : state) {
+    auto result = engine.ExecuteText(query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+}
+BENCHMARK(BM_JoinPlanner_Sp2bStar)->Args({20000, 0})->Args({20000, 1});
+
+// Synthetic subject star: every subject carries two dense predicates, a
+// handful also the rare one; the query is written dense-first. The
+// characteristic-set statistics give the planner the exact star count.
+void BM_JoinPlanner_SyntheticStar(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  const size_t n = static_cast<size_t>(state.range(0));
+  rdf::TermId p1 = dict.InternIri("http://b.org/p1");
+  rdf::TermId p2 = dict.InternIri("http://b.org/p2");
+  rdf::TermId rare = dict.InternIri("http://b.org/rare");
+  auto node = [&](const char* prefix, size_t i) {
+    return dict.InternIri(std::string("http://b.org/") + prefix +
+                          std::to_string(i));
+  };
+  for (size_t i = 0; i < n; ++i) {
+    rdf::TermId s = node("s", i);
+    dataset.default_graph().Add(s, p1, node("a", i));
+    dataset.default_graph().Add(s, p2, node("b", i));
+    if (i % 256 == 0) dataset.default_graph().Add(s, rare, node("r", i));
+  }
+  core::Engine::Options engine_options;
+  engine_options.program_cache = false;
+  engine_options.stratum_memo = false;
+  engine_options.join_planner = state.range(1) != 0;
+  core::Engine engine(&dataset, &dict, engine_options);
+  if (!engine.Load().ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const std::string query =
+      "PREFIX b: <http://b.org/> SELECT ?s ?v WHERE "
+      "{ ?s b:p1 ?a . ?s b:p2 ?b . ?s b:rare ?v }";
+  for (auto _ : state) {
+    auto result = engine.ExecuteText(query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result->rows.size());
+  }
+}
+BENCHMARK(BM_JoinPlanner_SyntheticStar)->Args({8192, 0})->Args({8192, 1});
+
 // --- TupleStore microbenchmarks --------------------------------------------
 // Isolate the columnar storage hot paths the fixpoint loop is built on:
 // deduplicating insert (arena append + open-addressing probe), index probe

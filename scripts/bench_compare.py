@@ -2,7 +2,8 @@
 """Perf-trajectory gate: diff a fresh BENCH_micro_datalog.json against the
 committed bench/baseline.json and fail CI on wall-time regressions in the
 gated benchmark families (BM_TupleStore*, BM_TransitiveClosure*,
-BM_RepeatedQuery*, BM_BulkLoad*, BM_BarrierMerge*, BM_Sp2b_Parallel).
+BM_RepeatedQuery*, BM_BulkLoad*, BM_BarrierMerge*, BM_Sp2b_Parallel,
+BM_JoinPlanner*).
 Both sides are reduced to the per-benchmark median of their recorded
 repetitions before comparing.
 
@@ -42,7 +43,7 @@ DEFAULT_BASELINE = "bench/baseline.json"
 # runner tightens (b) for the multi-thread rows too.
 GATE_PATTERN = (
     r"^(BM_TupleStore|BM_TransitiveClosure|BM_RepeatedQuery"
-    r"|BM_BulkLoad|BM_BarrierMerge|BM_Sp2b_Parallel)"
+    r"|BM_BulkLoad|BM_BarrierMerge|BM_Sp2b_Parallel|BM_JoinPlanner)"
 )
 
 

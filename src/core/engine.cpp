@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "datalog/planner.h"
 #include "datalog/printer.h"
 #include "sparql/shape.h"
 
@@ -23,7 +24,27 @@ Status Engine::Load() {
       DataTranslator::Translate(*dataset_, dict_, &edb_, options_.edb_build));
   loaded_ = true;
   loaded_generation_ = dataset_->Generation();
+  // Planner statistics ride every (re)build, stamped with the dataset
+  // generation so cached plans can tell they went stale.
+  if (options_.join_planner) {
+    datalog::PredicateTable scratch;
+    EdbPredicates preds = InternEdbPredicates(&scratch);
+    edb_stats_.Collect(edb_, preds.triple);
+    edb_stats_.set_generation(loaded_generation_);
+  }
   return Status::OK();
+}
+
+void Engine::PlanForActiveEdb(datalog::Program* program) {
+  const datalog::EdbStats& stats =
+      scoped_stats_ != nullptr ? *scoped_stats_ : edb_stats_;
+  datalog::PlanProgram(program, stats);
+  ++plans_computed_;
+}
+
+uint64_t Engine::PlanGeneration() const {
+  return scoped_stats_ != nullptr ? ProgramCache::kNoPlan
+                                  : edb_stats_.generation();
 }
 
 Result<datalog::Program> Engine::Translate(const sparql::Query& query) {
@@ -51,15 +72,36 @@ std::vector<datalog::Value> Engine::AmbientValues() {
 Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
     const sparql::Query& query) {
   sparql::QueryShape shape = sparql::ComputeQueryShape(query);
+  const bool scoped = scoped_stats_ != nullptr;
   if (ProgramCache::Entry* entry = program_cache_.Lookup(shape)) {
     if (entry->data_key == shape.data_key) {
       ++cache_stats_.program_hits;
+      if (options_.join_planner &&
+          (scoped || entry->plan_generation != edb_stats_.generation())) {
+        // The cached plan is stale (EDB rebuilt since it was computed)
+        // or this is a query-scoped FROM execution (its statistics are
+        // not the engine's): replan a copy. Scoped plans are never
+        // adopted — they would poison the entry for unscoped traffic.
+        datalog::Program replanned = *entry->program;
+        PlanForActiveEdb(&replanned);
+        auto program =
+            std::make_shared<const datalog::Program>(std::move(replanned));
+        if (!scoped) {
+          entry->program = program;
+          entry->plan_generation = edb_stats_.generation();
+        }
+        return program;
+      }
+      if (options_.join_planner) ++plan_cache_hits_;
       return entry->program;
     }
     std::optional<datalog::Program> rebound =
         RebindProgram(*entry, shape, query, AmbientValues());
     if (rebound.has_value()) {
       ++cache_stats_.program_rebinds;
+      // Re-bound constants shift selectivities, so the plan is recomputed
+      // along with the binding (still far cheaper than re-translating).
+      if (options_.join_planner) PlanForActiveEdb(&*rebound);
       // Adopt the re-bound program as the shape's template: production
       // traffic repeats the *latest* constants, so the next arrival of
       // this exact query is a verbatim hit.
@@ -67,6 +109,7 @@ Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
           std::make_shared<const datalog::Program>(std::move(*rebound));
       entry->params = shape.params;
       entry->data_key = shape.data_key;
+      entry->plan_generation = PlanGeneration();
       return entry->program;
     }
     // A changing parameter collided with an engine constant; fall through
@@ -74,12 +117,14 @@ Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
   }
   ++cache_stats_.program_misses;
   SPARQLOG_ASSIGN_OR_RETURN(datalog::Program translated, Translate(query));
+  if (options_.join_planner) PlanForActiveEdb(&translated);
   auto program =
       std::make_shared<const datalog::Program>(std::move(translated));
   ProgramCache::Entry entry;
   entry.program = program;
   entry.params = shape.params;
   entry.data_key = shape.data_key;
+  entry.plan_generation = PlanGeneration();
   program_cache_.Insert(shape, std::move(entry));
   return program;
 }
@@ -105,9 +150,19 @@ Result<eval::QueryResult> Engine::Execute(const sparql::Query& query) {
     SPARQLOG_RETURN_NOT_OK(
         DataTranslator::Translate(scoped, dict_, &scoped_edb,
                                   options_.edb_build));
+    // The planner sees the scoped EDB's statistics for this query only;
+    // scoped plans are not cached (see TranslateCached).
+    datalog::EdbStats scoped_stats;
+    if (options_.join_planner) {
+      datalog::PredicateTable scratch;
+      EdbPredicates preds = InternEdbPredicates(&scratch);
+      scoped_stats.Collect(scoped_edb, preds.triple);
+      scoped_stats_ = &scoped_stats;
+    }
     std::swap(edb_, scoped_edb);
     auto result = ExecuteInternal(query, /*allow_stratum_memo=*/false);
     std::swap(edb_, scoped_edb);
+    scoped_stats_ = nullptr;
     return result;
   }
   return ExecuteInternal(query, /*allow_stratum_memo=*/true);
@@ -120,6 +175,7 @@ Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query,
     SPARQLOG_ASSIGN_OR_RETURN(program, TranslateCached(query));
   } else {
     SPARQLOG_ASSIGN_OR_RETURN(datalog::Program translated, Translate(query));
+    if (options_.join_planner) PlanForActiveEdb(&translated);
     program =
         std::make_shared<const datalog::Program>(std::move(translated));
   }
@@ -141,6 +197,17 @@ Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query,
   cache_stats_.stratum_hits += last_stats_.strata_memo_hits;
   cache_stats_.stratum_misses += last_stats_.strata_memo_misses;
   cache_stats_.tuples_restored += last_stats_.tuples_restored;
+
+  // Planner feedback: q-error between the estimated and materialized
+  // output cardinality (benchmarks watch this to keep the cost model
+  // honest).
+  if (options_.join_planner && program->planned_estimate >= 0) {
+    const datalog::Relation* out = idb.Find(program->output.predicate);
+    double actual = std::max(out == nullptr ? 0.0 : double(out->size()), 1.0);
+    double estimate = std::max(program->planned_estimate, 1.0);
+    last_plan_error_ =
+        estimate > actual ? estimate / actual : actual / estimate;
+  }
 
   return SolutionTranslator::Translate(*program, query, idb, dict_, &ctx);
 }

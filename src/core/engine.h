@@ -9,6 +9,7 @@
 #include "core/query_translator.h"
 #include "core/solution_translator.h"
 #include "datalog/evaluator.h"
+#include "datalog/stats.h"
 #include "datalog/stratum_memo.h"
 #include "eval/binding.h"
 #include "rdf/graph.h"
@@ -70,6 +71,16 @@ class Engine {
     /// against. The strategies produce bit-identical EDBs (bulk loads
     /// preserve first-occurrence order); only build cost differs.
     EdbBuild edb_build = EdbBuild::kBulkLoad;
+    /// Cost-based join ordering (datalog/planner.h): Load() collects EDB
+    /// statistics (datalog/stats.h) and every translated program's rule
+    /// bodies are reordered by estimated intermediate cardinality; plans
+    /// ride the program cache, so warm hits pay zero planning cost.
+    /// Off = rule bodies stay in translation order and the evaluator's
+    /// runtime heuristic picks join orders — the exact pre-planner
+    /// behaviour, kept for differentials and ablations. Results are
+    /// identical either way (solution multisets, and row order wherever
+    /// ORDER BY applies); only evaluation cost changes.
+    bool join_planner = true;
   };
 
   /// Cache observability (engine lifetime totals).
@@ -124,6 +135,13 @@ class Engine {
     uint64_t staged_tuples_merged = 0;  ///< tuples via the barrier merge
     uint32_t merge_fanout_width = 0;    ///< max merge workers in any round
     uint64_t interning_contention = 0;  ///< dict+Skolem lock contention
+    // Join-planner observability (engine lifetime / last Execute).
+    uint64_t plans_computed = 0;   ///< planner invocations (lifetime)
+    uint64_t plan_cache_hits = 0;  ///< warm hits reusing a cached plan
+    /// q-error of the last planned query: max(est/actual, actual/est)
+    /// between the planner's output-cardinality estimate and the
+    /// materialized output relation; 0 before any planned execution.
+    double plan_estimate_error = 0.0;
   };
   Stats stats() const {
     return {last_stats_.rounds,
@@ -131,7 +149,10 @@ class Engine {
             last_stats_.naive_rounds_sharded,
             last_stats_.staged_merged,
             last_stats_.merge_fanout_width,
-            last_stats_.interning_contention};
+            last_stats_.interning_contention,
+            plans_computed_,
+            plan_cache_hits_,
+            last_plan_error_};
   }
 
   /// Cache hit/miss/eviction totals since construction.
@@ -163,6 +184,14 @@ class Engine {
   /// Engine constants whose values must never be confused with query
   /// parameters during re-binding (see program_cache.h).
   std::vector<datalog::Value> AmbientValues();
+  /// Runs the cost-based planner over `program` against the active EDB
+  /// statistics (the query-scoped stats during FROM execution, the
+  /// engine's otherwise) and records the planner counters.
+  void PlanForActiveEdb(datalog::Program* program);
+  /// Plan-freshness token for cached programs: the EDB-statistics
+  /// generation, or ProgramCache::kNoPlan during query-scoped FROM
+  /// execution (scoped plans are never reusable).
+  uint64_t PlanGeneration() const;
 
   const rdf::Dataset* dataset_;
   rdf::TermDictionary* dict_;
@@ -175,6 +204,14 @@ class Engine {
   ProgramCache program_cache_;
   datalog::StratumMemo stratum_memo_;
   CacheStats cache_stats_;
+  /// EDB statistics for the planner, recollected on every EDB (re)build.
+  datalog::EdbStats edb_stats_;
+  /// Query-scoped statistics during FROM / FROM NAMED execution (points
+  /// at a stack-local EdbStats inside Execute); nullptr otherwise.
+  const datalog::EdbStats* scoped_stats_ = nullptr;
+  uint64_t plans_computed_ = 0;
+  uint64_t plan_cache_hits_ = 0;
+  double last_plan_error_ = 0.0;
 };
 
 }  // namespace sparqlog::core

@@ -38,6 +38,11 @@ namespace sparqlog::core {
 
 class ProgramCache {
  public:
+  /// `plan_generation` sentinel: the cached program carries no reusable
+  /// join plan (planner off, or planned against a query-scoped FROM EDB
+  /// whose statistics died with the query).
+  static constexpr uint64_t kNoPlan = ~0ull;
+
   struct Entry {
     std::shared_ptr<const datalog::Program> program;
     /// Parameter values the program was translated with, one per shape
@@ -45,6 +50,11 @@ class ProgramCache {
     std::vector<rdf::TermId> params;
     /// QueryShape::data_key of the query the program was built from.
     std::string data_key;
+    /// Dataset generation the program's join plan was computed against
+    /// (kNoPlan when unplanned): a warm hit whose generation matches the
+    /// engine's current EDB statistics pays zero planning cost; a
+    /// mismatch (the EDB was rebuilt) replans the cached program once.
+    uint64_t plan_generation = kNoPlan;
   };
 
   explicit ProgramCache(size_t capacity)

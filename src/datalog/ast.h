@@ -104,6 +104,13 @@ struct Rule {
   std::vector<BuiltinLit> builtins;
   /// Rule-local variable names (index = VarId), for printing/diagnostics.
   std::vector<std::string> var_names;
+  /// Set by the cost-based planner (datalog/planner.h) after it permuted
+  /// `positive` into its chosen join order: the evaluator then executes
+  /// the body in written order (delta atom hoisted) instead of running
+  /// its runtime greedy ordering. Reordering never changes derived tuple
+  /// sets — Skolem tuple IDs are functions of the *sorted* positive body
+  /// variables, not of atom positions.
+  bool planned = false;
   /// Head variables assigned by a Skolem builtin model the paper's
   /// existential TID variables; cached for the warded analysis.
   std::vector<VarId> SkolemBoundVars() const;
@@ -150,6 +157,11 @@ struct Program {
   std::vector<Rule> rules;
   std::vector<Fact> facts;
   OutputSpec output;
+  /// Planner annotation: estimated cardinality of the output predicate
+  /// (rows), negative when the program was never planned. Carried with
+  /// cached programs so the engine can report estimated-vs-actual error
+  /// without replanning on warm hits.
+  double planned_estimate = -1.0;
 
   /// Structural sanity checks: arity consistency, range restriction
   /// (every head/negated/builtin variable bound by the positive body or an

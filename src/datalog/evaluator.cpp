@@ -78,9 +78,21 @@ struct Evaluator::RuleRun {
 
   void ComputeOrder() {
     const auto& atoms = rule->positive;
+    order.clear();
+    // Planner-ordered body (datalog/planner.h): execute as written — the
+    // cost-based order beats the runtime heuristic because it knows
+    // per-predicate-term cardinalities, not just relation sizes. The
+    // delta atom is hoisted to the front (its scan range is pinned); the
+    // rest keep their planned relative order.
+    if (rule->planned) {
+      if (delta_atom != kNoDelta) order.push_back(delta_atom);
+      for (uint32_t i = 0; i < atoms.size(); ++i) {
+        if (i != delta_atom) order.push_back(i);
+      }
+      return;
+    }
     std::vector<bool> used(atoms.size(), false);
     std::vector<bool> var_known(rule->var_names.size(), false);
-    order.clear();
     if (delta_atom != kNoDelta) {
       order.push_back(delta_atom);
       used[delta_atom] = true;
@@ -738,18 +750,23 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
           new_tuples += n;
           continue;
         }
-        // Pivot on the largest relation: the most rows to deal out.
+        // Pivot choice: planned rules scan their planned first atom (the
+        // most selective one — the sharded scan then mirrors the serial
+        // planned join exactly); unplanned rules pivot on the largest
+        // relation, the most rows to deal out.
         uint32_t pivot = 0;
-        size_t best = 0;
-        for (uint32_t ai = 0;
-             ai < static_cast<uint32_t>(rule.positive.size()); ++ai) {
-          size_t sz = 0;
-          PredicateId p = rule.positive[ai].predicate;
-          if (const Relation* r = edb->Find(p)) sz += r->size();
-          if (const Relation* r = idb->Find(p)) sz += r->size();
-          if (ai == 0 || sz > best) {
-            pivot = ai;
-            best = sz;
+        if (!rule.planned) {
+          size_t best = 0;
+          for (uint32_t ai = 0;
+               ai < static_cast<uint32_t>(rule.positive.size()); ++ai) {
+            size_t sz = 0;
+            PredicateId p = rule.positive[ai].predicate;
+            if (const Relation* r = edb->Find(p)) sz += r->size();
+            if (const Relation* r = idb->Find(p)) sz += r->size();
+            if (ai == 0 || sz > best) {
+              pivot = ai;
+              best = sz;
+            }
           }
         }
         PredicateId p = rule.positive[pivot].predicate;

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "datalog/ast.h"
+#include "datalog/stats.h"
+
+/// \file planner.h
+/// Cost-based join ordering for rule bodies, driven by EDB statistics
+/// (stats.h). SparqLog's translation leaves body atoms in parse-tree
+/// order; on star- and chain-shaped queries (SP2Bench's speciality) a
+/// wrong leading atom costs orders of magnitude. The planner runs once
+/// per translated program — at translation time and again after every
+/// cached-program re-bind — and physically permutes each rule's
+/// `positive` vector into its chosen order, marking the rule `planned` so
+/// the evaluator executes the body as written (joins proceed left to
+/// right with bound-variable propagation; builtin filters/BINDs fire the
+/// moment their inputs are bound, negation is checked at the leaves —
+/// i.e. dependent literals run as late as their variable dependencies
+/// allow, never earlier).
+///
+/// Cost model (classic System-R-style, independence assumptions):
+///  * an atom's base cardinality comes from its relation's row count;
+///    constants select 1/distinct(col) of it. A `triple` atom with a
+///    constant predicate term instead reads the per-predicate histogram
+///    (count, distinct subjects/objects) — the statistic that actually
+///    separates SP2Bench's patterns;
+///  * joining a set of atoms on a shared variable v divides the product
+///    of cardinalities by all per-atom distinct(v) but the smallest
+///    (the pairwise |R ⋈ S| = |R||S| / max(dR,dS) rule, generalized).
+///    This makes a subset's cardinality independent of join order, which
+///    is what lets the exact DP below memoize on subsets;
+///  * a subject-star of constant-predicate triple atoms is estimated
+///    exactly from the characteristic sets when available: the number of
+///    subjects carrying all the star's predicates times the expected
+///    objects per subject and predicate.
+///
+/// Order search: greedy smallest-next-intermediate for any body size,
+/// replaced by an exact subset-DP (Held-Karp over bitmasks, minimizing
+/// the sum of intermediate cardinalities) for bodies of at most
+/// kDpMaxAtoms positive atoms — every body the SPARQL translation emits
+/// in practice. IDB predicate cardinalities are estimated bottom-up in
+/// stratification order, so outer-query rules see estimates for the
+/// subquery predicates they join.
+
+namespace sparqlog::datalog {
+
+/// Observability counters for one PlanProgram call.
+struct PlannerReport {
+  uint32_t rules_planned = 0;    ///< rules marked `planned`
+  uint32_t bodies_reordered = 0; ///< rules whose atom order actually changed
+  uint32_t dp_bodies = 0;        ///< bodies ordered by the exact subset-DP
+  uint32_t greedy_bodies = 0;    ///< bodies ordered greedily (> kDpMaxAtoms)
+  /// Estimated output-predicate cardinality (rows); negative when the
+  /// program has no output rules to estimate.
+  double output_estimate = -1.0;
+};
+
+/// Bodies up to this many positive atoms get the exact DP; larger ones
+/// (2^n subsets) fall back to the greedy order.
+inline constexpr uint32_t kDpMaxAtoms = 8;
+
+/// Orders every rule body of `program` (see file comment) and stamps
+/// Program::planned_estimate. Statistics may be empty (e.g. nothing
+/// loaded yet): rules are still planned, from fact counts and defaults.
+/// Idempotent: replanning a planned program with the same stats keeps
+/// the same order.
+PlannerReport PlanProgram(Program* program, const EdbStats& stats);
+
+}  // namespace sparqlog::datalog

@@ -1,0 +1,129 @@
+#include "datalog/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sparqlog::datalog {
+
+namespace {
+
+/// Column layout of the triple relation (data_translator.h).
+constexpr size_t kSubjectCol = 0;
+constexpr size_t kPredicateCol = 1;
+constexpr size_t kObjectCol = 2;
+
+}  // namespace
+
+void EdbStats::Collect(const Database& edb, PredicateId triple_pred) {
+  relations_.clear();
+  per_predicate_.clear();
+  signatures_.clear();
+  triple_pred_ = triple_pred;
+  has_triple_ = false;
+  char_sets_ok_ = false;
+  total_triples_ = 0;
+
+  for (PredicateId pred : edb.Predicates()) {
+    const Relation* rel = edb.Find(pred);
+    if (rel == nullptr) continue;
+    RelationStats rs;
+    rs.rows = rel->size();
+    rs.distinct.assign(rel->arity(), rs.rows);
+    if (rs.rows <= kMaxExactRows && rel->arity() > 0) {
+      // One pass, one hash set per column. Relations are deduplicated
+      // sets, so these are exact distinct counts, not estimates.
+      std::vector<std::unordered_set<Value>> seen(rel->arity());
+      for (auto& s : seen) s.reserve(rel->size());
+      for (RowRef row : rel->rows()) {
+        for (uint32_t c = 0; c < rel->arity(); ++c) seen[c].insert(row[c]);
+      }
+      for (uint32_t c = 0; c < rel->arity(); ++c) {
+        rs.distinct[c] = seen[c].size();
+      }
+    }
+    relations_.emplace(pred, std::move(rs));
+  }
+
+  // RDF refinements over the triple relation.
+  const Relation* triples = edb.Find(triple_pred);
+  if (triples == nullptr || triples->arity() < 3 ||
+      triples->size() > kMaxExactRows) {
+    return;
+  }
+  has_triple_ = true;
+  total_triples_ = triples->size();
+
+  struct PerPredicate {
+    uint64_t count = 0;
+    std::unordered_set<Value> subjects;
+    std::unordered_set<Value> objects;
+  };
+  std::unordered_map<Value, PerPredicate> per_p;
+  std::unordered_map<Value, std::vector<Value>> subject_preds;
+  for (RowRef row : triples->rows()) {
+    PerPredicate& pp = per_p[row[kPredicateCol]];
+    ++pp.count;
+    pp.subjects.insert(row[kSubjectCol]);
+    pp.objects.insert(row[kObjectCol]);
+    subject_preds[row[kSubjectCol]].push_back(row[kPredicateCol]);
+  }
+  per_predicate_.reserve(per_p.size());
+  for (auto& [p, pp] : per_p) {
+    per_predicate_.emplace(
+        p, PredicateTermStats{pp.count, pp.subjects.size(),
+                              pp.objects.size()});
+  }
+
+  // Characteristic sets: group subjects by their sorted distinct
+  // predicate signature. Signature explosion (heterogeneous data) is the
+  // failure mode, so the count is capped rather than the pass aborted.
+  std::unordered_map<uint64_t, size_t> sig_index;  // signature hash -> slot
+  for (auto& [subject, preds] : subject_preds) {
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    uint64_t h = Fmix64(HashRange(preds.data(), preds.data() + preds.size()));
+    auto [it, fresh] = sig_index.emplace(h, signatures_.size());
+    if (fresh) {
+      if (signatures_.size() >= kMaxSignatures) {
+        signatures_.clear();
+        return;  // capped: char_sets_ok_ stays false
+      }
+      signatures_.push_back({preds, 0});
+    }
+    // Hash collisions between distinct signatures merge their subject
+    // counts; at 64 bits that is noise within an estimator's tolerance.
+    ++signatures_[it->second].second;
+  }
+  char_sets_ok_ = true;
+}
+
+const RelationStats* EdbStats::Find(PredicateId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+const PredicateTermStats* EdbStats::FindPredicateTerm(Value p) const {
+  if (!has_triple_) return nullptr;
+  auto it = per_predicate_.find(p);
+  return it == per_predicate_.end() ? nullptr : &it->second;
+}
+
+bool EdbStats::CountSubjectsWithAll(const std::vector<Value>& preds,
+                                    uint64_t* count) const {
+  if (!char_sets_ok_) return false;
+  uint64_t total = 0;
+  for (const auto& [signature, subjects] : signatures_) {
+    bool all = true;
+    for (Value p : preds) {
+      if (!std::binary_search(signature.begin(), signature.end(), p)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) total += subjects;
+  }
+  *count = total;
+  return true;
+}
+
+}  // namespace sparqlog::datalog

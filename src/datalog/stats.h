@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/relation.h"
+#include "datalog/value.h"
+
+/// \file stats.h
+/// Cheap EDB statistics for the cost-based join planner (planner.h).
+///
+/// `EdbStats::Collect` makes one pass over a materialized EDB database
+/// and records, per relation, the exact cardinality and per-column
+/// distinct counts (relations are sets, so distinct(col) <= rows holds by
+/// construction). For the designated `triple` relation it additionally
+/// builds two RDF-specific refinements, both inspired by the statistics
+/// real triple stores keep (RDF-3X's aggregated indexes, RDF-TDAA's
+/// characteristic sets):
+///
+///  * a per-predicate-term histogram: for every constant P value the
+///    number of triples and the distinct subject / object counts. SPARQL
+///    triple patterns almost always carry a constant predicate, so this
+///    is the single statistic that separates a 10-row pattern from a
+///    10,000-row one when both live in the same `triple` relation;
+///  * characteristic sets: the distinct predicate *signatures* of
+///    subjects (the sorted set of P values each subject occurs with) and
+///    how many subjects share each signature. A subject-star join over
+///    constant predicates {p1..pk} matches exactly the subjects whose
+///    signature is a superset of {p1..pk} — no independence assumption
+///    needed. Collection is capped (kMaxSignatures distinct signatures,
+///    kMaxExactRows triples); past the cap the planner falls back to the
+///    independence-based estimate.
+///
+/// Freshness: the engine recollects after every EDB (re)build — the cold
+/// Load(), the rebuild a `Dataset::Generation` bump forces, and the
+/// query-scoped FROM/FROM NAMED EDBs — and stamps the stats with the
+/// generation they were collected at, so cached plans can detect they
+/// were made against stale statistics (see ProgramCache::Entry).
+
+namespace sparqlog::datalog {
+
+/// Exact per-relation statistics.
+struct RelationStats {
+  uint64_t rows = 0;
+  /// Distinct values per column; distinct[j] <= rows. For relations past
+  /// kMaxExactRows the pessimistic `rows` stands in per column.
+  std::vector<uint64_t> distinct;
+};
+
+/// Per-predicate-term refinement of the `triple` relation.
+struct PredicateTermStats {
+  uint64_t triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+};
+
+class EdbStats {
+ public:
+  /// Distinct-signature cap: past it characteristic sets are discarded
+  /// (heterogeneous data where signatures would not compress anyway).
+  static constexpr size_t kMaxSignatures = 4096;
+  /// Row cap for the exact single-pass collection; larger relations keep
+  /// only their cardinality (distinct = rows, the pessimistic default).
+  static constexpr uint64_t kMaxExactRows = 1ull << 22;
+
+  /// Collects statistics over `edb` in one pass per relation.
+  /// `triple_pred` designates the 4-ary triple relation (layout
+  /// S, P, O, G) that gets the per-predicate histogram and the
+  /// characteristic sets; pass a predicate absent from `edb` to skip the
+  /// refinements. Replaces any previously collected state.
+  void Collect(const Database& edb, PredicateId triple_pred);
+
+  bool empty() const { return relations_.empty(); }
+
+  /// Dataset generation the statistics were collected at (engine-stamped;
+  /// see Engine::Load). Plans remember this to detect staleness.
+  uint64_t generation() const { return generation_; }
+  void set_generation(uint64_t g) { generation_ = g; }
+
+  /// Per-relation statistics; nullptr for unknown predicates.
+  const RelationStats* Find(PredicateId pred) const;
+
+  PredicateId triple_predicate() const { return triple_pred_; }
+  bool has_triple_histogram() const { return has_triple_; }
+
+  /// Histogram entry for the predicate term `p` (a triple's P value);
+  /// nullptr when `p` never occurs as a predicate (a pattern over it
+  /// matches nothing) or when the histogram was not collected.
+  const PredicateTermStats* FindPredicateTerm(Value p) const;
+
+  bool has_characteristic_sets() const { return char_sets_ok_; }
+
+  /// Number of subjects whose predicate signature contains every value in
+  /// `preds` — the exact subject count of a constant-predicate star join.
+  /// Returns false (estimate unusable) when characteristic sets were
+  /// capped out or not collected.
+  bool CountSubjectsWithAll(const std::vector<Value>& preds,
+                            uint64_t* count) const;
+
+  /// Total triples seen by the histogram (0 when not collected).
+  uint64_t total_triples() const { return total_triples_; }
+
+ private:
+  std::unordered_map<PredicateId, RelationStats> relations_;
+  std::unordered_map<Value, PredicateTermStats> per_predicate_;
+  /// signature (sorted distinct P values) -> number of subjects.
+  std::vector<std::pair<std::vector<Value>, uint64_t>> signatures_;
+  PredicateId triple_pred_ = 0;
+  bool has_triple_ = false;
+  bool char_sets_ok_ = false;
+  uint64_t total_triples_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace sparqlog::datalog

@@ -12,8 +12,25 @@ namespace {
 /// Single-pass canonicalizer: appends a token stream to `key` while
 /// interning variables (by first appearance) and constants (by first
 /// appearance of each distinct TermId).
+///
+/// Join chains are canonicalized: every kJoin tree is flattened into its
+/// conjunct list and the conjuncts are emitted in the order of their
+/// *concrete* local serializations (original variable spellings, raw
+/// TermIds — computed by a nested concrete-mode canonicalizer). Sorting by
+/// concrete keys is a deterministic function of the concrete query, so two
+/// queries that collide were traversed in the same canonical conjunct
+/// order — parameter slots, variable ordinals and the name-rank
+/// permutation all line up, and re-binding stays sound. Conjunct order
+/// inside a join never changes the translated program's solutions (rule
+/// bodies are conjunctions, and the join planner reorders them against
+/// live statistics anyway), so `{A . B}` and `{B . A}` now share one cache
+/// entry; renamings that permute the concrete sort order miss
+/// conservatively, exactly like order-permuting alpha-renamings always
+/// have.
 class Canonicalizer {
  public:
+  explicit Canonicalizer(bool concrete = false) : concrete_(concrete) {}
+
   QueryShape Run(const Query& q) {
     Tag('F');
     Num(static_cast<uint64_t>(q.form));
@@ -91,6 +108,14 @@ class Canonicalizer {
   void Flag(bool b) { key_.push_back(b ? '1' : '0'); }
 
   void Var(const std::string& name) {
+    if (concrete_) {
+      // Concrete mode (join-conjunct sort keys): the spelling itself.
+      // Names cannot contain the delimiters, so this stays injective.
+      key_.push_back('?');
+      key_ += name;
+      key_.push_back(';');
+      return;
+    }
     auto [it, inserted] =
         var_ids_.try_emplace(name, static_cast<uint32_t>(var_names_.size()));
     if (inserted) var_names_.push_back(name);
@@ -100,6 +125,12 @@ class Canonicalizer {
   }
 
   void Const(rdf::TermId term) {
+    if (concrete_) {
+      key_.push_back('$');
+      key_ += std::to_string(term);
+      key_.push_back(';');
+      return;
+    }
     auto [it, inserted] =
         param_ids_.try_emplace(term, static_cast<uint32_t>(params_.size()));
     if (inserted) params_.push_back(term);
@@ -167,6 +198,18 @@ class Canonicalizer {
     if (p.right) PathExpr(*p.right);
   }
 
+  /// Collects the conjunct leaves of a (possibly nested) kJoin tree in
+  /// written order; any association of the same conjuncts flattens alike.
+  static void FlattenJoin(const sparql::Pattern& p,
+                          std::vector<const sparql::Pattern*>* out) {
+    if (p.kind == PatternKind::kJoin) {
+      FlattenJoin(*p.left, out);
+      FlattenJoin(*p.right, out);
+      return;
+    }
+    out->push_back(&p);
+  }
+
   void Pattern(const sparql::Pattern& p) {
     Tag('(');
     Num(static_cast<uint64_t>(p.kind));
@@ -183,7 +226,28 @@ class Canonicalizer {
         TV(p.o);
         PathExpr(*p.path);
         break;
-      case PatternKind::kJoin:
+      case PatternKind::kJoin: {
+        // Canonical conjunct order: flatten the join tree and sort the
+        // conjuncts by their concrete local keys (see class comment). The
+        // sort is stable, so fully identical conjuncts (which any order
+        // serializes the same) keep their written order. The emitted
+        // count keeps the flattened serialization injective.
+        std::vector<const sparql::Pattern*> conjuncts;
+        FlattenJoin(p, &conjuncts);
+        std::vector<std::pair<std::string, const sparql::Pattern*>> keyed;
+        keyed.reserve(conjuncts.size());
+        for (const sparql::Pattern* c : conjuncts) {
+          Canonicalizer local(/*concrete=*/true);
+          local.Pattern(*c);
+          keyed.emplace_back(std::move(local.key_), c);
+        }
+        std::stable_sort(
+            keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+        Num(keyed.size());
+        for (const auto& [unused, c] : keyed) Pattern(*c);
+        break;
+      }
       case PatternKind::kUnion:
       case PatternKind::kOptional:
       case PatternKind::kMinus:
@@ -227,6 +291,10 @@ class Canonicalizer {
     Tag(')');
   }
 
+  /// Concrete mode: serialize spellings and raw TermIds instead of
+  /// interning (used for join-conjunct sort keys only; Run is never
+  /// called on a concrete canonicalizer).
+  bool concrete_ = false;
   std::string key_;
   std::unordered_map<std::string, uint32_t> var_ids_;
   std::vector<std::string> var_names_;

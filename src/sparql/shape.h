@@ -36,9 +36,18 @@
 /// records the lexicographic rank permutation of the canonical
 /// variables. Two queries therefore collide exactly when their
 /// translated programs are identical up to parameter values, variable
-/// spellings and output column names — which is what re-binding can
-/// patch. Alpha-renamings that preserve the relative order of variable
-/// names collide; renamings that permute the order conservatively miss.
+/// spellings, output column names and conjunct order inside joins — all
+/// of which re-binding (or nothing at all) can patch. Alpha-renamings
+/// that preserve the relative order of variable names collide; renamings
+/// that permute the order conservatively miss.
+///
+/// Join chains are order-normalized: a kJoin tree is flattened and its
+/// conjuncts are serialized in the order of their concrete local keys
+/// (original spellings + raw TermIds), so `{A . B}` and `{B . A}` — and
+/// any re-association — produce one shape. Conjunct order never affects
+/// solution multisets (rule bodies are conjunctions, and the cost-based
+/// join planner reorders them against live statistics regardless), so a
+/// hit across permuted queries is exactly as sound as a verbatim hit.
 ///
 /// FROM / FROM NAMED clauses and LIMIT / OFFSET are deliberately *not*
 /// part of the shape: neither influences the structure of the translated

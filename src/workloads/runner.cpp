@@ -96,6 +96,13 @@ std::string FormatCacheStats(const RunRecord& r) {
         r.merge_fanout_width,
         static_cast<unsigned long long>(r.interning_contention));
   }
+  if (r.plans_computed > 0 || r.plan_cache_hits > 0) {
+    out += StringPrintf(
+        " · plan %lluc/%lluh q%.2g",
+        static_cast<unsigned long long>(r.plans_computed),
+        static_cast<unsigned long long>(r.plan_cache_hits),
+        r.plan_estimate_error);
+  }
   return out;
 }
 

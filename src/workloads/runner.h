@@ -61,6 +61,13 @@ struct RunRecord {
   uint64_t staged_tuples_merged = 0;
   uint32_t merge_fanout_width = 0;
   uint64_t interning_contention = 0;
+  /// Join-planner counters (SparqLog adapter only, from Engine::stats():
+  /// zero / 0.0 for baselines and planner-off runs).
+  uint64_t plans_computed = 0;
+  uint64_t plan_cache_hits = 0;
+  /// q-error of the last planned execution's output-cardinality estimate
+  /// (max(est/actual, actual/est); 1.0 = exact, 0.0 = not planned).
+  double plan_estimate_error = 0.0;
 
   double total_seconds() const { return load_seconds + exec_seconds; }
   bool ok() const { return outcome == Outcome::kOk; }
@@ -115,7 +122,9 @@ std::string FormatTime(const RunRecord& r, bool total = false);
 /// One-line rendering of the cache counters carried in a RunRecord,
 /// e.g. "Tq 1h/2r/1m · strata 8h/8m · 42 tuples restored"; when the run
 /// fanned out, the fixpoint-parallelism counters are appended, e.g.
-/// " · par 6r/1n · 120 merged ×4 · 0 contended".
+/// " · par 6r/1n · 120 merged ×4 · 0 contended"; when the join planner
+/// ran, its counters follow, e.g. " · plan 1c/1h q1.3" (computed / warm
+/// cache hits / output-estimate q-error).
 std::string FormatCacheStats(const RunRecord& r);
 
 }  // namespace sparqlog::workloads

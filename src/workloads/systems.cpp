@@ -85,6 +85,9 @@ class SparqLogSystem : public System {
     r.staged_tuples_merged = es.staged_tuples_merged;
     r.merge_fanout_width = es.merge_fanout_width;
     r.interning_contention = es.interning_contention;
+    r.plans_computed = es.plans_computed;
+    r.plan_cache_hits = es.plan_cache_hits;
+    r.plan_estimate_error = es.plan_estimate_error;
     r.result = std::move(result).ValueOrDie();
     return r;
   }

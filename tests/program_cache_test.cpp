@@ -85,6 +85,45 @@ TEST(QueryShapeTest, ConstantEqualityPatternIsStructural) {
   EXPECT_EQ(diff.params.size(), 3u);
 }
 
+TEST(QueryShapeTest, JoinOrderIsNormalizedAway) {
+  rdf::TermDictionary dict;
+  auto a = Shape("SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:q ?z }", &dict);
+  // Same conjuncts, written in the other order: one shape, and because
+  // names and constants are identical, one data_key too (verbatim reuse).
+  auto b = Shape("SELECT ?x ?z WHERE { ?y ex:q ?z . ?x ex:p ?y }", &dict);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.params, b.params);
+  EXPECT_EQ(a.data_key, b.data_key);
+  // Re-association through a group flattens to the same conjunct list.
+  auto c = Shape(
+      "SELECT ?x ?z WHERE { { ?y ex:q ?z . ?x ex:p ?y } . ?x ex:r ?w }",
+      &dict);
+  auto d = Shape(
+      "SELECT ?x ?z WHERE { ?x ex:r ?w . { ?x ex:p ?y . ?y ex:q ?z } }",
+      &dict);
+  EXPECT_EQ(c.key, d.key);
+  EXPECT_EQ(c.data_key, d.data_key);
+  EXPECT_NE(a.key, c.key);
+}
+
+TEST(QueryShapeTest, JoinNormalizationAlignsParameterSlots) {
+  rdf::TermDictionary dict;
+  auto a = Shape("SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:q ?z }", &dict);
+  // Permuted conjuncts with different constants: same shape, and the
+  // parameter slots follow the canonical (sorted) traversal, so slot i
+  // means the same syntactic position in both — re-binding stays sound.
+  auto b = Shape("SELECT ?x ?z WHERE { ?y ex:q2 ?z . ?x ex:p2 ?y }", &dict);
+  EXPECT_EQ(a.key, b.key);
+  ASSERT_EQ(a.params.size(), 2u);
+  ASSERT_EQ(b.params.size(), 2u);
+  // Slot 0 is the ?x-conjunct predicate in both (concrete keys sort the
+  // ?x conjunct first), slot 1 the ?y-conjunct predicate.
+  EXPECT_EQ(a.params[0], dict.InternIri("http://ex.org/p"));
+  EXPECT_EQ(b.params[0], dict.InternIri("http://ex.org/p2"));
+  EXPECT_EQ(a.params[1], dict.InternIri("http://ex.org/q"));
+  EXPECT_EQ(b.params[1], dict.InternIri("http://ex.org/q2"));
+}
+
 TEST(QueryShapeTest, LimitOffsetAreDataNotShape) {
   rdf::TermDictionary dict;
   auto a = Shape("SELECT ?x WHERE { ?x ex:p ?y } LIMIT 5", &dict);
@@ -177,6 +216,29 @@ TEST_F(ProgramCacheEngineTest, StatsCountHitsRebindsMisses) {
 
   // Stratum memo engaged on the repeats.
   EXPECT_GT(engine.cache_stats().stratum_hits, 0u);
+}
+
+TEST_F(ProgramCacheEngineTest, JoinPermutationHitsAndAnswersCorrectly) {
+  core::Engine engine(dataset_.get(), &dict_);
+  auto r1 = Exec(engine, "SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:q ?z }");
+  EXPECT_EQ(engine.cache_stats().program_misses, 1u);
+  // The permuted spelling is a verbatim hit (same key, same data_key) and
+  // the cached program's solutions are the permuted query's solutions.
+  auto r2 = Exec(engine, "SELECT ?x ?z WHERE { ?y ex:q ?z . ?x ex:p ?y }");
+  EXPECT_EQ(engine.cache_stats().program_hits, 1u);
+  EXPECT_EQ(engine.cache_stats().program_misses, 1u);
+  EXPECT_EQ(r1.columns, r2.columns);
+  EXPECT_EQ(r1.rows, r2.rows);
+  // Permuted *and* re-parameterized: a re-bind, cross-checked against a
+  // cache-less engine.
+  auto r3 = Exec(engine, "SELECT ?x ?z WHERE { ?y ex:p ?z . ?x ex:q ?y }");
+  EXPECT_EQ(engine.cache_stats().program_rebinds, 1u);
+  core::Engine::Options cold_opts;
+  cold_opts.program_cache = false;
+  cold_opts.stratum_memo = false;
+  core::Engine cold(dataset_.get(), &dict_, cold_opts);
+  auto fresh = Exec(cold, "SELECT ?x ?z WHERE { ?y ex:p ?z . ?x ex:q ?y }");
+  EXPECT_TRUE(r3.SameSolutions(fresh));
 }
 
 TEST_F(ProgramCacheEngineTest, RebindReachesFilterExpressions) {

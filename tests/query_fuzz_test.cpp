@@ -194,6 +194,33 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
     EXPECT_TRUE(warm->SameSolutions(*fresh))
         << "seed " << seed << " query " << qi
         << ": cached and cache-less engines disagree\n" << text;
+
+    // Planner differential: planner-off (= exact pre-planner pipeline)
+    // must agree on the solution multiset, and on exact row order
+    // wherever ORDER BY pins it. Thread counts rotate per query so each
+    // seed sweeps {1, 2, 8}.
+    static constexpr uint32_t kThreads[] = {1, 2, 8};
+    core::Engine::Options planner_off = options;
+    planner_off.join_planner = false;
+    planner_off.num_threads = kThreads[qi % 3];
+    core::Engine plain(&dataset, &dict, planner_off);
+    auto unplanned = plain.Execute(*parsed);
+    ASSERT_TRUE(unplanned.ok()) << text << "\n"
+                                << unplanned.status().ToString();
+    EXPECT_EQ(unplanned->columns, got->columns) << text;
+    EXPECT_EQ(unplanned->ask_value, got->ask_value) << text;
+    EXPECT_TRUE(unplanned->SameSolutions(*got))
+        << "seed " << seed << " query " << qi
+        << ": planner changed solutions (threads "
+        << planner_off.num_threads << ")\n" << text << "\nplanner-on ("
+        << got->rows.size() << "):\n" << got->ToString(dict, 40)
+        << "\nplanner-off (" << unplanned->rows.size() << "):\n"
+        << unplanned->ToString(dict, 40);
+    if (!parsed->order_by.empty()) {
+      EXPECT_TRUE(unplanned->rows == got->rows)
+          << "seed " << seed << " query " << qi
+          << ": planner changed ORDER BY output\n" << text;
+    }
   }
   // The per-seed engine must have served every repeat from the cache
   // (more if the generator happened to repeat a shape across queries).

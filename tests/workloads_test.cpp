@@ -240,6 +240,83 @@ TEST(CacheDifferentialTest, GmarkQueriesColdWarmBitIdentical) {
   EXPECT_GT(engine.cache_stats().stratum_hits, 0u);
 }
 
+// Planner differential over the bundled workloads: the cost-based join
+// planner must never change solution multisets (or ORDER BY row order) on
+// realistic query mixes, at any thread count. Planner-off is the exact
+// pre-planner pipeline (translation-order bodies, runtime heuristic), so
+// this pins the planner as a pure evaluation-order optimization.
+void SweepPlannerDifferential(const rdf::Dataset& dataset,
+                              rdf::TermDictionary* dict,
+                              const std::vector<std::string>& names,
+                              const std::vector<std::string>& queries,
+                              size_t min_swept) {
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    core::Engine::Options on;
+    on.timeout = std::chrono::seconds(10);
+    on.tuple_budget = 4'000'000;
+    on.num_threads = threads;
+    core::Engine::Options off = on;
+    off.join_planner = false;
+    core::Engine planned(&dataset, dict, on);
+    core::Engine plain(&dataset, dict, off);
+    size_t swept = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto parsed = sparql::ParseQuery(queries[i], dict);
+      ASSERT_TRUE(parsed.ok()) << names[i];
+      auto a = planned.Execute(*parsed);
+      auto b = plain.Execute(*parsed);
+      if (!a.ok() && !b.ok()) continue;  // both over budget: nothing to pin
+      ASSERT_TRUE(a.ok()) << names[i] << " threads " << threads << ": "
+                          << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << names[i] << " threads " << threads << ": "
+                          << b.status().ToString();
+      EXPECT_EQ(a->columns, b->columns) << names[i];
+      EXPECT_TRUE(a->SameSolutions(*b))
+          << names[i] << " threads " << threads
+          << ": planner changed solutions (" << a->rows.size() << " vs "
+          << b->rows.size() << " rows)";
+      if (!parsed->order_by.empty()) {
+        EXPECT_TRUE(a->rows == b->rows)
+            << names[i] << " threads " << threads
+            << ": planner changed ORDER BY output";
+      }
+      ++swept;
+    }
+    EXPECT_GE(swept, min_swept) << "threads " << threads;
+    // The planner actually ran on the planned engine...
+    EXPECT_GT(planned.stats().plans_computed, 0u);
+    // ...and never on the planner-off engine.
+    EXPECT_EQ(plain.stats().plans_computed, 0u);
+  }
+}
+
+TEST(PlannerDifferentialTest, Sp2bQueriesMatchAcrossThreadCounts) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  Sp2bOptions options;
+  options.target_triples = 600;
+  GenerateSp2b(options, &dataset);
+  std::vector<std::string> names, queries;
+  for (const auto& [name, text] : Sp2bQueries()) {
+    names.push_back(name);
+    queries.push_back(text);
+  }
+  SweepPlannerDifferential(dataset, &dict, names, queries, 12);
+}
+
+TEST(PlannerDifferentialTest, GmarkQueriesMatchAcrossThreadCounts) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  GmarkScenario scenario = GmarkTest();
+  GenerateGmarkGraph(scenario, &dataset);
+  std::vector<std::string> queries = GenerateGmarkQueries(scenario);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    names.push_back("gmark" + std::to_string(i));
+  }
+  SweepPlannerDifferential(dataset, &dict, names, queries, 30);
+}
+
 // The warm-repeat serving mode of the SparqLog adapter: Run() re-executes
 // the query on the warm engine, records the warm timing and real cache
 // hits, and FormatCacheStats renders them for harness tables.
@@ -262,8 +339,13 @@ TEST(CacheDifferentialTest, SparqLogSystemWarmRepeatRecordsCacheHits) {
   EXPECT_EQ(r.program_cache_misses, 1u);
   EXPECT_GT(r.stratum_memo_hits, 0u);
   EXPECT_GT(r.tuples_restored, 0u);
+  // The cold run planned once; the warm repeat reused the cached plan.
+  EXPECT_EQ(r.plans_computed, 1u);
+  EXPECT_EQ(r.plan_cache_hits, 1u);
+  EXPECT_GE(r.plan_estimate_error, 1.0);
   std::string line = FormatCacheStats(r);
   EXPECT_NE(line.find("Tq 1h/0r/1m"), std::string::npos) << line;
+  EXPECT_NE(line.find("plan 1c/1h"), std::string::npos) << line;
 }
 
 // The fixpoint-parallelism counters render only when a run actually
@@ -283,6 +365,14 @@ TEST(RunnerTest, FormatCacheStatsIncludesParallelCounters) {
   EXPECT_NE(line.find("par 6r/1n"), std::string::npos) << line;
   EXPECT_NE(line.find("120 merged ×4"), std::string::npos) << line;
   EXPECT_NE(line.find("2 contended"), std::string::npos) << line;
+  // Planner counters render only when the planner ran.
+  EXPECT_EQ(line.find("plan "), std::string::npos) << line;
+  r.plans_computed = 2;
+  r.plan_cache_hits = 1;
+  r.plan_estimate_error = 1.5;
+  std::string planned_line = FormatCacheStats(r);
+  EXPECT_NE(planned_line.find("plan 2c/1h q1.5"), std::string::npos)
+      << planned_line;
 }
 
 TEST(RunnerTest, OutcomeClassification) {
