@@ -65,9 +65,9 @@ RunOutcome RunEngine(const rdf::Dataset& dataset, rdf::TermDictionary* dict,
                      int timeout_ms) {
   RunOutcome out;
   core::Engine::Options options;
-  options.join_planner = planner;
-  options.program_cache = false;
-  options.stratum_memo = false;
+  options.planner.join_planner = planner;
+  options.caching.program_cache = false;
+  options.caching.stratum_memo = false;
   options.timeout = std::chrono::milliseconds(timeout_ms);
   core::Engine engine(&dataset, dict, options);
   if (!engine.Load().ok()) return out;
@@ -75,7 +75,7 @@ RunOutcome RunEngine(const rdf::Dataset& dataset, rdf::TermDictionary* dict,
   auto result = engine.ExecuteText(query);
   out.seconds = watch.ElapsedSeconds();
   if (!result.ok()) return out;
-  out.rows = result->rows.size();
+  out.rows = result->result.rows.size();
   out.ok = true;
   return out;
 }

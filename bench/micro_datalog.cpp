@@ -7,8 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
+#include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
@@ -227,9 +231,9 @@ void BM_Sp2b_Parallel(benchmark::State& state) {
   options.target_triples = static_cast<size_t>(state.range(0));
   workloads::GenerateSp2b(options, &dataset);
   core::Engine::Options engine_options;
-  engine_options.program_cache = false;
-  engine_options.stratum_memo = false;
-  engine_options.num_threads = static_cast<uint32_t>(state.range(1));
+  engine_options.caching.program_cache = false;
+  engine_options.caching.stratum_memo = false;
+  engine_options.parallelism.num_threads = static_cast<uint32_t>(state.range(1));
   core::Engine engine(&dataset, &dict, engine_options);
   if (!engine.Load().ok()) {
     state.SkipWithError("load failed");
@@ -244,7 +248,7 @@ void BM_Sp2b_Parallel(benchmark::State& state) {
       state.SkipWithError(result.status().ToString().c_str());
       break;
     }
-    benchmark::DoNotOptimize(result->rows.size());
+    benchmark::DoNotOptimize(result->result.rows.size());
   }
 }
 BENCHMARK(BM_Sp2b_Parallel)
@@ -268,9 +272,9 @@ void BM_JoinPlanner_Sp2bStar(benchmark::State& state) {
   options.target_triples = static_cast<size_t>(state.range(0));
   workloads::GenerateSp2b(options, &dataset);
   core::Engine::Options engine_options;
-  engine_options.program_cache = false;
-  engine_options.stratum_memo = false;
-  engine_options.join_planner = state.range(1) != 0;
+  engine_options.caching.program_cache = false;
+  engine_options.caching.stratum_memo = false;
+  engine_options.planner.join_planner = state.range(1) != 0;
   core::Engine engine(&dataset, &dict, engine_options);
   if (!engine.Load().ok()) {
     state.SkipWithError("load failed");
@@ -285,7 +289,7 @@ void BM_JoinPlanner_Sp2bStar(benchmark::State& state) {
       state.SkipWithError(result.status().ToString().c_str());
       break;
     }
-    benchmark::DoNotOptimize(result->rows.size());
+    benchmark::DoNotOptimize(result->result.rows.size());
   }
 }
 BENCHMARK(BM_JoinPlanner_Sp2bStar)->Args({20000, 0})->Args({20000, 1});
@@ -311,9 +315,9 @@ void BM_JoinPlanner_SyntheticStar(benchmark::State& state) {
     if (i % 256 == 0) dataset.default_graph().Add(s, rare, node("r", i));
   }
   core::Engine::Options engine_options;
-  engine_options.program_cache = false;
-  engine_options.stratum_memo = false;
-  engine_options.join_planner = state.range(1) != 0;
+  engine_options.caching.program_cache = false;
+  engine_options.caching.stratum_memo = false;
+  engine_options.planner.join_planner = state.range(1) != 0;
   core::Engine engine(&dataset, &dict, engine_options);
   if (!engine.Load().ok()) {
     state.SkipWithError("load failed");
@@ -328,7 +332,7 @@ void BM_JoinPlanner_SyntheticStar(benchmark::State& state) {
       state.SkipWithError(result.status().ToString().c_str());
       break;
     }
-    benchmark::DoNotOptimize(result->rows.size());
+    benchmark::DoNotOptimize(result->result.rows.size());
   }
 }
 BENCHMARK(BM_JoinPlanner_SyntheticStar)->Args({8192, 0})->Args({8192, 1});
@@ -486,12 +490,12 @@ void BM_RepeatedQuery_Cold(benchmark::State& state) {
   rdf::Dataset dataset(&dict);
   BuildChainGraph(500, &dict, &dataset);
   core::Engine::Options options;
-  options.program_cache = false;
-  options.stratum_memo = false;
+  options.caching.program_cache = false;
+  options.caching.stratum_memo = false;
   // Single-threaded: these rows are in the calibrated CI gate, where
   // host-adaptive parallelism would be a calibration outlier (see the
   // BM_TransitiveClosure_Parallel note in scripts/bench_compare.py).
-  options.num_threads = 1;
+  options.parallelism.num_threads = 1;
   core::Engine engine(&dataset, &dict, options);
   if (!engine.Load().ok()) {
     state.SkipWithError("load failed");
@@ -505,7 +509,7 @@ void BM_RepeatedQuery_Cold(benchmark::State& state) {
       state.SkipWithError(result.status().ToString().c_str());
       break;
     }
-    benchmark::DoNotOptimize(result->rows.size());
+    benchmark::DoNotOptimize(result->result.rows.size());
   }
 }
 BENCHMARK(BM_RepeatedQuery_Cold);
@@ -515,7 +519,7 @@ void BM_RepeatedQuery_Warm(benchmark::State& state) {
   rdf::Dataset dataset(&dict);
   BuildChainGraph(500, &dict, &dataset);
   core::Engine::Options options;
-  options.num_threads = 1;  // gated row: see BM_RepeatedQuery_Cold
+  options.parallelism.num_threads = 1;  // gated row: see BM_RepeatedQuery_Cold
   core::Engine engine(&dataset, &dict, options);
   if (!engine.Load().ok()) {
     state.SkipWithError("load failed");
@@ -535,7 +539,7 @@ void BM_RepeatedQuery_Warm(benchmark::State& state) {
       state.SkipWithError(result.status().ToString().c_str());
       break;
     }
-    benchmark::DoNotOptimize(result->rows.size());
+    benchmark::DoNotOptimize(result->result.rows.size());
   }
 }
 BENCHMARK(BM_RepeatedQuery_Warm);
@@ -548,9 +552,13 @@ void BM_PipelineOneOrMore_SparqLog(benchmark::State& state) {
       "SELECT ?x ?y WHERE { ?x <http://b.org/p>+ ?y }";
   for (auto _ : state) {
     core::Engine engine(&dataset, &dict);
+    if (!engine.Load().ok()) {
+      state.SkipWithError("load failed");
+      break;
+    }
     auto result = engine.ExecuteText(query);
     if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
-    benchmark::DoNotOptimize(result->rows.size());
+    benchmark::DoNotOptimize(result->result.rows.size());
   }
 }
 BENCHMARK(BM_PipelineOneOrMore_SparqLog);
@@ -595,6 +603,148 @@ void BM_TranslateSp2bQ2(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TranslateSp2bQ2);
+
+// --- Concurrent serving benchmarks -----------------------------------------
+// The PR 7 serving scenario: many client threads calling Execute() on ONE
+// shared, Load()ed engine (exactly what the HTTP workers do). Three request
+// streams:
+//   BM_Serving_HotShape   one cached shape repeated — program-cache hit +
+//                         stratum-memo replay every request.
+//   BM_Serving_ColdShape  cycles through 96 structurally distinct shapes,
+//                         more than the capacity-64 program-cache LRU holds,
+//                         so every request is a full T_Q + plan + fixpoint.
+//   BM_Serving_Mixed      80% hot / 20% cold interleave at 1/2/8 client
+//                         threads — the QPS + tail-latency row.
+// Counters: items_per_second is end-to-end QPS across all client threads;
+// p50_us/p99_us are per-thread request latencies averaged over threads.
+// The PR 7 acceptance bar is hot p50 >= 3x better than cold p50.
+
+struct ServingBenchState {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset{&dict};
+  std::unique_ptr<core::Engine> engine;
+  std::vector<std::string> hot;
+  std::vector<std::string> cold;
+};
+
+ServingBenchState* g_serving = nullptr;
+
+/// 96 structurally distinct SELECT shapes: chain length 1..12 crossed with
+/// DISTINCT / FILTER / ORDER BY toggles. The program cache keys on query
+/// *structure* (constants rebind on hit), so defeating it needs shape
+/// variety, not constant variety.
+std::vector<std::string> ColdShapeStream() {
+  std::vector<std::string> queries;
+  for (int len = 1; len <= 12; ++len) {
+    for (int variant = 0; variant < 8; ++variant) {
+      std::string body;
+      for (int i = 0; i < len; ++i) {
+        body += "?v" + std::to_string(i) + " <http://b.org/p> ?v" +
+                std::to_string(i + 1) + " . ";
+      }
+      if (variant & 1) body += "FILTER (?v0 != ?v" + std::to_string(len) + ") ";
+      std::string query = std::string("SELECT ") +
+                          ((variant & 2) ? "DISTINCT " : "") + "?v0 ?v" +
+                          std::to_string(len) + " WHERE { " + body + "}";
+      if (variant & 4) query += " ORDER BY ?v0";
+      queries.push_back(std::move(query));
+    }
+  }
+  return queries;
+}
+
+void ServingSetup() {
+  auto* s = new ServingBenchState();
+  BuildChainGraph(300, &s->dict, &s->dataset);
+  core::Engine::Options options;
+  // Parallelism lives at the client level here: each google-benchmark
+  // thread is one serving client, and the engine executes each query
+  // serially — the HTTP worker-pool configuration.
+  options.parallelism.num_threads = 1;
+  s->engine = std::make_unique<core::Engine>(&s->dataset, &s->dict, options);
+  if (!s->engine->Load().ok()) std::abort();
+  s->hot = {
+      "SELECT ?x ?y WHERE { ?x <http://b.org/p>+ ?y }",
+      "SELECT ?x ?y WHERE { ?x <http://b.org/p> ?y }",
+      "SELECT ?x ?z WHERE { ?x <http://b.org/p> ?y . "
+      "?y <http://b.org/p> ?z }",
+      "ASK { <http://b.org/n0> <http://b.org/p>+ <http://b.org/n9> }",
+  };
+  s->cold = ColdShapeStream();
+  // Prime the hot shapes so the hot stream measures steady-state serving.
+  for (const std::string& q : s->hot) {
+    if (!s->engine->ExecuteText(q).ok()) std::abort();
+  }
+  g_serving = s;
+}
+
+void ServingTeardown() {
+  delete g_serving;
+  g_serving = nullptr;
+}
+
+/// Shared request loop: runs `pick(i)` each iteration against the shared
+/// engine, recording per-request wall latency; reports QPS + p50/p99.
+template <typename PickQuery>
+void ServingLoop(benchmark::State& state, PickQuery pick) {
+  if (state.thread_index() == 0) ServingSetup();
+  // google-benchmark synchronizes all threads at loop entry, so non-zero
+  // threads cannot observe g_serving before thread 0 publishes it.
+  std::vector<double> latencies_us;
+  latencies_us.reserve(1 << 14);
+  uint64_t i = static_cast<uint64_t>(state.thread_index()) * 1000003u;
+  for (auto _ : state) {
+    const std::string& query = pick(i++);
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = g_serving->engine->ExecuteText(query);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result->result.rows.size());
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    auto pct = [&](double p) {
+      size_t idx = static_cast<size_t>(p * (latencies_us.size() - 1));
+      return latencies_us[idx];
+    };
+    state.counters["p50_us"] =
+        benchmark::Counter(pct(0.50), benchmark::Counter::kAvgThreads);
+    state.counters["p99_us"] =
+        benchmark::Counter(pct(0.99), benchmark::Counter::kAvgThreads);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) ServingTeardown();
+}
+
+void BM_Serving_HotShape(benchmark::State& state) {
+  ServingLoop(state, [](uint64_t i) -> const std::string& {
+    return g_serving->hot[i % g_serving->hot.size()];
+  });
+}
+BENCHMARK(BM_Serving_HotShape)->Threads(1)->Threads(2)->Threads(8)
+    ->UseRealTime();
+
+void BM_Serving_ColdShape(benchmark::State& state) {
+  ServingLoop(state, [](uint64_t i) -> const std::string& {
+    return g_serving->cold[i % g_serving->cold.size()];
+  });
+}
+BENCHMARK(BM_Serving_ColdShape)->Threads(1)->Threads(2)->Threads(8)
+    ->UseRealTime();
+
+void BM_Serving_Mixed(benchmark::State& state) {
+  ServingLoop(state, [](uint64_t i) -> const std::string& {
+    if (i % 5 == 4) return g_serving->cold[(i / 5) % g_serving->cold.size()];
+    return g_serving->hot[i % g_serving->hot.size()];
+  });
+}
+BENCHMARK(BM_Serving_Mixed)->Threads(1)->Threads(2)->Threads(8)
+    ->UseRealTime();
 
 }  // namespace
 

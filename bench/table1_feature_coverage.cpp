@@ -147,6 +147,10 @@ int main() {
   int mismatches = 0;
   for (const Probe& probe : kProbes) {
     core::Engine engine(&dataset, &dict);
+    if (auto st = engine.Load(); !st.ok()) {
+      std::printf("load error: %s\n", st.ToString().c_str());
+      return 1;
+    }
     auto result = engine.ExecuteText(probe.query);
     bool supported = result.ok();
     // Distinguish "unsupported feature" from a genuine failure.

@@ -23,7 +23,7 @@ void Run(sparqlog::core::Engine& engine,
     std::printf("error: %s\n\n", result.status().ToString().c_str());
     return;
   }
-  std::printf("%s\n", result->ToString(dict).c_str());
+  std::printf("%s\n", result->result.ToString(dict).c_str());
 }
 
 }  // namespace
@@ -72,6 +72,14 @@ int main() {
   core::Engine::Options options;
   options.ontology = true;
   core::Engine reasoning(&dataset, &dict, options);
+  if (auto st = plain.Load(); !st.ok()) {
+    std::printf("load error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (auto st = reasoning.Load(); !st.ok()) {
+    std::printf("load error: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   const std::string persons =
       prefix + "SELECT DISTINCT ?p WHERE { ?p rdf:type ex:Person }";

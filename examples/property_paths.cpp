@@ -20,7 +20,7 @@ void Run(sparqlog::core::Engine& engine, const sparqlog::rdf::TermDictionary& di
     std::printf("error: %s\n\n", result.status().ToString().c_str());
     return;
   }
-  std::printf("%s\n", result->ToString(dict).c_str());
+  std::printf("%s\n", result->result.ToString(dict).c_str());
 }
 
 }  // namespace
@@ -45,6 +45,10 @@ int main() {
     return 1;
   }
   core::Engine engine(&dataset, &dict);
+  if (auto st = engine.Load(); !st.ok()) {
+    std::printf("load error: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   const std::string prefix = "PREFIX ex: <http://ex.org/>\n";
 

@@ -37,6 +37,12 @@ int main() {
   std::printf("Loaded %zu triples.\n\n", dataset.default_graph().size());
 
   core::Engine engine(&dataset, &dict);
+  // Loading is an explicit phase: Execute fails until Load() completes.
+  st = engine.Load();
+  if (!st.ok()) {
+    std::printf("load error: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   std::printf("== SPARQL query ==\n%s\n", query);
   auto program_text = engine.TranslateToText(query);
@@ -53,7 +59,7 @@ int main() {
     std::printf("execution error: %s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("== Solutions ==\n%s", result->ToString(dict).c_str());
+  std::printf("== Solutions ==\n%s", result->result.ToString(dict).c_str());
 
   // Run the same query again: the engine recognizes the shape, reuses the
   // cached Datalog± program and replays the memoized stratum results.
@@ -63,9 +69,9 @@ int main() {
                 warm.status().ToString().c_str());
     return 1;
   }
-  auto stats = engine.cache_stats();
+  auto stats = engine.stats();
   std::printf(
-      "\n== Cache stats after a repeated query ==\n"
+      "\n== Engine stats after a repeated query ==\n"
       "program cache: %llu hits, %llu rebinds, %llu misses\n"
       "stratum memo:  %llu hits, %llu misses, %llu tuples restored\n"
       "warm result identical: %s\n",
@@ -75,6 +81,6 @@ int main() {
       static_cast<unsigned long long>(stats.stratum_hits),
       static_cast<unsigned long long>(stats.stratum_misses),
       static_cast<unsigned long long>(stats.tuples_restored),
-      warm->rows == result->rows ? "yes" : "NO");
+      warm->result.rows == result->result.rows ? "yes" : "NO");
   return 0;
 }

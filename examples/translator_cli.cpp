@@ -104,13 +104,18 @@ int main(int argc, char** argv) {
   }
 
   if (!translate_only) {
+    if (auto st = engine.Load(); !st.ok()) {
+      std::printf("load error: %s\n", st.ToString().c_str());
+      return 1;
+    }
     auto result = engine.Execute(*parsed);
     if (!result.ok()) {
       std::printf("execution error: %s\n",
                   result.status().ToString().c_str());
       return 1;
     }
-    std::printf("\n== Solutions ==\n%s", result->ToString(dict).c_str());
+    std::printf("\n== Solutions ==\n%s",
+                result->result.ToString(dict).c_str());
   }
   return 0;
 }

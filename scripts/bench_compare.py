@@ -32,7 +32,9 @@ import sys
 
 DEFAULT_BASELINE = "bench/baseline.json"
 # The gate now includes the parallel rows (BM_TransitiveClosure_Parallel,
-# BM_BarrierMerge, BM_Sp2b_Parallel). The committed baseline's
+# BM_BarrierMerge, BM_Sp2b_Parallel) and the PR 7 serving rows
+# (BM_Serving_* at 1/2/8 client threads over one shared engine). The
+# committed baseline's
 # multi-thread rows were captured on a 1-CPU host, so on a multi-core
 # runner those rows come out *faster* relative to the rest of the suite —
 # a low-side calibration outlier, which can never trip the high-side
@@ -43,7 +45,8 @@ DEFAULT_BASELINE = "bench/baseline.json"
 # runner tightens (b) for the multi-thread rows too.
 GATE_PATTERN = (
     r"^(BM_TupleStore|BM_TransitiveClosure|BM_RepeatedQuery"
-    r"|BM_BulkLoad|BM_BarrierMerge|BM_Sp2b_Parallel|BM_JoinPlanner)"
+    r"|BM_BulkLoad|BM_BarrierMerge|BM_Sp2b_Parallel|BM_JoinPlanner"
+    r"|BM_Serving)"
 )
 
 

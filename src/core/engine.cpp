@@ -1,58 +1,90 @@
 #include "core/engine.h"
 
+#include <time.h>
+
+#include <mutex>
+
 #include "datalog/planner.h"
 #include "datalog/printer.h"
 #include "sparql/shape.h"
 
 namespace sparqlog::core {
 
+namespace {
+
+/// CPU seconds consumed by the calling thread (fixpoint workers run on
+/// their own threads and are not included — that asymmetry is what lets a
+/// server compare compute against wall time per query).
+double ThreadCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+/// Lock-free running maximum.
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
 Engine::Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict,
                Options options)
     : dataset_(dataset),
       dict_(dict),
       options_(options),
-      program_cache_(options.program_cache_capacity),
-      stratum_memo_(options.stratum_memo_bytes) {}
+      program_cache_(options.caching.program_cache_capacity),
+      stratum_memo_(options.caching.stratum_memo_bytes) {}
 
 Status Engine::Load() {
-  if (loaded_) return Status::OK();
-  // Cold EDB build (and the rebuild Execute triggers on a generation
-  // bump): bulk-load by default — per-relation batches deduped in one
-  // pass against a one-shot-sized table — instead of tuple-at-a-time
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  const uint64_t generation = dataset_->Generation();
+  if (loaded_.load(std::memory_order_relaxed)) {
+    if (generation == loaded_generation_) return Status::OK();  // idempotent
+    // The dataset was mutated since the last Load: the materialized EDB
+    // and every memoized stratum result derived from it are stale.
+    // In-flight queries finished before we got the exclusive lock; they
+    // saw the previous snapshot consistently.
+    edb_ = datalog::Database();
+    stratum_memo_.Clear();
+    counters_.invalidations.fetch_add(1, std::memory_order_relaxed);
+    loaded_.store(false, std::memory_order_relaxed);
+  }
+  // Cold EDB build: bulk-load by default — per-relation batches deduped in
+  // one pass against a one-shot-sized table — instead of tuple-at-a-time
   // inserts.
   SPARQLOG_RETURN_NOT_OK(
       DataTranslator::Translate(*dataset_, dict_, &edb_, options_.edb_build));
-  loaded_ = true;
-  loaded_generation_ = dataset_->Generation();
+  loaded_generation_ = generation;
   // Planner statistics ride every (re)build, stamped with the dataset
   // generation so cached plans can tell they went stale.
-  if (options_.join_planner) {
+  if (options_.planner.join_planner) {
     datalog::PredicateTable scratch;
     EdbPredicates preds = InternEdbPredicates(&scratch);
+    edb_stats_ = datalog::EdbStats();
     edb_stats_.Collect(edb_, preds.triple);
     edb_stats_.set_generation(loaded_generation_);
   }
+  loaded_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
-void Engine::PlanForActiveEdb(datalog::Program* program) {
-  const datalog::EdbStats& stats =
-      scoped_stats_ != nullptr ? *scoped_stats_ : edb_stats_;
+void Engine::PlanForEdb(datalog::Program* program,
+                        const datalog::EdbStats& stats) const {
   datalog::PlanProgram(program, stats);
-  ++plans_computed_;
+  counters_.plans_computed.fetch_add(1, std::memory_order_relaxed);
 }
 
-uint64_t Engine::PlanGeneration() const {
-  return scoped_stats_ != nullptr ? ProgramCache::kNoPlan
-                                  : edb_stats_.generation();
-}
-
-Result<datalog::Program> Engine::Translate(const sparql::Query& query) {
+Result<datalog::Program> Engine::Translate(const sparql::Query& query) const {
   QueryTranslator translator(dict_, &skolems_, options_.ontology);
   return translator.Translate(query);
 }
 
-std::vector<datalog::Value> Engine::AmbientValues() {
+std::vector<datalog::Value> Engine::AmbientValues() const {
   using datalog::ValueFromTerm;
   std::vector<datalog::Value> out;
   out.push_back(ValueFromTerm(DefaultGraphTerm(dict_)));
@@ -70,38 +102,43 @@ std::vector<datalog::Value> Engine::AmbientValues() {
 }
 
 Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
-    const sparql::Query& query) {
+    const sparql::Query& query, const datalog::EdbStats* stats, bool scoped,
+    QueryStats* qs) const {
   sparql::QueryShape shape = sparql::ComputeQueryShape(query);
-  const bool scoped = scoped_stats_ != nullptr;
-  if (ProgramCache::Entry* entry = program_cache_.Lookup(shape)) {
+  const bool planner = options_.planner.join_planner;
+  if (std::optional<ProgramCache::Entry> entry = program_cache_.Lookup(shape)) {
     if (entry->data_key == shape.data_key) {
-      ++cache_stats_.program_hits;
-      if (options_.join_planner &&
-          (scoped || entry->plan_generation != edb_stats_.generation())) {
-        // The cached plan is stale (EDB rebuilt since it was computed)
-        // or this is a query-scoped FROM execution (its statistics are
-        // not the engine's): replan a copy. Scoped plans are never
-        // adopted — they would poison the entry for unscoped traffic.
+      counters_.program_hits.fetch_add(1, std::memory_order_relaxed);
+      qs->program_source = ProgramSource::kCacheHit;
+      if (planner && (scoped || entry->plan_generation != stats->generation())) {
+        // The cached plan is stale (EDB rebuilt since it was computed) or
+        // this is a query-scoped FROM execution (its statistics are not
+        // the engine's): replan a copy. Scoped plans are never adopted —
+        // they would poison the entry for unscoped traffic.
         datalog::Program replanned = *entry->program;
-        PlanForActiveEdb(&replanned);
+        PlanForEdb(&replanned, *stats);
         auto program =
             std::make_shared<const datalog::Program>(std::move(replanned));
         if (!scoped) {
           entry->program = program;
-          entry->plan_generation = edb_stats_.generation();
+          entry->plan_generation = stats->generation();
+          program_cache_.Insert(shape, std::move(*entry));
         }
         return program;
       }
-      if (options_.join_planner) ++plan_cache_hits_;
+      if (planner) {
+        counters_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
       return entry->program;
     }
     std::optional<datalog::Program> rebound =
         RebindProgram(*entry, shape, query, AmbientValues());
     if (rebound.has_value()) {
-      ++cache_stats_.program_rebinds;
+      counters_.program_rebinds.fetch_add(1, std::memory_order_relaxed);
+      qs->program_source = ProgramSource::kRebound;
       // Re-bound constants shift selectivities, so the plan is recomputed
       // along with the binding (still far cheaper than re-translating).
-      if (options_.join_planner) PlanForActiveEdb(&*rebound);
+      if (planner) PlanForEdb(&*rebound, *stats);
       // Adopt the re-bound program as the shape's template: production
       // traffic repeats the *latest* constants, so the next arrival of
       // this exact query is a verbatim hit.
@@ -109,124 +146,233 @@ Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
           std::make_shared<const datalog::Program>(std::move(*rebound));
       entry->params = shape.params;
       entry->data_key = shape.data_key;
-      entry->plan_generation = PlanGeneration();
-      return entry->program;
+      entry->plan_generation = (planner && !scoped) ? stats->generation()
+                                                    : ProgramCache::kNoPlan;
+      std::shared_ptr<const datalog::Program> program = entry->program;
+      program_cache_.Insert(shape, std::move(*entry));
+      return program;
     }
     // A changing parameter collided with an engine constant; fall through
     // to a fresh translation and make it the shape's new template.
   }
-  ++cache_stats_.program_misses;
+  counters_.program_misses.fetch_add(1, std::memory_order_relaxed);
+  qs->program_source = ProgramSource::kTranslated;
   SPARQLOG_ASSIGN_OR_RETURN(datalog::Program translated, Translate(query));
-  if (options_.join_planner) PlanForActiveEdb(&translated);
+  if (planner) PlanForEdb(&translated, *stats);
   auto program =
       std::make_shared<const datalog::Program>(std::move(translated));
   ProgramCache::Entry entry;
   entry.program = program;
   entry.params = shape.params;
   entry.data_key = shape.data_key;
-  entry.plan_generation = PlanGeneration();
+  entry.plan_generation = (planner && !scoped) ? stats->generation()
+                                               : ProgramCache::kNoPlan;
   program_cache_.Insert(shape, std::move(entry));
   return program;
 }
 
-Result<eval::QueryResult> Engine::Execute(const sparql::Query& query) {
-  // Mutating the dataset after Load invalidates the materialized EDB and
-  // every memoized stratum result derived from it.
-  if (loaded_ && dataset_->Generation() != loaded_generation_) {
-    edb_ = datalog::Database();
-    loaded_ = false;
-    stratum_memo_.Clear();
-    ++cache_stats_.invalidations;
-  }
-  SPARQLOG_RETURN_NOT_OK(Load());
-  // FROM / FROM NAMED construct a query-specific dataset; translate its
-  // data on the fly (the paper's engine likewise demands the query dataset
-  // to be loaded for answering, §4.3). The scoped EDB is not this
-  // dataset's generation, so the stratum memo sits out.
-  if (!query.from.empty() || !query.from_named.empty()) {
-    rdf::Dataset scoped =
-        dataset_->WithClauses(query.from, query.from_named);
-    datalog::Database scoped_edb;
-    SPARQLOG_RETURN_NOT_OK(
-        DataTranslator::Translate(scoped, dict_, &scoped_edb,
-                                  options_.edb_build));
-    // The planner sees the scoped EDB's statistics for this query only;
-    // scoped plans are not cached (see TranslateCached).
-    datalog::EdbStats scoped_stats;
-    if (options_.join_planner) {
-      datalog::PredicateTable scratch;
-      EdbPredicates preds = InternEdbPredicates(&scratch);
-      scoped_stats.Collect(scoped_edb, preds.triple);
-      scoped_stats_ = &scoped_stats;
+Result<Engine::Execution> Engine::Execute(const sparql::Query& query,
+                                          const QueryLimits& limits) const {
+  // Admission control: fail fast past the in-flight bound so a saturated
+  // server sheds load instead of queueing unboundedly. The slot is held
+  // for the whole call (RAII) — rejected calls release it immediately.
+  struct Admission {
+    const Engine* engine;
+    ~Admission() {
+      engine->in_flight_.fetch_sub(1, std::memory_order_relaxed);
     }
-    std::swap(edb_, scoped_edb);
-    auto result = ExecuteInternal(query, /*allow_stratum_memo=*/false);
-    std::swap(edb_, scoped_edb);
-    scoped_stats_ = nullptr;
-    return result;
+  };
+  const uint32_t admitted =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Admission slot{this};
+  const uint32_t max_in_flight = options_.serving.max_in_flight;
+  if (max_in_flight > 0 && admitted > max_in_flight) {
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        "Engine::Execute: admission control rejected the query (" +
+        std::to_string(max_in_flight) + " queries already in flight)");
   }
-  return ExecuteInternal(query, /*allow_stratum_memo=*/true);
+
+  // Reader side of the load lock: every concurrent query sees one
+  // consistent loaded snapshot, and a re-Load waits for us to finish.
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  if (!loaded_.load(std::memory_order_relaxed)) {
+    counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition(
+        "Engine::Execute: Load() must complete before queries are served");
+  }
+
+  Result<Execution> result = [&]() -> Result<Execution> {
+    // FROM / FROM NAMED construct a query-specific dataset; translate its
+    // data on the fly (the paper's engine likewise demands the query
+    // dataset to be loaded for answering, §4.3). The scoped EDB and its
+    // statistics are locals — concurrent unscoped queries keep using the
+    // engine snapshot — and the stratum memo sits out (the scoped EDB is
+    // not this dataset's generation).
+    if (!query.from.empty() || !query.from_named.empty()) {
+      rdf::Dataset scoped = dataset_->WithClauses(query.from, query.from_named);
+      datalog::Database scoped_edb;
+      SPARQLOG_RETURN_NOT_OK(DataTranslator::Translate(
+          scoped, dict_, &scoped_edb, options_.edb_build));
+      datalog::EdbStats scoped_stats;
+      if (options_.planner.join_planner) {
+        datalog::PredicateTable scratch;
+        EdbPredicates preds = InternEdbPredicates(&scratch);
+        scoped_stats.Collect(scoped_edb, preds.triple);
+      }
+      return ExecuteInternal(query, &scoped_edb,
+                             options_.planner.join_planner ? &scoped_stats
+                                                           : nullptr,
+                             /*scoped=*/true, limits);
+    }
+    return ExecuteInternal(query, &edb_,
+                           options_.planner.join_planner ? &edb_stats_
+                                                         : nullptr,
+                           /*scoped=*/false, limits);
+  }();
+
+  if (result.ok()) {
+    counters_.queries.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
 }
 
-Result<eval::QueryResult> Engine::ExecuteInternal(const sparql::Query& query,
-                                                  bool allow_stratum_memo) {
+Result<Engine::Execution> Engine::ExecuteInternal(
+    const sparql::Query& query, datalog::Database* edb,
+    const datalog::EdbStats* stats, bool scoped,
+    const QueryLimits& limits) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const double cpu_start = ThreadCpuSeconds();
+
+  Execution exec;
+  QueryStats& qs = exec.stats;
+
   std::shared_ptr<const datalog::Program> program;
-  if (options_.program_cache) {
-    SPARQLOG_ASSIGN_OR_RETURN(program, TranslateCached(query));
+  if (options_.caching.program_cache) {
+    SPARQLOG_ASSIGN_OR_RETURN(program,
+                              TranslateCached(query, stats, scoped, &qs));
   } else {
+    qs.program_source = ProgramSource::kUncached;
     SPARQLOG_ASSIGN_OR_RETURN(datalog::Program translated, Translate(query));
-    if (options_.join_planner) PlanForActiveEdb(&translated);
+    if (stats != nullptr) PlanForEdb(&translated, *stats);
     program =
         std::make_shared<const datalog::Program>(std::move(translated));
   }
+  qs.planned = stats != nullptr && program->planned_estimate >= 0;
 
+  // Per-call limits override the engine-wide defaults.
   ExecContext ctx;
-  if (options_.timeout.count() > 0) ctx.set_deadline_after(options_.timeout);
-  if (options_.tuple_budget > 0) ctx.set_tuple_budget(options_.tuple_budget);
+  const std::chrono::milliseconds timeout =
+      limits.timeout.count() > 0 ? limits.timeout : options_.timeout;
+  const uint64_t tuple_budget =
+      limits.tuple_budget > 0 ? limits.tuple_budget : options_.tuple_budget;
+  if (timeout.count() > 0) ctx.set_deadline_after(timeout);
+  if (tuple_budget > 0) ctx.set_tuple_budget(tuple_budget);
 
   datalog::Database idb;
   datalog::Evaluator evaluator(dict_, &skolems_);
-  evaluator.set_num_threads(options_.num_threads);
-  evaluator.set_parallel_merge(options_.parallel_merge);
-  evaluator.set_parallel_naive(options_.parallel_naive);
-  if (options_.stratum_memo && allow_stratum_memo) {
+  evaluator.set_num_threads(options_.parallelism.num_threads);
+  evaluator.set_parallel_merge(options_.parallelism.parallel_merge);
+  evaluator.set_parallel_naive(options_.parallelism.parallel_naive);
+  if (options_.caching.stratum_memo && !scoped) {
     evaluator.set_stratum_memo(&stratum_memo_, loaded_generation_);
   }
-  SPARQLOG_RETURN_NOT_OK(evaluator.Evaluate(*program, &edb_, &idb, &ctx));
-  last_stats_ = evaluator.stats();
-  cache_stats_.stratum_hits += last_stats_.strata_memo_hits;
-  cache_stats_.stratum_misses += last_stats_.strata_memo_misses;
-  cache_stats_.tuples_restored += last_stats_.tuples_restored;
+  SPARQLOG_RETURN_NOT_OK(evaluator.Evaluate(*program, edb, &idb, &ctx));
+  qs.fixpoint = evaluator.stats();
+
+  // Fold this query's fixpoint counters into the engine-lifetime totals.
+  const datalog::EvalStats& es = qs.fixpoint;
+  counters_.stratum_hits.fetch_add(es.strata_memo_hits,
+                                   std::memory_order_relaxed);
+  counters_.stratum_misses.fetch_add(es.strata_memo_misses,
+                                     std::memory_order_relaxed);
+  counters_.tuples_restored.fetch_add(es.tuples_restored,
+                                      std::memory_order_relaxed);
+  counters_.rounds.fetch_add(es.rounds, std::memory_order_relaxed);
+  counters_.parallel_rounds.fetch_add(es.parallel_rounds,
+                                      std::memory_order_relaxed);
+  counters_.naive_rounds_sharded.fetch_add(es.naive_rounds_sharded,
+                                           std::memory_order_relaxed);
+  counters_.staged_tuples_merged.fetch_add(es.staged_merged,
+                                           std::memory_order_relaxed);
+  AtomicMax(&counters_.merge_fanout_width, es.merge_fanout_width);
 
   // Planner feedback: q-error between the estimated and materialized
   // output cardinality (benchmarks watch this to keep the cost model
   // honest).
-  if (options_.join_planner && program->planned_estimate >= 0) {
+  if (qs.planned) {
     const datalog::Relation* out = idb.Find(program->output.predicate);
     double actual = std::max(out == nullptr ? 0.0 : double(out->size()), 1.0);
     double estimate = std::max(program->planned_estimate, 1.0);
-    last_plan_error_ =
+    qs.plan_estimate_error =
         estimate > actual ? estimate / actual : actual / estimate;
   }
 
-  return SolutionTranslator::Translate(*program, query, idb, dict_, &ctx);
+  SPARQLOG_ASSIGN_OR_RETURN(
+      exec.result, SolutionTranslator::Translate(*program, query, idb, dict_,
+                                                 &ctx));
+  qs.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  qs.cpu_seconds = ThreadCpuSeconds() - cpu_start;
+  return exec;
 }
 
-Result<eval::QueryResult> Engine::ExecuteText(std::string_view sparql_text) {
+Result<Engine::Execution> Engine::ExecuteText(std::string_view sparql_text,
+                                              const QueryLimits& limits) const {
   sparql::ParserOptions popts;
   popts.extensions = options_.extensions;
   SPARQLOG_ASSIGN_OR_RETURN(sparql::Query query,
                             sparql::ParseQuery(sparql_text, dict_, popts));
-  return Execute(query);
+  return Execute(query, limits);
 }
 
-Result<std::string> Engine::TranslateToText(std::string_view sparql_text) {
+Result<std::string> Engine::TranslateToText(
+    std::string_view sparql_text) const {
   sparql::ParserOptions popts;
   popts.extensions = options_.extensions;
   SPARQLOG_ASSIGN_OR_RETURN(sparql::Query query,
                             sparql::ParseQuery(sparql_text, dict_, popts));
   SPARQLOG_ASSIGN_OR_RETURN(datalog::Program program, Translate(query));
   return datalog::ToString(program, *dict_, skolems_);
+}
+
+Engine::EngineStats Engine::stats() const {
+  EngineStats s;
+  const auto ld = [](const std::atomic<uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.queries = ld(counters_.queries);
+  s.failures = ld(counters_.failures);
+  s.rejected = ld(counters_.rejected);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.program_hits = ld(counters_.program_hits);
+  s.program_rebinds = ld(counters_.program_rebinds);
+  s.program_misses = ld(counters_.program_misses);
+  s.program_evictions = program_cache_.evictions();
+  s.stratum_hits = ld(counters_.stratum_hits);
+  s.stratum_misses = ld(counters_.stratum_misses);
+  s.stratum_evictions = stratum_memo_.evictions();
+  s.tuples_restored = ld(counters_.tuples_restored);
+  s.invalidations = ld(counters_.invalidations);
+  s.plans_computed = ld(counters_.plans_computed);
+  s.plan_cache_hits = ld(counters_.plan_cache_hits);
+  s.rounds = ld(counters_.rounds);
+  s.parallel_rounds = ld(counters_.parallel_rounds);
+  s.naive_rounds_sharded = ld(counters_.naive_rounds_sharded);
+  s.staged_tuples_merged = ld(counters_.staged_tuples_merged);
+  s.merge_fanout_width = ld(counters_.merge_fanout_width);
+  s.interning_contention =
+      dict_->intern_contention() + skolems_.intern_contention();
+  return s;
+}
+
+Engine::StorageStats Engine::edb_storage() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return {edb_.TotalTuples(), edb_.TotalBytes()};
 }
 
 }  // namespace sparqlog::core

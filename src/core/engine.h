@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <shared_mutex>
 #include <string_view>
 
 #include "core/data_translator.h"
@@ -21,6 +23,27 @@
 /// T_D / T_Q / T_S around the Datalog± evaluator. Usable in the paper's
 /// two senses (§7): as a stand-alone SPARQL-to-Warded-Datalog± translator
 /// (TranslateToText) and as a full Knowledge Graph engine (Execute).
+///
+/// Serving contract (the concurrent-server redesign):
+///  * `Load()` is an explicit one-time phase that materializes the EDB
+///    and its planner statistics. `Execute` on an unloaded engine fails
+///    with FailedPrecondition — there is no lazy load hiding inside the
+///    query path any more.
+///  * After Load, `Execute` is `const` and safe to call from any number
+///    of threads over one shared Engine: the EDB is frozen (index builds
+///    are published race-free), the program cache and stratum memo are
+///    internally synchronized, term/Skolem interning is thread-safe, and
+///    every per-query output travels in the returned `Execution` value —
+///    nothing is parked in engine members between calls.
+///  * Mutating the dataset does NOT disturb in-flight queries: they keep
+///    reading the loaded snapshot (every cache and plan is stamped with
+///    the loaded `Dataset::Generation`). Publishing the mutation is an
+///    explicit second `Load()`, which waits for in-flight queries to
+///    drain (writer side of the engine's reader/writer lock), rebuilds
+///    the EDB and drops the memoized strata.
+///  * Admission control: `Options::Serving::max_in_flight` bounds
+///    concurrent Executes; calls beyond it fail fast with Unavailable.
+///    Per-query timeout/tuple budgets ride `QueryLimits`.
 
 namespace sparqlog::core {
 
@@ -30,70 +53,158 @@ class Engine {
     /// Enables the RDFS-subset inference rules (subClassOf /
     /// subPropertyOf / domain / range) over the loaded data.
     bool ontology = false;
-    /// Per-query wall-clock budget; zero means unlimited.
-    std::chrono::milliseconds timeout{0};
-    /// Per-query materialized-tuple budget ("mem-out"); zero = unlimited.
-    uint64_t tuple_budget = 0;
     /// Accepts the extension features beyond the published engine
     /// (FILTER EXISTS / NOT EXISTS, BIND, VALUES; the paper's §7 roadmap).
     bool extensions = false;
-    /// Worker threads for the Datalog fixpoint's recursive strata.
-    /// 0 (default) resolves to std::thread::hardware_concurrency();
-    /// 1 runs the exact single-threaded semi-naive path. Thread count
-    /// never changes query results, only evaluation parallelism.
-    uint32_t num_threads = 0;
-    /// Fans the parallel round-barrier merge out per target predicate
-    /// (each predicate's staged tuples merge on their own worker, in
-    /// worker order, so arenas stay bit-identical to the serial merge).
-    /// Off = the serial worker-then-predicate merge.
-    bool parallel_merge = true;
-    /// Shards the initial naive pass of recursive strata like the delta
-    /// rounds (serial for non-recursive strata either way). Off = the
-    /// serial initial pass.
-    bool parallel_naive = true;
-    /// Shape-keyed translated-program cache: repeated queries (and
-    /// queries differing only in constants / LIMIT / OFFSET) skip T_Q
-    /// and re-bind parameters into the cached Datalog± program.
-    bool program_cache = true;
-    /// LRU capacity of the program cache, in distinct query shapes.
-    size_t program_cache_capacity = 64;
-    /// Cross-query memoization of stratum results: derived relations of
-    /// strata whose rules and inputs are unchanged (same dataset
-    /// generation) are snapshotted and replayed instead of re-derived.
-    bool stratum_memo = true;
-    /// Byte budget of the stratum memo (LRU-evicted beyond it).
-    size_t stratum_memo_bytes = 64ull << 20;
-    /// EDB materialization strategy for Load() and the rebuild after a
-    /// Dataset::Generation bump: kBulkLoad (default) batches each EDB
-    /// relation and dedup-builds it in one pass against a table
-    /// allocated once at final size; kPerTupleInsert is the
-    /// tuple-at-a-time reference path the differential tests compare
-    /// against. The strategies produce bit-identical EDBs (bulk loads
-    /// preserve first-occurrence order); only build cost differs.
+    /// Default per-query wall-clock budget; zero means unlimited. A
+    /// per-call QueryLimits::timeout overrides it.
+    std::chrono::milliseconds timeout{0};
+    /// Default per-query materialized-tuple budget ("mem-out"); zero =
+    /// unlimited. A per-call QueryLimits::tuple_budget overrides it.
+    uint64_t tuple_budget = 0;
+    /// EDB materialization strategy for Load(): kBulkLoad (default)
+    /// batches per EDB predicate and dedup-builds in one pass;
+    /// kPerTupleInsert is the tuple-at-a-time reference path the
+    /// differential tests compare against. Bit-identical EDBs either way.
     EdbBuild edb_build = EdbBuild::kBulkLoad;
-    /// Cost-based join ordering (datalog/planner.h): Load() collects EDB
-    /// statistics (datalog/stats.h) and every translated program's rule
-    /// bodies are reordered by estimated intermediate cardinality; plans
-    /// ride the program cache, so warm hits pay zero planning cost.
-    /// Off = rule bodies stay in translation order and the evaluator's
-    /// runtime heuristic picks join orders — the exact pre-planner
-    /// behaviour, kept for differentials and ablations. Results are
-    /// identical either way (solution multisets, and row order wherever
-    /// ORDER BY applies); only evaluation cost changes.
-    bool join_planner = true;
+
+    /// Fixpoint parallelism knobs (datalog/evaluator.h).
+    struct Parallelism {
+      /// Worker threads for the Datalog fixpoint's recursive strata.
+      /// 0 (default) resolves to std::thread::hardware_concurrency();
+      /// 1 runs the exact single-threaded semi-naive path. Thread count
+      /// never changes query results, only evaluation parallelism.
+      uint32_t num_threads = 0;
+      /// Fans the parallel round-barrier merge out per target predicate
+      /// (bit-identical to the serial merge). Off = serial merge.
+      bool parallel_merge = true;
+      /// Shards the initial naive pass of recursive strata like the
+      /// delta rounds. Off = the serial initial pass.
+      bool parallel_naive = true;
+    };
+
+    /// Cross-query caching knobs (core/program_cache.h,
+    /// datalog/stratum_memo.h). Both caches are shared by all concurrent
+    /// callers of one engine — this is what makes the hot shapes of a
+    /// serving workload cheap.
+    struct Caching {
+      /// Shape-keyed translated-program cache: repeated queries (and
+      /// queries differing only in constants / LIMIT / OFFSET) skip T_Q
+      /// and re-bind parameters into the cached Datalog± program.
+      bool program_cache = true;
+      /// LRU capacity of the program cache, in distinct query shapes.
+      size_t program_cache_capacity = 64;
+      /// Cross-query memoization of stratum results: derived relations
+      /// of strata whose rules and inputs are unchanged (same dataset
+      /// generation) are snapshotted and replayed instead of re-derived.
+      bool stratum_memo = true;
+      /// Byte budget of the stratum memo (LRU-evicted beyond it).
+      size_t stratum_memo_bytes = 64ull << 20;
+    };
+
+    /// Cost-based join ordering (datalog/planner.h).
+    struct Planner {
+      /// Load() collects EDB statistics and every translated program's
+      /// rule bodies are reordered by estimated intermediate
+      /// cardinality; plans ride the program cache. Off = translation
+      /// order + the evaluator's runtime heuristic (the exact
+      /// pre-planner behaviour, kept for differentials and ablations).
+      /// Results are identical either way; only evaluation cost changes.
+      bool join_planner = true;
+    };
+
+    /// Concurrent-serving admission control.
+    struct Serving {
+      /// Maximum concurrently admitted Execute calls; further calls fail
+      /// fast with Status::Unavailable instead of queueing. 0 (default)
+      /// = unlimited.
+      uint32_t max_in_flight = 0;
+    };
+
+    Parallelism parallelism;
+    Caching caching;
+    Planner planner;
+    Serving serving;
   };
 
-  /// Cache observability (engine lifetime totals).
-  struct CacheStats {
-    uint64_t program_hits = 0;      ///< shape + data hit: program reused
-    uint64_t program_rebinds = 0;   ///< shape hit: parameters re-bound
-    uint64_t program_misses = 0;    ///< translated from scratch
+  /// Per-call resource limits; zero fields fall back to the engine-wide
+  /// Options defaults. This is how a server applies per-query budgets
+  /// without reconfiguring the shared engine.
+  struct QueryLimits {
+    std::chrono::milliseconds timeout{0};
+    uint64_t tuple_budget = 0;
+  };
+
+  /// How Execute obtained the Datalog± program for a query.
+  enum class ProgramSource : uint8_t {
+    kTranslated,  ///< cache miss: translated from scratch (and cached)
+    kCacheHit,    ///< shape + data hit: cached program reused verbatim
+    kRebound,     ///< shape hit: parameters re-bound into the template
+    kUncached,    ///< program cache disabled
+  };
+
+  /// Everything one Execute call observed about itself. Returned by
+  /// value inside `Execution` — concurrent queries never share stats
+  /// state, and nothing mutates the engine to report it.
+  struct QueryStats {
+    /// Fixpoint counters for this evaluation (rounds, parallel rounds,
+    /// staged merges, memo hits/misses, tuples restored, ...).
+    datalog::EvalStats fixpoint;
+    ProgramSource program_source = ProgramSource::kUncached;
+    /// True when the cost-based planner ordered this query's rule
+    /// bodies (fresh plan or reused cached plan).
+    bool planned = false;
+    /// q-error of the planner's output-cardinality estimate against the
+    /// materialized output (max(est/actual, actual/est)); 0 when not
+    /// planned.
+    double plan_estimate_error = 0.0;
+    /// End-to-end wall time of the Execute call (translation + fixpoint
+    /// + solution translation).
+    double wall_seconds = 0.0;
+    /// CPU time of the calling thread for the same span (fixpoint worker
+    /// threads are not included; compare with wall_seconds to spot
+    /// queueing vs compute).
+    double cpu_seconds = 0.0;
+  };
+
+  /// The result bundle of one query execution.
+  struct Execution {
+    eval::QueryResult result;
+    QueryStats stats;
+  };
+
+  /// Engine-lifetime counters, aggregated across all (concurrent)
+  /// Execute calls. Snapshot of atomics — cheap, lock-free, callable
+  /// from any thread (e.g. the server's /stats endpoint).
+  struct EngineStats {
+    uint64_t queries = 0;         ///< admitted Execute calls, completed
+    uint64_t failures = 0;        ///< admitted calls that returned !ok
+    uint64_t rejected = 0;        ///< admission-control rejections
+    uint64_t in_flight = 0;       ///< currently admitted calls
+    // Program cache.
+    uint64_t program_hits = 0;
+    uint64_t program_rebinds = 0;
+    uint64_t program_misses = 0;
     uint64_t program_evictions = 0;
-    uint64_t stratum_hits = 0;      ///< strata replayed from snapshots
-    uint64_t stratum_misses = 0;    ///< fingerprinted strata evaluated
+    // Stratum memo.
+    uint64_t stratum_hits = 0;
+    uint64_t stratum_misses = 0;
     uint64_t stratum_evictions = 0;
-    uint64_t tuples_restored = 0;   ///< tuples replayed from snapshots
-    uint64_t invalidations = 0;     ///< dataset-generation EDB rebuilds
+    uint64_t tuples_restored = 0;
+    /// EDB rebuilds triggered by re-Load() after a dataset mutation.
+    uint64_t invalidations = 0;
+    // Join planner.
+    uint64_t plans_computed = 0;
+    uint64_t plan_cache_hits = 0;
+    // Fixpoint parallelism (summed across queries; fan-out width is the
+    // maximum any single round reached).
+    uint64_t rounds = 0;
+    uint64_t parallel_rounds = 0;
+    uint64_t naive_rounds_sharded = 0;
+    uint64_t staged_tuples_merged = 0;
+    uint64_t merge_fanout_width = 0;
+    /// Current dict + Skolem interning-contention totals.
+    uint64_t interning_contention = 0;
   };
 
   /// The engine keeps references to the dataset and dictionary; both must
@@ -103,65 +214,41 @@ class Engine {
   Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict)
       : Engine(dataset, dict, Options()) {}
 
-  /// T_D: materializes the EDB. Called lazily by Execute, but exposed so
-  /// benchmarks can measure loading separately (the paper's loading time).
+  /// T_D: materializes the EDB and its planner statistics. Explicit
+  /// one-time phase — Execute fails until it has completed. Calling it
+  /// again is a no-op while the dataset generation is unchanged; after a
+  /// mutation it drains in-flight queries, rebuilds the EDB and clears
+  /// the stratum memo (counted as an invalidation in EngineStats).
   Status Load();
 
-  bool loaded() const { return loaded_; }
+  bool loaded() const { return loaded_.load(std::memory_order_acquire); }
 
-  /// Full pipeline on a parsed query.
-  Result<eval::QueryResult> Execute(const sparql::Query& query);
+  /// Full pipeline on a parsed query. Thread-safe after Load(): any
+  /// number of threads may Execute on one shared Engine.
+  Result<Execution> Execute(const sparql::Query& query) const {
+    return Execute(query, QueryLimits{});
+  }
+  Result<Execution> Execute(const sparql::Query& query,
+                            const QueryLimits& limits) const;
 
   /// Convenience: parse + execute.
-  Result<eval::QueryResult> ExecuteText(std::string_view sparql_text);
+  Result<Execution> ExecuteText(std::string_view sparql_text) const {
+    return ExecuteText(sparql_text, QueryLimits{});
+  }
+  Result<Execution> ExecuteText(std::string_view sparql_text,
+                                const QueryLimits& limits) const;
 
   /// T_Q only: the generated Datalog± program (for tests / the warded
   /// analysis / the translator-CLI example).
-  Result<datalog::Program> Translate(const sparql::Query& query);
+  Result<datalog::Program> Translate(const sparql::Query& query) const;
 
   /// Vadalog-style rendering of the translated program (Figure 2 / 4).
-  Result<std::string> TranslateToText(std::string_view sparql_text);
+  Result<std::string> TranslateToText(std::string_view sparql_text) const;
 
-  /// Stats of the last Execute call (for benchmarks).
-  const datalog::EvalStats& last_stats() const { return last_stats_; }
-  datalog::SkolemStore* skolems() { return &skolems_; }
+  /// Engine-lifetime stats snapshot (atomics; callable from any thread).
+  EngineStats stats() const;
 
-  /// Fixpoint-parallelism observability for the last Execute call:
-  /// how much of the evaluation actually fanned out, and what it cost.
-  struct Stats {
-    uint32_t rounds = 0;                ///< total fixpoint rounds
-    uint32_t parallel_rounds = 0;       ///< rounds run as sharded fan-outs
-    uint32_t naive_rounds_sharded = 0;  ///< initial passes run sharded
-    uint64_t staged_tuples_merged = 0;  ///< tuples via the barrier merge
-    uint32_t merge_fanout_width = 0;    ///< max merge workers in any round
-    uint64_t interning_contention = 0;  ///< dict+Skolem lock contention
-    // Join-planner observability (engine lifetime / last Execute).
-    uint64_t plans_computed = 0;   ///< planner invocations (lifetime)
-    uint64_t plan_cache_hits = 0;  ///< warm hits reusing a cached plan
-    /// q-error of the last planned query: max(est/actual, actual/est)
-    /// between the planner's output-cardinality estimate and the
-    /// materialized output relation; 0 before any planned execution.
-    double plan_estimate_error = 0.0;
-  };
-  Stats stats() const {
-    return {last_stats_.rounds,
-            last_stats_.parallel_rounds,
-            last_stats_.naive_rounds_sharded,
-            last_stats_.staged_merged,
-            last_stats_.merge_fanout_width,
-            last_stats_.interning_contention,
-            plans_computed_,
-            plan_cache_hits_,
-            last_plan_error_};
-  }
-
-  /// Cache hit/miss/eviction totals since construction.
-  CacheStats cache_stats() const {
-    CacheStats s = cache_stats_;
-    s.program_evictions = program_cache_.evictions();
-    s.stratum_evictions = stratum_memo_.evictions();
-    return s;
-  }
+  datalog::SkolemStore* skolems() const { return &skolems_; }
 
   /// Storage footprint of the materialized EDB (TupleStore arenas, dedup
   /// tables and indexes), for benchmark loading-cost reporting.
@@ -169,49 +256,79 @@ class Engine {
     uint64_t tuples = 0;
     uint64_t bytes = 0;
   };
-  StorageStats edb_storage() const {
-    return {edb_.TotalTuples(), edb_.TotalBytes()};
-  }
+  StorageStats edb_storage() const;
 
  private:
-  Result<eval::QueryResult> ExecuteInternal(const sparql::Query& query,
-                                            bool allow_stratum_memo);
+  /// Atomic engine-lifetime counters behind EngineStats.
+  struct Counters {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> program_hits{0};
+    std::atomic<uint64_t> program_rebinds{0};
+    std::atomic<uint64_t> program_misses{0};
+    std::atomic<uint64_t> stratum_hits{0};
+    std::atomic<uint64_t> stratum_misses{0};
+    std::atomic<uint64_t> tuples_restored{0};
+    std::atomic<uint64_t> invalidations{0};
+    std::atomic<uint64_t> plans_computed{0};
+    std::atomic<uint64_t> plan_cache_hits{0};
+    std::atomic<uint64_t> rounds{0};
+    std::atomic<uint64_t> parallel_rounds{0};
+    std::atomic<uint64_t> naive_rounds_sharded{0};
+    std::atomic<uint64_t> staged_tuples_merged{0};
+    std::atomic<uint64_t> merge_fanout_width{0};  // running maximum
+  };
+
+  Result<Execution> ExecuteInternal(const sparql::Query& query,
+                                    datalog::Database* edb,
+                                    const datalog::EdbStats* stats,
+                                    bool scoped,
+                                    const QueryLimits& limits) const;
   /// Program for `query` via the shape-keyed cache: verbatim reuse on a
   /// data-identical hit, parameter re-binding on a shape hit, fresh
-  /// translation (stored as the shape's template) otherwise.
+  /// translation (stored as the shape's template) otherwise. `stats` is
+  /// the active EDB statistics (null when the planner is off); `scoped`
+  /// marks query-scoped FROM execution, whose plans are never cached.
   Result<std::shared_ptr<const datalog::Program>> TranslateCached(
-      const sparql::Query& query);
+      const sparql::Query& query, const datalog::EdbStats* stats,
+      bool scoped, QueryStats* qs) const;
   /// Engine constants whose values must never be confused with query
   /// parameters during re-binding (see program_cache.h).
-  std::vector<datalog::Value> AmbientValues();
-  /// Runs the cost-based planner over `program` against the active EDB
-  /// statistics (the query-scoped stats during FROM execution, the
-  /// engine's otherwise) and records the planner counters.
-  void PlanForActiveEdb(datalog::Program* program);
-  /// Plan-freshness token for cached programs: the EDB-statistics
-  /// generation, or ProgramCache::kNoPlan during query-scoped FROM
-  /// execution (scoped plans are never reusable).
-  uint64_t PlanGeneration() const;
+  std::vector<datalog::Value> AmbientValues() const;
+  /// Runs the cost-based planner over `program` against `stats` and
+  /// bumps the lifetime plan counter.
+  void PlanForEdb(datalog::Program* program,
+                  const datalog::EdbStats& stats) const;
 
   const rdf::Dataset* dataset_;
   rdf::TermDictionary* dict_;
   Options options_;
-  datalog::SkolemStore skolems_;
-  datalog::Database edb_;
-  bool loaded_ = false;
+  /// Thread-safe interners (striped mutexes, lock-free reads) shared by
+  /// concurrent translations and evaluations.
+  mutable datalog::SkolemStore skolems_;
+
+  /// Reader/writer lock between queries (shared) and Load (exclusive):
+  /// readers see one consistent loaded snapshot — EDB, planner
+  /// statistics and loaded_generation_ all belong to the same
+  /// Dataset::Generation — even while the dataset is being mutated for
+  /// the next Load.
+  mutable std::shared_mutex state_mu_;
+  /// EDB of the loaded snapshot. Frozen between Loads: queries only read
+  /// rows and build/probe indexes, both race-free (relation.h).
+  mutable datalog::Database edb_;
+  std::atomic<bool> loaded_{false};
   uint64_t loaded_generation_ = 0;
-  datalog::EvalStats last_stats_;
-  ProgramCache program_cache_;
-  datalog::StratumMemo stratum_memo_;
-  CacheStats cache_stats_;
-  /// EDB statistics for the planner, recollected on every EDB (re)build.
+  /// EDB statistics for the planner, recollected by every Load; stamped
+  /// with loaded_generation_.
   datalog::EdbStats edb_stats_;
-  /// Query-scoped statistics during FROM / FROM NAMED execution (points
-  /// at a stack-local EdbStats inside Execute); nullptr otherwise.
-  const datalog::EdbStats* scoped_stats_ = nullptr;
-  uint64_t plans_computed_ = 0;
-  uint64_t plan_cache_hits_ = 0;
-  double last_plan_error_ = 0.0;
+
+  /// Shared, internally synchronized caches.
+  mutable ProgramCache program_cache_;
+  mutable datalog::StratumMemo stratum_memo_;
+
+  mutable Counters counters_;
+  mutable std::atomic<uint32_t> in_flight_{0};
 };
 
 }  // namespace sparqlog::core

@@ -10,29 +10,30 @@ using datalog::Program;
 using datalog::Value;
 using datalog::ValueFromTerm;
 
-ProgramCache::Entry* ProgramCache::Lookup(const sparql::QueryShape& shape) {
+std::optional<ProgramCache::Entry> ProgramCache::Lookup(
+    const sparql::QueryShape& shape) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(shape.key);
-  if (it == index_.end()) return nullptr;
+  if (it == index_.end()) return std::nullopt;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return &it->second->second;
+  return it->second->second;
 }
 
-ProgramCache::Entry* ProgramCache::Insert(const sparql::QueryShape& shape,
-                                          Entry entry) {
+void ProgramCache::Insert(const sparql::QueryShape& shape, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(shape.key);
   if (it != index_.end()) {
     it->second->second = std::move(entry);
     lru_.splice(lru_.begin(), lru_, it->second);
-    return &it->second->second;
+    return;
   }
   lru_.emplace_front(shape.key, std::move(entry));
   index_.emplace(shape.key, lru_.begin());
   while (index_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  return &lru_.front().second;
 }
 
 namespace {

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -33,6 +35,13 @@
 ///
 /// The cache is engine-owned: Values, TermIds and Skolem function ids in
 /// a cached program refer to the engine's dictionary and Skolem store.
+///
+/// Thread safety: the cache is internally synchronized for the shared
+/// serving engine — Lookup copies the entry out under the mutex (cheap: a
+/// shared_ptr plus small vectors) and Insert replaces it wholesale, so no
+/// caller ever holds a pointer into the LRU list. Two racing misses both
+/// translate and both Insert; the programs are equivalent (translation is
+/// deterministic given the interned terms) and the last writer wins.
 
 namespace sparqlog::core {
 
@@ -60,21 +69,27 @@ class ProgramCache {
   explicit ProgramCache(size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  /// Entry for `shape`, promoted to most-recently-used; nullptr on miss.
-  /// The pointer stays valid until the next Insert.
-  Entry* Lookup(const sparql::QueryShape& shape);
+  /// Entry for `shape` (a copy, safe to use without the lock), promoted
+  /// to most-recently-used; nullopt on miss.
+  std::optional<Entry> Lookup(const sparql::QueryShape& shape);
 
   /// Inserts (or overwrites) the entry for `shape`, evicting the
-  /// least-recently-used entry beyond capacity. Returns the stored entry.
-  Entry* Insert(const sparql::QueryShape& shape, Entry entry);
+  /// least-recently-used entry beyond capacity.
+  void Insert(const sparql::QueryShape& shape, Entry entry);
 
-  size_t size() const { return index_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
   size_t capacity() const { return capacity_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   size_t capacity_;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> evictions_{0};
+  mutable std::mutex mu_;
   // Front = most recently used. The map owns nothing; it points into the
   // list, whose node addresses are stable under splice.
   std::list<std::pair<std::string, Entry>> lru_;

@@ -526,7 +526,8 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
     // Memo hit: replay the snapshot (arena order preserved; program
     // facts already seeded above dedup away) instead of evaluating.
     if (memo_ok) {
-      if (const StratumSnapshot* snap = memo_->Lookup(stratum_fp[s])) {
+      if (std::shared_ptr<const StratumSnapshot> snap =
+              memo_->Lookup(stratum_fp[s])) {
         // Resolve every snapshot predicate before touching the IDB, so a
         // (vanishingly unlikely) fingerprint collision with a foreign
         // rule set degrades to a miss instead of corrupting results.

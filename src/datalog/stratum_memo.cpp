@@ -40,36 +40,41 @@ size_t StratumSnapshot::bytes() const {
   return n;
 }
 
-const StratumSnapshot* StratumMemo::Lookup(uint64_t key) {
+std::shared_ptr<const StratumSnapshot> StratumMemo::Lookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return &it->second->second;
+  return it->second->second;
 }
 
 void StratumMemo::Insert(uint64_t key, StratumSnapshot snapshot) {
+  auto stored = std::make_shared<const StratumSnapshot>(std::move(snapshot));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    bytes_ -= it->second->second.bytes();
-    bytes_ += snapshot.bytes();
-    it->second->second = std::move(snapshot);
+    bytes_ -= it->second->second->bytes();
+    bytes_ += stored->bytes();
+    it->second->second = std::move(stored);
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    bytes_ += snapshot.bytes();
-    lru_.emplace_front(key, std::move(snapshot));
+    bytes_ += stored->bytes();
+    lru_.emplace_front(key, std::move(stored));
     index_.emplace(key, lru_.begin());
   }
   // Evict from the cold end, but always keep the newest entry so a single
-  // oversized stratum still serves its own repeats.
+  // oversized stratum still serves its own repeats. A concurrent reader
+  // holding an evicted snapshot keeps it alive through its shared_ptr.
   while (bytes_ > max_bytes_ && lru_.size() > 1) {
-    bytes_ -= lru_.back().second.bytes();
+    bytes_ -= lru_.back().second->bytes();
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void StratumMemo::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;

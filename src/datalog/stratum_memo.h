@@ -1,7 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -73,13 +76,21 @@ struct StratumSnapshot {
 
 /// Bounded (by bytes) LRU store of stratum snapshots keyed by the
 /// composed stratum fingerprint.
+///
+/// Thread safety: internally synchronized for the shared serving engine.
+/// Lookup hands out a shared_ptr, so a reader can keep replaying its
+/// snapshot while another query Inserts (or LRU-evicts the same entry) —
+/// the snapshot object stays alive until the last reader drops it. Two
+/// queries that race on the same cold stratum both evaluate and both
+/// Insert equivalent snapshots; the last writer wins.
 class StratumMemo {
  public:
   explicit StratumMemo(size_t max_bytes) : max_bytes_(max_bytes) {}
 
   /// Snapshot for `key`, promoted to most-recently-used; nullptr on miss.
-  /// The pointer stays valid until the next Insert or Clear.
-  const StratumSnapshot* Lookup(uint64_t key);
+  /// The returned snapshot is immutable and outlives any concurrent
+  /// Insert / Clear / eviction.
+  std::shared_ptr<const StratumSnapshot> Lookup(uint64_t key);
 
   /// Stores (or overwrites) the snapshot for `key`, evicting LRU entries
   /// until under the byte budget (the newest entry is always kept).
@@ -87,20 +98,29 @@ class StratumMemo {
 
   void Clear();
 
-  size_t size() const { return index_.size(); }
-  size_t bytes() const { return bytes_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
+  size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
   size_t max_bytes() const { return max_bytes_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
+  using Slot = std::pair<uint64_t, std::shared_ptr<const StratumSnapshot>>;
+
   size_t max_bytes_;
   size_t bytes_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> evictions_{0};
+  mutable std::mutex mu_;
   // Front = most recently used.
-  std::list<std::pair<uint64_t, StratumSnapshot>> lru_;
-  std::unordered_map<uint64_t,
-                     std::list<std::pair<uint64_t, StratumSnapshot>>::iterator>
-      index_;
+  std::list<Slot> lru_;
+  std::unordered_map<uint64_t, std::list<Slot>::iterator> index_;
 };
 
 /// Computes the composed fingerprint of every stratum of `program` under

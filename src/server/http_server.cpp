@@ -1,0 +1,445 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "server/json.h"
+
+namespace sparqlog::server {
+
+namespace {
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string ErrorBody(std::string_view code, std::string_view message) {
+  JsonWriter w;
+  w.BeginObject().Key("error").BeginObject();
+  w.Key("code").String(code);
+  w.Key("message").String(message);
+  w.EndObject().EndObject();
+  return w.Take();
+}
+
+/// HTTP status + machine-readable code for a failed engine Status.
+std::pair<int, const char*> MapStatus(const Status& st) {
+  if (st.IsParseError()) return {400, "parse_error"};
+  if (st.IsNotSupported()) return {400, "not_supported"};
+  if (st.IsFailedPrecondition()) return {503, "not_loaded"};
+  if (st.IsUnavailable()) return {503, "overloaded"};
+  if (st.IsTimeout()) return {504, "timeout"};
+  if (st.IsResourceExhausted()) return {413, "budget_exceeded"};
+  return {500, "internal"};
+}
+
+const char* ProgramSourceName(core::Engine::ProgramSource source) {
+  switch (source) {
+    case core::Engine::ProgramSource::kTranslated: return "translated";
+    case core::Engine::ProgramSource::kCacheHit: return "cache_hit";
+    case core::Engine::ProgramSource::kRebound: return "rebound";
+    case core::Engine::ProgramSource::kUncached: return "uncached";
+  }
+  return "unknown";
+}
+
+/// Serializes and writes a full HTTP/1.1 response; best-effort (the
+/// client may already be gone, which is fine for a one-shot connection).
+void WriteResponse(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// Reads one request (head + Content-Length body) into `request`.
+/// Returns false on malformed/oversized input (the caller answers 400).
+bool ReadRequest(int fd, size_t max_bytes, HttpRequest* request) {
+  std::string buf;
+  char chunk[4096];
+  size_t head_end = std::string::npos;
+  while (head_end == std::string::npos) {
+    if (buf.size() > max_bytes) return false;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+    head_end = buf.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP target SP version.
+  size_t line_end = buf.find("\r\n");
+  std::string line = buf.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  request->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    request->path = UrlDecode(target);
+  } else {
+    request->path = UrlDecode(target.substr(0, qmark));
+    request->query = target.substr(qmark + 1);
+  }
+
+  // Headers: only Content-Length and Content-Type matter here.
+  size_t content_length = 0;
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    size_t eol = buf.find("\r\n", pos);
+    std::string header = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = header.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    size_t vstart = header.find_first_not_of(" \t", colon + 1);
+    std::string value =
+        vstart == std::string::npos ? "" : header.substr(vstart);
+    if (name == "content-length") {
+      content_length = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (name == "content-type") {
+      request->content_type = value;
+    }
+  }
+  if (head_end + 4 + content_length > max_bytes) return false;
+
+  while (buf.size() < head_end + 4 + content_length) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  request->body = buf.substr(head_end + 4, content_length);
+  return true;
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size()) {
+      int hi = HexVal(in[i + 1]);
+      int lo = HexVal(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+std::string FormValue(std::string_view form, std::string_view key) {
+  size_t pos = 0;
+  while (pos <= form.size()) {
+    size_t amp = form.find('&', pos);
+    std::string_view pair =
+        form.substr(pos, amp == std::string_view::npos ? form.size() - pos
+                                                       : amp - pos);
+    size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return UrlDecode(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return "";
+}
+
+HttpServer::HttpServer(const core::Engine* engine,
+                       const rdf::TermDictionary* dict,
+                       HttpServerOptions options)
+    : engine_(engine), dict_(dict), options_(std::move(options)) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st =
+        Status::Internal("bind(): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status st =
+        Status::Internal("listen(): " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock accept() by closing the listening socket.
+  int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // Any connection still queued gets a clean 503 instead of a dropped
+  // socket.
+  std::deque<int> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover.swap(pending_);
+  }
+  for (int fd : leftover) {
+    HttpResponse busy{503, "application/json",
+                      ErrorBody("shutting_down", "server stopping")};
+    WriteResponse(fd, busy);
+    ::close(fd);
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure
+    }
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (pending_.size() < options_.max_queued_connections) {
+        pending_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      // Backpressure: reject instead of queueing without bound.
+      HttpResponse busy{503, "application/json",
+                        ErrorBody("overloaded", "connection queue full")};
+      WriteResponse(fd, busy);
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() ||
+               !running_.load(std::memory_order_acquire);
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    HandleConnection(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  HttpRequest request;
+  if (ReadRequest(fd, options_.max_request_bytes, &request)) {
+    WriteResponse(fd, Route(request));
+  } else {
+    WriteResponse(fd, HttpResponse{400, "application/json",
+                                   ErrorBody("bad_request",
+                                             "malformed or oversized "
+                                             "request")});
+  }
+  ::close(fd);
+}
+
+HttpResponse HttpServer::Route(const HttpRequest& request) const {
+  if (request.path == "/sparql") {
+    std::string query_text;
+    if (request.method == "GET") {
+      query_text = FormValue(request.query, "query");
+    } else if (request.method == "POST") {
+      if (request.content_type.find("application/x-www-form-urlencoded") !=
+          std::string::npos) {
+        query_text = FormValue(request.body, "query");
+        // Clients (curl included) default to the form content type while
+        // sending plain SPARQL text; fall back to the raw body.
+        if (query_text.empty()) query_text = request.body;
+      } else {
+        query_text = request.body;  // application/sparql-query or raw text
+      }
+    } else {
+      return {405, "application/json",
+              ErrorBody("method_not_allowed", "use GET or POST")};
+    }
+    if (query_text.empty()) {
+      return {400, "application/json",
+              ErrorBody("missing_query", "no query parameter or body")};
+    }
+    return ExecuteQuery(query_text);
+  }
+  if (request.path == "/stats") {
+    if (request.method != "GET") {
+      return {405, "application/json",
+              ErrorBody("method_not_allowed", "use GET")};
+    }
+    return StatsResponse();
+  }
+  if (request.path == "/healthz") {
+    if (request.method != "GET") {
+      return {405, "application/json",
+              ErrorBody("method_not_allowed", "use GET")};
+    }
+    return HealthResponse();
+  }
+  return {404, "application/json",
+          ErrorBody("not_found", "unknown path: " + request.path)};
+}
+
+HttpResponse HttpServer::ExecuteQuery(const std::string& query_text) const {
+  auto execution = engine_->ExecuteText(query_text);
+  if (!execution.ok()) {
+    auto [http, code] = MapStatus(execution.status());
+    return {http, "application/json",
+            ErrorBody(code, execution.status().message())};
+  }
+  // SPARQL results JSON with a non-standard "stats" sibling — the whole
+  // point of the redesigned Execute() is that per-query stats ride the
+  // result, so the endpoint exposes them.
+  std::string results = ResultToJson(execution->result, *dict_);
+  const core::Engine::QueryStats& qs = execution->stats;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("wall_seconds").Number(qs.wall_seconds);
+  w.Key("cpu_seconds").Number(qs.cpu_seconds);
+  w.Key("program_source").String(ProgramSourceName(qs.program_source));
+  w.Key("planned").Bool(qs.planned);
+  w.Key("rounds").Number(static_cast<uint64_t>(qs.fixpoint.rounds));
+  w.Key("rows").Number(static_cast<uint64_t>(execution->result.rows.size()));
+  w.EndObject();
+  // Splice: results ends with '}', replace with ',"stats":{...}}'.
+  results.pop_back();
+  results += ",\"stats\":" + w.Take() + "}";
+  return {200, "application/sparql-results+json", std::move(results)};
+}
+
+HttpResponse HttpServer::StatsResponse() const {
+  core::Engine::EngineStats s = engine_->stats();
+  core::Engine::StorageStats storage = engine_->edb_storage();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("queries").Number(s.queries);
+  w.Key("failures").Number(s.failures);
+  w.Key("rejected").Number(s.rejected);
+  w.Key("in_flight").Number(s.in_flight);
+  w.Key("program_hits").Number(s.program_hits);
+  w.Key("program_rebinds").Number(s.program_rebinds);
+  w.Key("program_misses").Number(s.program_misses);
+  w.Key("program_evictions").Number(s.program_evictions);
+  w.Key("stratum_hits").Number(s.stratum_hits);
+  w.Key("stratum_misses").Number(s.stratum_misses);
+  w.Key("stratum_evictions").Number(s.stratum_evictions);
+  w.Key("tuples_restored").Number(s.tuples_restored);
+  w.Key("invalidations").Number(s.invalidations);
+  w.Key("plans_computed").Number(s.plans_computed);
+  w.Key("plan_cache_hits").Number(s.plan_cache_hits);
+  w.Key("rounds").Number(s.rounds);
+  w.Key("parallel_rounds").Number(s.parallel_rounds);
+  w.Key("naive_rounds_sharded").Number(s.naive_rounds_sharded);
+  w.Key("staged_tuples_merged").Number(s.staged_tuples_merged);
+  w.Key("merge_fanout_width").Number(s.merge_fanout_width);
+  w.Key("interning_contention").Number(s.interning_contention);
+  w.Key("storage").BeginObject();
+  w.Key("tuples").Number(storage.tuples);
+  w.Key("bytes").Number(storage.bytes);
+  w.EndObject();
+  w.EndObject();
+  return {200, "application/json", w.Take()};
+}
+
+HttpResponse HttpServer::HealthResponse() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status").String(engine_->loaded() ? "ok" : "loading");
+  w.Key("loaded").Bool(engine_->loaded());
+  w.EndObject();
+  return {engine_->loaded() ? 200 : 503, "application/json", w.Take()};
+}
+
+}  // namespace sparqlog::server

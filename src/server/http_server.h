@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+/// \file http_server.h
+/// Embedded HTTP endpoint over a shared, already-loaded Engine — the
+/// serving mode the concurrent Execute() API exists for. One acceptor
+/// thread feeds a bounded queue drained by a fixed worker pool; every
+/// worker calls `Engine::Execute` on the same const engine, so the
+/// engine's own admission control (`Options::serving.max_in_flight`)
+/// and per-query limits apply unchanged to HTTP traffic.
+///
+/// Routes:
+///   GET  /sparql?query=<urlencoded>   SPARQL 1.1 results JSON
+///   POST /sparql                      body = SPARQL text (or form
+///                                     `query=` pair), same response
+///   GET  /stats                       EngineStats + storage as JSON
+///   GET  /healthz                     {"status":"ok","loaded":...}
+///
+/// Engine failures map onto HTTP statuses: parse/unsupported -> 400,
+/// unloaded engine or admission rejection -> 503, timeout -> 504,
+/// budget exhaustion -> 413, anything else -> 500. Error bodies are
+/// `{"error":{"code":...,"message":...}}`.
+///
+/// The server never mutates the engine; HTTP is a read-only query
+/// surface. Connections are one-request (`Connection: close`) — ideal
+/// for a benchmark/ops endpoint, and it keeps the worker loop trivial.
+
+namespace sparqlog::server {
+
+struct HttpServerOptions {
+  /// Listen address. Loopback by default: this is an embedded endpoint,
+  /// not an internet-facing service.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the OS for an ephemeral port (read it back from
+  /// `port()` after Start) — used by tests to avoid collisions.
+  uint16_t port = 0;
+  /// Worker threads executing queries. The acceptor is separate.
+  uint32_t num_workers = 4;
+  /// Accepted connections waiting for a worker beyond this are answered
+  /// 503 immediately instead of queueing unboundedly.
+  size_t max_queued_connections = 64;
+  /// Requests larger than this (head + body) are rejected with 413.
+  size_t max_request_bytes = 1 << 20;
+};
+
+/// Parsed request, exposed for testing the routing logic in isolation.
+struct HttpRequest {
+  std::string method;
+  std::string path;      // decoded, without the query string
+  std::string query;     // raw query string (after '?'), undecoded
+  std::string body;
+  std::string content_type;
+};
+
+/// A routed response before serialization.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Percent-decoding for URL query parameters ('+' becomes space).
+std::string UrlDecode(std::string_view in);
+
+/// Extracts the value of `key` from an application/x-www-form-urlencoded
+/// or URL query string; empty string if absent.
+std::string FormValue(std::string_view form, std::string_view key);
+
+class HttpServer {
+ public:
+  /// The engine must outlive the server and be Load()ed by the caller —
+  /// the server reports 503 (via the engine's FailedPrecondition) until
+  /// it is.
+  HttpServer(const core::Engine* engine, const rdf::TermDictionary* dict,
+             HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor + worker threads.
+  Status Start();
+
+  /// Stops accepting, drains queued connections with 503, joins all
+  /// threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Bound port (valid after Start; resolves port 0 to the real one).
+  uint16_t port() const { return bound_port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Routing logic without sockets: maps a parsed request to a response.
+  /// Public so tests can drive the endpoint behavior deterministically
+  /// even when binding a socket is not permitted in the sandbox.
+  HttpResponse Route(const HttpRequest& request) const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+
+  HttpResponse ExecuteQuery(const std::string& query_text) const;
+  HttpResponse StatsResponse() const;
+  HttpResponse HealthResponse() const;
+
+  const core::Engine* engine_;
+  const rdf::TermDictionary* dict_;
+  HttpServerOptions options_;
+
+  std::atomic<int> listen_fd_{-1};
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+};
+
+}  // namespace sparqlog::server

@@ -1,0 +1,163 @@
+#include "server/json.h"
+
+#include <cstdio>
+
+#include "rdf/term.h"
+
+namespace sparqlog::server {
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonString(s, &out);
+  return out;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_.push_back('{');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_.push_back('[');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Comma();
+  AppendJsonString(key, &out_);
+  out_.push_back(':');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  Comma();
+  AppendJsonString(value, &out_);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(uint64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  Comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Comma();
+  out_ += value ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+void JsonWriter::Comma() {
+  if (need_comma_) out_.push_back(',');
+}
+
+namespace {
+
+/// One binding object: {"type":"uri"|"literal"|"bnode","value":...} plus
+/// "xml:lang" / "datatype" for tagged/typed literals.
+void AppendTermBinding(const rdf::Term& term, JsonWriter* w) {
+  w->BeginObject();
+  switch (term.kind) {
+    case rdf::TermKind::kIri:
+      w->Key("type").String("uri");
+      break;
+    case rdf::TermKind::kBlank:
+      w->Key("type").String("bnode");
+      break;
+    default:
+      w->Key("type").String("literal");
+      break;
+  }
+  w->Key("value").String(term.lexical);
+  if (term.is_literal()) {
+    if (!term.lang.empty()) w->Key("xml:lang").String(term.lang);
+    if (!term.datatype.empty()) w->Key("datatype").String(term.datatype);
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ResultToJson(const eval::QueryResult& result,
+                         const rdf::TermDictionary& dict) {
+  JsonWriter w;
+  w.BeginObject();
+  if (result.is_ask) {
+    w.Key("head").BeginObject().EndObject();
+    w.Key("boolean").Bool(result.ask_value);
+    w.EndObject();
+    return w.Take();
+  }
+  w.Key("head").BeginObject().Key("vars").BeginArray();
+  for (const std::string& col : result.columns) w.String(col);
+  w.EndArray().EndObject();
+  w.Key("results").BeginObject().Key("bindings").BeginArray();
+  for (const auto& row : result.rows) {
+    w.BeginObject();
+    for (size_t i = 0; i < row.size() && i < result.columns.size(); ++i) {
+      if (row[i] == rdf::TermDictionary::kUndef) continue;
+      w.Key(result.columns[i]);
+      AppendTermBinding(dict.get(row[i]), &w);
+    }
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace sparqlog::server

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "eval/binding.h"
+#include "rdf/dictionary.h"
+
+/// \file json.h
+/// Minimal JSON serialization for the embedded SPARQL endpoint: string
+/// escaping, a small append-only writer, and the SPARQL 1.1 Query Results
+/// JSON rendering of a QueryResult. Writing only — the endpoint never
+/// parses JSON (queries arrive as plain SPARQL text).
+
+namespace sparqlog::server {
+
+/// Appends the JSON string literal for `s` (quotes included) to `out`.
+/// Control characters are \u-escaped; the input is treated as opaque
+/// bytes, so any interned term renders losslessly.
+void AppendJsonString(std::string_view s, std::string* out);
+
+/// Convenience: the escaped, quoted form of `s`.
+std::string JsonString(std::string_view s);
+
+/// Append-only JSON writer for flat/nested objects and arrays. The caller
+/// supplies structure by pairing Begin*/End* calls; the writer tracks
+/// comma placement. No validation beyond that — this is a serializer for
+/// code-generated shapes, not a general library.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts a `"key":` member inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(uint64_t value);
+  JsonWriter& Number(double value);
+  JsonWriter& Bool(bool value);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Comma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Renders a QueryResult in the SPARQL 1.1 Query Results JSON format
+/// (https://www.w3.org/TR/sparql11-results-json/): `head.vars` +
+/// `results.bindings` for SELECT, `boolean` for ASK. Unbound cells are
+/// omitted from their binding object, per the spec.
+std::string ResultToJson(const eval::QueryResult& result,
+                         const rdf::TermDictionary& dict);
+
+}  // namespace sparqlog::server

@@ -22,6 +22,8 @@ enum class StatusCode : uint8_t {
   kTimeout,           ///< ExecContext deadline exceeded
   kResourceExhausted, ///< tuple budget ("mem-out") exceeded
   kInternal,          ///< invariant violation that was caught gracefully
+  kFailedPrecondition, ///< call out of lifecycle order (e.g. Execute before Load)
+  kUnavailable,       ///< transient serving rejection (admission control)
 };
 
 /// Human-readable name of a status code (e.g. "Timeout").
@@ -56,6 +58,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +75,10 @@ class Status {
   }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -64,6 +64,7 @@ class SparqLogSystem : public System {
     RunRecord r;
     r.load_seconds = load_s;
     r.exec_seconds = exec_s;
+    r.plan_estimate_error = result->stats.plan_estimate_error;
     if (limits_.warm_repeat) {
       // Serving scenario: the same query again on the warm engine — the
       // program cache and stratum memo carry it.
@@ -71,15 +72,15 @@ class SparqLogSystem : public System {
       auto warm = engine.ExecuteText(query_text);
       if (!warm.ok()) return Fail(warm.status(), load_s, exec_s);
       r.warm_exec_seconds = warm_watch.ElapsedSeconds();
+      r.plan_estimate_error = warm->stats.plan_estimate_error;
     }
-    core::Engine::CacheStats cs = engine.cache_stats();
-    r.program_cache_hits = cs.program_hits;
-    r.program_cache_rebinds = cs.program_rebinds;
-    r.program_cache_misses = cs.program_misses;
-    r.stratum_memo_hits = cs.stratum_hits;
-    r.stratum_memo_misses = cs.stratum_misses;
-    r.tuples_restored = cs.tuples_restored;
-    core::Engine::Stats es = engine.stats();
+    core::Engine::EngineStats es = engine.stats();
+    r.program_cache_hits = es.program_hits;
+    r.program_cache_rebinds = es.program_rebinds;
+    r.program_cache_misses = es.program_misses;
+    r.stratum_memo_hits = es.stratum_hits;
+    r.stratum_memo_misses = es.stratum_misses;
+    r.tuples_restored = es.tuples_restored;
     r.parallel_rounds = es.parallel_rounds;
     r.naive_rounds_sharded = es.naive_rounds_sharded;
     r.staged_tuples_merged = es.staged_tuples_merged;
@@ -87,8 +88,7 @@ class SparqLogSystem : public System {
     r.interning_contention = es.interning_contention;
     r.plans_computed = es.plans_computed;
     r.plan_cache_hits = es.plan_cache_hits;
-    r.plan_estimate_error = es.plan_estimate_error;
-    r.result = std::move(result).ValueOrDie();
+    r.result = std::move(std::move(result).ValueOrDie().result);
     return r;
   }
 

@@ -256,26 +256,28 @@ TEST(EngineBulkLoad, BulkMatchesPerTupleAcrossThreadCounts) {
 
   for (uint32_t threads : {1u, 2u, 8u}) {
     core::Engine::Options bulk_opts;
-    bulk_opts.num_threads = threads;
+    bulk_opts.parallelism.num_threads = threads;
     core::Engine bulk_engine(&dataset, &dict, bulk_opts);
+    ASSERT_TRUE(bulk_engine.Load().ok());
 
     core::Engine::Options ref_opts = bulk_opts;
     ref_opts.edb_build = core::EdbBuild::kPerTupleInsert;
     core::Engine ref_engine(&dataset, &dict, ref_opts);
+    ASSERT_TRUE(ref_engine.Load().ok());
 
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       auto got = bulk_engine.ExecuteText(queries[qi]);
       auto want = ref_engine.ExecuteText(queries[qi]);
       ASSERT_TRUE(got.ok()) << queries[qi] << got.status().ToString();
       ASSERT_TRUE(want.ok()) << queries[qi] << want.status().ToString();
-      EXPECT_TRUE(got->SameSolutions(*want))
+      EXPECT_TRUE(got->result.SameSolutions(want->result))
           << "threads=" << threads << " query " << qi;
       // The bulk-built EDB is bit-identical to the per-tuple one, so the
       // whole pipeline — row order included — must agree exactly.
-      EXPECT_EQ(got->rows, want->rows)
+      EXPECT_EQ(got->result.rows, want->result.rows)
           << "threads=" << threads << " query " << qi;
-      EXPECT_EQ(got->is_ask, want->is_ask);
-      EXPECT_EQ(got->ask_value, want->ask_value);
+      EXPECT_EQ(got->result.is_ask, want->result.is_ask);
+      EXPECT_EQ(got->result.ask_value, want->result.ask_value);
     }
   }
 
@@ -284,15 +286,16 @@ TEST(EngineBulkLoad, BulkMatchesPerTupleAcrossThreadCounts) {
   std::vector<std::vector<rdf::TermId>> first;
   for (uint32_t threads : {1u, 2u, 8u}) {
     core::Engine::Options opts;
-    opts.num_threads = threads;
+    opts.parallelism.num_threads = threads;
     core::Engine engine(&dataset, &dict, opts);
+    ASSERT_TRUE(engine.Load().ok());
     auto result = engine.ExecuteText(queries[0]);
     ASSERT_TRUE(result.ok());
     if (first.empty()) {
-      first = result->rows;
+      first = result->result.rows;
       ASSERT_FALSE(first.empty());
     } else {
-      EXPECT_EQ(result->rows, first) << "threads=" << threads;
+      EXPECT_EQ(result->result.rows, first) << "threads=" << threads;
     }
   }
 }
@@ -302,21 +305,23 @@ TEST(EngineBulkLoad, GenerationBumpRebuildsEdbThroughBulkPath) {
   rdf::Dataset dataset(&dict);
   BuildChain(40, &dict, &dataset);
   core::Engine engine(&dataset, &dict);
+  ASSERT_TRUE(engine.Load().ok());
 
   const std::string query =
       "SELECT ?x ?y WHERE { ?x <http://b.org/p>+ ?y } ORDER BY ?x ?y";
   auto before = engine.ExecuteText(query);
   ASSERT_TRUE(before.ok());
 
-  // Mutate: the next Execute must rebuild the EDB (bulk path) and see
-  // the new edge.
+  // Mutate and republish: the explicit re-Load() must rebuild the EDB
+  // (bulk path) so the next Execute sees the new edge.
   rdf::TermId p = dict.InternIri("http://b.org/p");
   dataset.default_graph().Add(dict.InternIri("http://b.org/extra"), p,
                               dict.InternIri("http://b.org/n0"));
+  ASSERT_TRUE(engine.Load().ok());
   auto after = engine.ExecuteText(query);
   ASSERT_TRUE(after.ok());
-  EXPECT_GT(after->rows.size(), before->rows.size());
-  EXPECT_GE(engine.cache_stats().invalidations, 1u);
+  EXPECT_GT(after->result.rows.size(), before->result.rows.size());
+  EXPECT_GE(engine.stats().invalidations, 1u);
 }
 
 }  // namespace

@@ -53,13 +53,14 @@ class ExtensionsTest : public ::testing::Test {
     core::Engine::Options options;
     options.extensions = true;
     core::Engine engine(&dataset_, &dict_, options);
+    EXPECT_TRUE(engine.Load().ok());
     auto got = engine.Execute(q);
     EXPECT_TRUE(got.ok()) << got.status().ToString();
-    EXPECT_TRUE(got->SameSolutions(*expected))
+    EXPECT_TRUE(got->result.SameSolutions(*expected))
         << text << "\nreference:\n"
         << expected->ToString(dict_) << "\npipeline:\n"
-        << got->ToString(dict_);
-    return std::move(got).ValueOrDie();
+        << got->result.ToString(dict_);
+    return std::move(std::move(got).ValueOrDie().result);
   }
 
   std::string Lex(rdf::TermId id) { return dict_.get(id).lexical; }

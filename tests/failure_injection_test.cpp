@@ -39,6 +39,7 @@ TEST_F(FailureInjectionTest, EngineTimeoutSurfacesAsTimeout) {
   core::Engine::Options options;
   options.timeout = std::chrono::milliseconds(1);
   core::Engine engine(&big, &dict_, options);
+  ASSERT_TRUE(engine.Load().ok());
   auto result = engine.ExecuteText(
       "SELECT ?x ?y WHERE { ?x <http://example.org/gMark/p0>* ?y }");
   ASSERT_FALSE(result.ok());
@@ -50,6 +51,7 @@ TEST_F(FailureInjectionTest, EngineTupleBudgetSurfacesAsMemOut) {
   core::Engine::Options options;
   options.tuple_budget = 300;
   core::Engine engine(&dataset_, &dict_, options);
+  ASSERT_TRUE(engine.Load().ok());
   auto result = engine.ExecuteText(
       "SELECT ?x ?y WHERE { ?x <http://f.org/p>+ ?y }");
   ASSERT_FALSE(result.ok());
@@ -62,6 +64,7 @@ TEST_F(FailureInjectionTest, BudgetFailureLeavesEngineReusable) {
   core::Engine::Options options;
   options.tuple_budget = 200;
   core::Engine engine(&dataset_, &dict_, options);
+  ASSERT_TRUE(engine.Load().ok());
   auto fail = engine.ExecuteText(
       "SELECT ?x ?y WHERE { ?x <http://f.org/p>* ?y }");
   EXPECT_FALSE(fail.ok());
@@ -70,12 +73,13 @@ TEST_F(FailureInjectionTest, BudgetFailureLeavesEngineReusable) {
   auto ok = engine.ExecuteText(
       "SELECT ?y WHERE { <http://f.org/n0> <http://f.org/p> ?y }");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
-  EXPECT_EQ(ok->rows.size(), 1u);
+  EXPECT_EQ(ok->result.rows.size(), 1u);
 }
 
 TEST_F(FailureInjectionTest, ParseErrorsSurfaceFromEngine) {
   LoadChain(3);
   core::Engine engine(&dataset_, &dict_);
+  ASSERT_TRUE(engine.Load().ok());
   auto result = engine.ExecuteText("SELECT ?x WHERE { ?x ?p }");
   EXPECT_TRUE(result.status().IsParseError());
   auto unsupported =
@@ -85,22 +89,24 @@ TEST_F(FailureInjectionTest, ParseErrorsSurfaceFromEngine) {
 
 TEST_F(FailureInjectionTest, EmptyDatasetAnswersGracefully) {
   core::Engine engine(&dataset_, &dict_);
+  ASSERT_TRUE(engine.Load().ok());
   auto result = engine.ExecuteText(
       "SELECT ?x ?y WHERE { ?x <http://f.org/p>+ ?y }");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result->rows.empty());
+  EXPECT_TRUE(result->result.rows.empty());
   auto ask = engine.ExecuteText("ASK { ?x ?p ?y }");
   ASSERT_TRUE(ask.ok());
-  EXPECT_FALSE(ask->ask_value);
+  EXPECT_FALSE(ask->result.ask_value);
 }
 
 TEST_F(FailureInjectionTest, ZeroLengthPathOnEmptyGraph) {
   core::Engine engine(&dataset_, &dict_);
+  ASSERT_TRUE(engine.Load().ok());
   // Constant endpoint: one zero-length solution even on an empty graph.
   auto result = engine.ExecuteText(
       "SELECT ?y WHERE { <http://f.org/ghost> <http://f.org/p>* ?y }");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->result.rows.size(), 1u);
 }
 
 TEST_F(FailureInjectionTest, UnstratifiableProgramRejected) {
@@ -132,19 +138,21 @@ TEST_F(FailureInjectionTest, MalformedTurtleReportsLine) {
 TEST_F(FailureInjectionTest, QueriesAgainstMissingNamedGraph) {
   LoadChain(3);
   core::Engine engine(&dataset_, &dict_);
+  ASSERT_TRUE(engine.Load().ok());
   auto result = engine.ExecuteText(
       "SELECT ?s WHERE { GRAPH <http://nope> { ?s ?p ?o } }");
   ASSERT_TRUE(result.ok());
-  EXPECT_TRUE(result->rows.empty());
+  EXPECT_TRUE(result->result.rows.empty());
 }
 
 TEST_F(FailureInjectionTest, FromClauseOnUnknownGraphYieldsEmpty) {
   LoadChain(3);
   core::Engine engine(&dataset_, &dict_);
+  ASSERT_TRUE(engine.Load().ok());
   auto result = engine.ExecuteText(
       "SELECT ?s FROM <http://unknown> WHERE { ?s ?p ?o }");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_TRUE(result->rows.empty());
+  EXPECT_TRUE(result->result.rows.empty());
 }
 
 }  // namespace

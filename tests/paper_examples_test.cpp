@@ -28,9 +28,10 @@ class PaperExamplesTest : public ::testing::Test {
 
   QueryResult RunSparqLog(const std::string& query) {
     Engine engine(&dataset_, &dict_);
+    EXPECT_TRUE(engine.Load().ok());
     auto result = engine.ExecuteText(query);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
-    return std::move(result).ValueOrDie();
+    return std::move(std::move(result).ValueOrDie().result);
   }
 
   QueryResult RunReference(const std::string& query) {

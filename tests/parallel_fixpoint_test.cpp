@@ -673,8 +673,9 @@ TEST_F(ParallelFixpointTest, EngineWarmHitsAgreeAcrossThreadCounts) {
   eval::QueryResult serial_cold;
   for (uint32_t threads : {1u, 2u, 8u}) {
     core::Engine::Options options;
-    options.num_threads = threads;
+    options.parallelism.num_threads = threads;
     core::Engine engine(&dataset, &dict, options);
+    ASSERT_TRUE(engine.Load().ok());
 
     auto cold = engine.ExecuteText(query);
     ASSERT_TRUE(cold.ok()) << "threads=" << threads << ": "
@@ -683,18 +684,18 @@ TEST_F(ParallelFixpointTest, EngineWarmHitsAgreeAcrossThreadCounts) {
     ASSERT_TRUE(warm.ok()) << "threads=" << threads << ": "
                            << warm.status().ToString();
     // Warm must be bit-identical to this engine's own cold run.
-    EXPECT_TRUE(cold->rows == warm->rows) << "threads=" << threads;
-    EXPECT_EQ(cold->columns, warm->columns) << "threads=" << threads;
-    EXPECT_EQ(engine.cache_stats().program_hits, 1u)
+    EXPECT_TRUE(cold->result.rows == warm->result.rows)
         << "threads=" << threads;
-    EXPECT_GT(engine.cache_stats().stratum_hits, 0u)
+    EXPECT_EQ(cold->result.columns, warm->result.columns)
         << "threads=" << threads;
+    EXPECT_EQ(engine.stats().program_hits, 1u) << "threads=" << threads;
+    EXPECT_GT(engine.stats().stratum_hits, 0u) << "threads=" << threads;
 
     // Across thread counts the multiset (not the order) is pinned.
     if (threads == 1) {
-      serial_cold = std::move(*cold);
+      serial_cold = std::move(cold->result);
     } else {
-      EXPECT_TRUE(warm->SameSolutions(serial_cold))
+      EXPECT_TRUE(warm->result.SameSolutions(serial_cold))
           << "threads=" << threads;
     }
   }
@@ -718,24 +719,35 @@ TEST_F(ParallelFixpointTest, EngineStatsExposeParallelCounters) {
       "SELECT ?x ?y WHERE { ?x <http://stat.org/p>+ ?y }";
 
   core::Engine::Options options;
-  options.num_threads = 4;
+  options.parallelism.num_threads = 4;
   core::Engine engine(&dataset, &dict, options);
+  ASSERT_TRUE(engine.Load().ok());
   auto result = engine.ExecuteText(query);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  core::Engine::Stats stats = engine.stats();
+  // Per-query fixpoint counters ride the Execution...
+  const datalog::EvalStats& fp = result->stats.fixpoint;
+  EXPECT_GT(fp.rounds, 0u);
+  EXPECT_GT(fp.parallel_rounds, 0u);
+  EXPECT_GT(fp.naive_rounds_sharded, 0u);
+  EXPECT_GT(fp.staged_merged, 0u);
+  EXPECT_GT(result->stats.wall_seconds, 0.0);
+  // ...and aggregate into the engine-lifetime stats.
+  core::Engine::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, 1u);
   EXPECT_GT(stats.rounds, 0u);
   EXPECT_GT(stats.parallel_rounds, 0u);
   EXPECT_GT(stats.naive_rounds_sharded, 0u);
   EXPECT_GT(stats.staged_tuples_merged, 0u);
 
   core::Engine::Options serial_options;
-  serial_options.num_threads = 1;
+  serial_options.parallelism.num_threads = 1;
   core::Engine serial(&dataset, &dict, serial_options);
+  ASSERT_TRUE(serial.Load().ok());
   auto serial_result = serial.ExecuteText(query);
   ASSERT_TRUE(serial_result.ok()) << serial_result.status().ToString();
   EXPECT_EQ(serial.stats().parallel_rounds, 0u);
   EXPECT_EQ(serial.stats().staged_tuples_merged, 0u);
-  EXPECT_TRUE(result->SameSolutions(*serial_result));
+  EXPECT_TRUE(result->result.SameSolutions(serial_result->result));
 }
 
 /// The deadline must still be sampled when an evaluation is made of many

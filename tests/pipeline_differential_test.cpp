@@ -65,8 +65,10 @@ class DifferentialTest
     ASSERT_TRUE(expected.ok()) << expected.status().ToString();
 
     core::Engine engine(&dataset, &dict);
-    auto got = engine.Execute(*parsed);
-    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(engine.Load().ok());
+    auto got_exec = engine.Execute(*parsed);
+    ASSERT_TRUE(got_exec.ok()) << got_exec.status().ToString();
+    const eval::QueryResult* got = &got_exec->result;
 
     EXPECT_TRUE(got->SameSolutions(*expected))
         << "seed " << seed << "\nquery: " << query_text << "\nreference ("
@@ -78,8 +80,9 @@ class DifferentialTest
     // Cache differential: a second execution through the same engine must
     // hit the program cache (and any memoized strata) and reproduce the
     // cold run bit-identically — same rows, same order, same columns.
-    auto warm = engine.Execute(*parsed);
-    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    auto warm_exec = engine.Execute(*parsed);
+    ASSERT_TRUE(warm_exec.ok()) << warm_exec.status().ToString();
+    const eval::QueryResult* warm = &warm_exec->result;
     EXPECT_EQ(got->columns, warm->columns) << query_text;
     EXPECT_TRUE(got->rows == warm->rows)
         << "warm run diverged, seed " << seed << "\nquery: " << query_text
@@ -89,7 +92,7 @@ class DifferentialTest
         << warm->ToString(dict, 30);
     EXPECT_EQ(warm->is_ask, got->is_ask);
     EXPECT_EQ(warm->ask_value, got->ask_value);
-    EXPECT_EQ(engine.cache_stats().program_hits, 1u) << query_text;
+    EXPECT_EQ(engine.stats().program_hits, 1u) << query_text;
 
     // Planner differential: join_planner=false runs the exact pre-planner
     // pipeline (translation-order bodies, runtime join heuristic). The
@@ -97,11 +100,13 @@ class DifferentialTest
     // count — and wherever ORDER BY pins row order, not the rows either.
     for (uint32_t threads : {1u, 2u, 8u}) {
       core::Engine::Options off;
-      off.join_planner = false;
-      off.num_threads = threads;
+      off.planner.join_planner = false;
+      off.parallelism.num_threads = threads;
       core::Engine plain_engine(&dataset, &dict, off);
-      auto plain = plain_engine.Execute(*parsed);
-      ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+      ASSERT_TRUE(plain_engine.Load().ok());
+      auto plain_exec = plain_engine.Execute(*parsed);
+      ASSERT_TRUE(plain_exec.ok()) << plain_exec.status().ToString();
+      const eval::QueryResult* plain = &plain_exec->result;
       EXPECT_EQ(plain->columns, got->columns) << query_text;
       EXPECT_EQ(plain->is_ask, got->is_ask);
       EXPECT_EQ(plain->ask_value, got->ask_value) << query_text;
@@ -193,6 +198,7 @@ TEST(SetBagCoherenceTest, DistinctEqualsDedupedBag) {
     rdf::Dataset dataset(&dict);
     RandomGraph(seed, 6, 18, &dataset);
     core::Engine engine(&dataset, &dict);
+    ASSERT_TRUE(engine.Load().ok());
 
     auto bag = engine.ExecuteText(
         "PREFIX r: <http://r.org/> SELECT ?a WHERE { ?a r:p ?b . ?b r:p ?c }");
@@ -200,9 +206,9 @@ TEST(SetBagCoherenceTest, DistinctEqualsDedupedBag) {
         "PREFIX r: <http://r.org/> SELECT DISTINCT ?a WHERE "
         "{ ?a r:p ?b . ?b r:p ?c }");
     ASSERT_TRUE(bag.ok() && set.ok());
-    auto rows = bag->SortedRows();
+    auto rows = bag->result.SortedRows();
     rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-    EXPECT_EQ(rows, set->SortedRows()) << "seed " << seed;
+    EXPECT_EQ(rows, set->result.SortedRows()) << "seed " << seed;
   }
 }
 
@@ -222,11 +228,12 @@ TEST(MultiplicityTest, ProjectionCountsMatchReference) {
                                 iri("c"));
   }
   core::Engine engine(&dataset, &dict);
+  ASSERT_TRUE(engine.Load().ok());
   auto result = engine.ExecuteText(
       "PREFIX m: <http://m.org/> SELECT ?a WHERE { ?a m:p ?b . ?b m:q ?c }");
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->rows.size(), 3u);
-  for (const auto& row : result->rows) {
+  EXPECT_EQ(result->result.rows.size(), 3u);
+  for (const auto& row : result->result.rows) {
     EXPECT_EQ(dict.get(row[0]).lexical, "http://m.org/a");
   }
 }
@@ -254,6 +261,7 @@ TEST(OntologyCoherenceTest, DatalogRulesMatchMaterialization) {
   core::Engine::Options options;
   options.ontology = true;
   core::Engine engine(&dataset, &dict, options);
+  ASSERT_TRUE(engine.Load().ok());
 
   quirks::StardogSim materializer(&dataset, &dict);
   ExecContext ctx;
@@ -275,7 +283,7 @@ TEST(OntologyCoherenceTest, DatalogRulesMatchMaterialization) {
     auto via_materialization = materializer.Execute(*parsed, &ctx);
     ASSERT_TRUE(via_rules.ok()) << via_rules.status().ToString();
     ASSERT_TRUE(via_materialization.ok());
-    EXPECT_TRUE(via_rules->SameSolutions(*via_materialization)) << q;
+    EXPECT_TRUE(via_rules->result.SameSolutions(*via_materialization)) << q;
   }
 }
 

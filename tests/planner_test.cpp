@@ -274,43 +274,49 @@ class PlannerEngineTest : public ::testing::Test {
 
 TEST_F(PlannerEngineTest, CountersAndEstimateErrorReported) {
   core::Engine engine(dataset_.get(), &dict_);
+  ASSERT_TRUE(engine.Load().ok());
   const std::string q =
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x ?o ?n WHERE { ?x ex:wide ?o . ?x ex:narrow ?n }";
   auto r1 = engine.ExecuteText(q);
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
-  EXPECT_EQ(r1->rows.size(), 2u);
-  core::Engine::Stats s1 = engine.stats();
+  EXPECT_EQ(r1->result.rows.size(), 2u);
+  EXPECT_TRUE(r1->stats.planned);
+  // q-error is >= 1 by definition; the star estimate here is near-exact.
+  EXPECT_GE(r1->stats.plan_estimate_error, 1.0);
+  EXPECT_LE(r1->stats.plan_estimate_error, 50.0);
+  core::Engine::EngineStats s1 = engine.stats();
   EXPECT_GT(s1.plans_computed, 0u);
   EXPECT_EQ(s1.plan_cache_hits, 0u);
-  // q-error is >= 1 by definition; the star estimate here is near-exact.
-  EXPECT_GE(s1.plan_estimate_error, 1.0);
-  EXPECT_LE(s1.plan_estimate_error, 50.0);
 
   // Warm repeat: zero planning, one plan-cache hit.
   auto r2 = engine.ExecuteText(q);
   ASSERT_TRUE(r2.ok());
-  core::Engine::Stats s2 = engine.stats();
+  EXPECT_TRUE(r2->stats.planned);
+  core::Engine::EngineStats s2 = engine.stats();
   EXPECT_EQ(s2.plans_computed, s1.plans_computed);
   EXPECT_EQ(s2.plan_cache_hits, 1u);
 }
 
 TEST_F(PlannerEngineTest, DatasetMutationReplansCachedPrograms) {
   core::Engine engine(dataset_.get(), &dict_);
+  ASSERT_TRUE(engine.Load().ok());
   const std::string q =
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x ?o ?n WHERE { ?x ex:wide ?o . ?x ex:narrow ?n }";
   ASSERT_TRUE(engine.ExecuteText(q).ok());
   uint64_t plans_cold = engine.stats().plans_computed;
 
-  // Mutate the dataset: stats go stale, so the warm hit must replan
-  // (once) instead of reusing the old-generation plan.
+  // Mutate the dataset and republish with an explicit Load(): stats go
+  // stale, so the warm hit must replan (once) instead of reusing the
+  // old-generation plan.
   dataset_->default_graph().Add(dict_.InternIri("http://ex.org/s2"),
                                 dict_.InternIri("http://ex.org/narrow"),
                                 dict_.InternIri("http://ex.org/n2"));
+  ASSERT_TRUE(engine.Load().ok());
   auto r = engine.ExecuteText(q);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->result.rows.size(), 3u);
   EXPECT_EQ(engine.stats().plans_computed, plans_cold + 1);
   // And the replanned program is cached: the next repeat is a plan hit.
   ASSERT_TRUE(engine.ExecuteText(q).ok());
@@ -320,16 +326,18 @@ TEST_F(PlannerEngineTest, DatasetMutationReplansCachedPrograms) {
 
 TEST_F(PlannerEngineTest, PlannerOffComputesNoPlans) {
   core::Engine::Options options;
-  options.join_planner = false;
+  options.planner.join_planner = false;
   core::Engine engine(dataset_.get(), &dict_, options);
+  ASSERT_TRUE(engine.Load().ok());
   auto r = engine.ExecuteText(
       "PREFIX ex: <http://ex.org/> "
       "SELECT ?x ?o ?n WHERE { ?x ex:wide ?o . ?x ex:narrow ?n }");
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->result.rows.size(), 2u);
+  EXPECT_FALSE(r->stats.planned);
+  EXPECT_EQ(r->stats.plan_estimate_error, 0.0);
   EXPECT_EQ(engine.stats().plans_computed, 0u);
   EXPECT_EQ(engine.stats().plan_cache_hits, 0u);
-  EXPECT_EQ(engine.stats().plan_estimate_error, 0.0);
 }
 
 }  // namespace

@@ -154,13 +154,13 @@ TEST(ProgramCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.size(), 2u);
   cache.Insert(c, entry());  // evicts a (oldest)
   EXPECT_EQ(cache.evictions(), 1u);
-  EXPECT_EQ(cache.Lookup(a), nullptr);
-  EXPECT_NE(cache.Lookup(b), nullptr);  // promotes b over c
-  cache.Insert(d, entry());             // evicts c, not the promoted b
+  EXPECT_FALSE(cache.Lookup(a).has_value());
+  EXPECT_TRUE(cache.Lookup(b).has_value());  // promotes b over c
+  cache.Insert(d, entry());                  // evicts c, not the promoted b
   EXPECT_EQ(cache.evictions(), 2u);
-  EXPECT_EQ(cache.Lookup(c), nullptr);
-  EXPECT_NE(cache.Lookup(b), nullptr);
-  EXPECT_NE(cache.Lookup(d), nullptr);
+  EXPECT_FALSE(cache.Lookup(c).has_value());
+  EXPECT_TRUE(cache.Lookup(b).has_value());
+  EXPECT_TRUE(cache.Lookup(d).has_value());
 }
 
 // --- Engine-level stats + re-binding correctness ---------------------------
@@ -180,9 +180,13 @@ class ProgramCacheEngineTest : public ::testing::Test {
   }
 
   eval::QueryResult Exec(core::Engine& engine, const std::string& text) {
+    if (!engine.loaded()) {
+      Status st = engine.Load();
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
     auto r = engine.ExecuteText("PREFIX ex: <http://ex.org/>\n" + text);
     EXPECT_TRUE(r.ok()) << text << "\n" << r.status().ToString();
-    return std::move(r).ValueOrDie();
+    return std::move(r).ValueOrDie().result;
   }
 
   rdf::TermDictionary dict_;
@@ -192,50 +196,50 @@ class ProgramCacheEngineTest : public ::testing::Test {
 TEST_F(ProgramCacheEngineTest, StatsCountHitsRebindsMisses) {
   core::Engine engine(dataset_.get(), &dict_);
   auto r1 = Exec(engine, "SELECT ?x ?y WHERE { ?x ex:p ?y }");
-  EXPECT_EQ(engine.cache_stats().program_misses, 1u);
+  EXPECT_EQ(engine.stats().program_misses, 1u);
 
   auto r2 = Exec(engine, "SELECT ?x ?y WHERE { ?x ex:p ?y }");
-  EXPECT_EQ(engine.cache_stats().program_hits, 1u);
+  EXPECT_EQ(engine.stats().program_hits, 1u);
   EXPECT_EQ(r1.rows, r2.rows);
   EXPECT_EQ(r1.columns, r2.columns);
 
   // Same shape, different constant: re-bind.
   auto r3 = Exec(engine, "SELECT ?x ?y WHERE { ?x ex:q ?y }");
-  EXPECT_EQ(engine.cache_stats().program_rebinds, 1u);
+  EXPECT_EQ(engine.stats().program_rebinds, 1u);
   EXPECT_EQ(r3.rows.size(), 2u);
 
   // Order-preserving alpha-renaming: re-bind, renamed output columns.
   auto r4 = Exec(engine, "SELECT ?u ?v WHERE { ?u ex:p ?v }");
-  EXPECT_EQ(engine.cache_stats().program_rebinds, 2u);
+  EXPECT_EQ(engine.stats().program_rebinds, 2u);
   EXPECT_EQ(r4.columns, (std::vector<std::string>{"u", "v"}));
   EXPECT_EQ(r4.rows, r1.rows);
 
   // Different shape: miss.
   Exec(engine, "SELECT ?x WHERE { ?x ex:p ?y . ?y ex:p ?z }");
-  EXPECT_EQ(engine.cache_stats().program_misses, 2u);
+  EXPECT_EQ(engine.stats().program_misses, 2u);
 
   // Stratum memo engaged on the repeats.
-  EXPECT_GT(engine.cache_stats().stratum_hits, 0u);
+  EXPECT_GT(engine.stats().stratum_hits, 0u);
 }
 
 TEST_F(ProgramCacheEngineTest, JoinPermutationHitsAndAnswersCorrectly) {
   core::Engine engine(dataset_.get(), &dict_);
   auto r1 = Exec(engine, "SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:q ?z }");
-  EXPECT_EQ(engine.cache_stats().program_misses, 1u);
+  EXPECT_EQ(engine.stats().program_misses, 1u);
   // The permuted spelling is a verbatim hit (same key, same data_key) and
   // the cached program's solutions are the permuted query's solutions.
   auto r2 = Exec(engine, "SELECT ?x ?z WHERE { ?y ex:q ?z . ?x ex:p ?y }");
-  EXPECT_EQ(engine.cache_stats().program_hits, 1u);
-  EXPECT_EQ(engine.cache_stats().program_misses, 1u);
+  EXPECT_EQ(engine.stats().program_hits, 1u);
+  EXPECT_EQ(engine.stats().program_misses, 1u);
   EXPECT_EQ(r1.columns, r2.columns);
   EXPECT_EQ(r1.rows, r2.rows);
   // Permuted *and* re-parameterized: a re-bind, cross-checked against a
   // cache-less engine.
   auto r3 = Exec(engine, "SELECT ?x ?z WHERE { ?y ex:p ?z . ?x ex:q ?y }");
-  EXPECT_EQ(engine.cache_stats().program_rebinds, 1u);
+  EXPECT_EQ(engine.stats().program_rebinds, 1u);
   core::Engine::Options cold_opts;
-  cold_opts.program_cache = false;
-  cold_opts.stratum_memo = false;
+  cold_opts.caching.program_cache = false;
+  cold_opts.caching.stratum_memo = false;
   core::Engine cold(dataset_.get(), &dict_, cold_opts);
   auto fresh = Exec(cold, "SELECT ?x ?z WHERE { ?y ex:p ?z . ?x ex:q ?y }");
   EXPECT_TRUE(r3.SameSolutions(fresh));
@@ -247,7 +251,7 @@ TEST_F(ProgramCacheEngineTest, RebindReachesFilterExpressions) {
                  "SELECT ?x WHERE { ?x ex:p ?y FILTER (?y != ex:b) }");
   auto r2 = Exec(engine,
                  "SELECT ?x WHERE { ?x ex:p ?y FILTER (?y != ex:c) }");
-  EXPECT_EQ(engine.cache_stats().program_rebinds, 1u);
+  EXPECT_EQ(engine.stats().program_rebinds, 1u);
   EXPECT_EQ(r1.rows.size(), 2u);  // b->c and c->d survive
   EXPECT_EQ(r2.rows.size(), 2u);  // a->b and c->d survive
   EXPECT_NE(r1.rows, r2.rows);
@@ -255,8 +259,8 @@ TEST_F(ProgramCacheEngineTest, RebindReachesFilterExpressions) {
   // Fresh-engine cross-check: the re-bound program answers like a cold
   // translation.
   core::Engine::Options cold_opts;
-  cold_opts.program_cache = false;
-  cold_opts.stratum_memo = false;
+  cold_opts.caching.program_cache = false;
+  cold_opts.caching.stratum_memo = false;
   core::Engine cold(dataset_.get(), &dict_, cold_opts);
   auto fresh = Exec(cold, "SELECT ?x WHERE { ?x ex:p ?y FILTER (?y != ex:c) }");
   EXPECT_TRUE(r2.SameSolutions(fresh));
@@ -270,7 +274,7 @@ TEST_F(ProgramCacheEngineTest, RebindReachesValuesFacts) {
                  "SELECT ?x ?y WHERE { VALUES ?x { ex:a ex:b } ?x ex:p ?y }");
   auto r2 = Exec(engine,
                  "SELECT ?x ?y WHERE { VALUES ?x { ex:b ex:c } ?x ex:p ?y }");
-  EXPECT_EQ(engine.cache_stats().program_rebinds, 1u);
+  EXPECT_EQ(engine.stats().program_rebinds, 1u);
   EXPECT_EQ(r1.rows.size(), 2u);
   EXPECT_EQ(r2.rows.size(), 2u);
   EXPECT_NE(r1.rows, r2.rows);
@@ -284,7 +288,7 @@ TEST_F(ProgramCacheEngineTest, RebindRefreshesLimitAndOrder) {
                  "SELECT ?x ?y WHERE { ?x ex:p ?y } ORDER BY ?y LIMIT 3");
   EXPECT_EQ(r1.rows.size(), 2u);
   EXPECT_EQ(r2.rows.size(), 3u);
-  EXPECT_GE(engine.cache_stats().program_rebinds, 1u);
+  EXPECT_GE(engine.stats().program_rebinds, 1u);
   // Shared prefix under the shared ORDER BY.
   EXPECT_EQ(r1.rows[0], r2.rows[0]);
   EXPECT_EQ(r1.rows[1], r2.rows[1]);
@@ -307,27 +311,28 @@ TEST_F(ProgramCacheEngineTest, OntologyAmbientCollisionRetranslates) {
   core::Engine::Options options;
   options.ontology = true;
   core::Engine engine(&onto, &dict_, options);
+  ASSERT_TRUE(engine.Load().ok());
   const std::string prefix =
       "PREFIX ex: <http://o.org/> "
       "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> ";
   auto typed = engine.ExecuteText(
       prefix + "SELECT ?x WHERE { ?x rdf:type ex:Animal }");
   ASSERT_TRUE(typed.ok());
-  EXPECT_EQ(typed->rows.size(), 1u);  // tom, via subClassOf inference
+  EXPECT_EQ(typed->result.rows.size(), 1u);  // tom, via subClassOf inference
   // Same shape (var, const, const), different predicate constant: the
   // rdf:type parameter collides with the ontology rules, so the engine
   // must re-translate rather than re-bind — and still answer correctly.
   auto likes =
       engine.ExecuteText(prefix + "SELECT ?x WHERE { ?x ex:likes ex:tom }");
   ASSERT_TRUE(likes.ok());
-  EXPECT_EQ(likes->rows.size(), 1u);  // ann
-  EXPECT_EQ(engine.cache_stats().program_rebinds, 0u);
-  EXPECT_EQ(engine.cache_stats().program_misses, 2u);
+  EXPECT_EQ(likes->result.rows.size(), 1u);  // ann
+  EXPECT_EQ(engine.stats().program_rebinds, 0u);
+  EXPECT_EQ(engine.stats().program_misses, 2u);
   // And the inference rules survived: re-ask the typed query.
   auto typed2 = engine.ExecuteText(
       prefix + "SELECT ?x WHERE { ?x rdf:type ex:Animal }");
   ASSERT_TRUE(typed2.ok());
-  EXPECT_EQ(typed2->rows, typed->rows);
+  EXPECT_EQ(typed2->result.rows, typed->result.rows);
 }
 
 // --- Dataset-generation invalidation ---------------------------------------
@@ -338,7 +343,7 @@ TEST_F(ProgramCacheEngineTest, GraphMutationInvalidatesEdbAndMemo) {
   auto cold = Exec(engine, q);
   auto warm = Exec(engine, q);
   EXPECT_EQ(cold.rows, warm.rows);
-  auto before = engine.cache_stats();
+  auto before = engine.stats();
   EXPECT_GT(before.stratum_hits, 0u);
   EXPECT_EQ(before.invalidations, 0u);
 
@@ -346,27 +351,32 @@ TEST_F(ProgramCacheEngineTest, GraphMutationInvalidatesEdbAndMemo) {
   dataset_->default_graph().Add(dict_.InternIri("http://ex.org/d"),
                                 dict_.InternIri("http://ex.org/p"),
                                 dict_.InternIri("http://ex.org/e"));
+  // In-flight queries keep the loaded snapshot; publishing the mutation
+  // is an explicit second Load().
+  auto stale = Exec(engine, q);
+  EXPECT_EQ(stale.rows, warm.rows);
+  ASSERT_TRUE(engine.Load().ok());
   auto after_mutation = Exec(engine, q);
   EXPECT_GT(after_mutation.rows.size(), warm.rows.size());
-  auto stats = engine.cache_stats();
+  auto stats = engine.stats();
   EXPECT_EQ(stats.invalidations, 1u);
   // The post-mutation run re-derived its strata (memo was cleared)...
   EXPECT_GT(stats.stratum_misses, before.stratum_misses);
   // ...and a repeat of it hits the rebuilt memo, bit-identically.
   auto warm2 = Exec(engine, q);
   EXPECT_EQ(after_mutation.rows, warm2.rows);
-  EXPECT_GT(engine.cache_stats().stratum_hits, stats.stratum_hits);
+  EXPECT_GT(engine.stats().stratum_hits, stats.stratum_hits);
 }
 
 TEST_F(ProgramCacheEngineTest, TinyMemoBudgetEvictsButStaysCorrect) {
   core::Engine::Options options;
-  options.stratum_memo_bytes = 1;  // every snapshot overflows the budget
+  options.caching.stratum_memo_bytes = 1;  // every snapshot overflows the budget
   core::Engine engine(dataset_.get(), &dict_, options);
   const std::string q = "SELECT ?x ?y WHERE { ?x ex:p+ ?y }";
   auto cold = Exec(engine, q);
   auto warm = Exec(engine, q);
   EXPECT_EQ(cold.rows, warm.rows);
-  EXPECT_GT(engine.cache_stats().stratum_evictions, 0u);
+  EXPECT_GT(engine.stats().stratum_evictions, 0u);
 }
 
 }  // namespace

@@ -146,6 +146,7 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
   core::Engine::Options options;
   options.timeout = std::chrono::seconds(30);
   core::Engine engine(&dataset, &dict, options);
+  ASSERT_TRUE(engine.Load().ok());
 
   QueryGen gen(seed);
   // Several queries per seed.
@@ -161,8 +162,9 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
     ASSERT_TRUE(expected.ok()) << text << "\n"
                                << expected.status().ToString();
 
-    auto got = engine.Execute(*parsed);
-    ASSERT_TRUE(got.ok()) << text << "\n" << got.status().ToString();
+    auto got_exec = engine.Execute(*parsed);
+    ASSERT_TRUE(got_exec.ok()) << text << "\n" << got_exec.status().ToString();
+    const eval::QueryResult* got = &got_exec->result;
 
     EXPECT_TRUE(got->SameSolutions(*expected))
         << "seed " << seed << " query " << qi << ":\n"
@@ -174,8 +176,10 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
     // Cached-vs-fresh equivalence: the warm repeat must be bit-identical
     // to the cold run, and a cache-less engine must agree on the
     // solution multiset.
-    auto warm = engine.Execute(*parsed);
-    ASSERT_TRUE(warm.ok()) << text << "\n" << warm.status().ToString();
+    auto warm_exec = engine.Execute(*parsed);
+    ASSERT_TRUE(warm_exec.ok()) << text << "\n"
+                                << warm_exec.status().ToString();
+    const eval::QueryResult* warm = &warm_exec->result;
     EXPECT_EQ(got->columns, warm->columns) << text;
     EXPECT_TRUE(got->rows == warm->rows)
         << "seed " << seed << " query " << qi
@@ -186,12 +190,13 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
     EXPECT_EQ(warm->ask_value, got->ask_value) << text;
 
     core::Engine::Options uncached_opts = options;
-    uncached_opts.program_cache = false;
-    uncached_opts.stratum_memo = false;
+    uncached_opts.caching.program_cache = false;
+    uncached_opts.caching.stratum_memo = false;
     core::Engine uncached(&dataset, &dict, uncached_opts);
+    ASSERT_TRUE(uncached.Load().ok());
     auto fresh = uncached.Execute(*parsed);
     ASSERT_TRUE(fresh.ok()) << text << "\n" << fresh.status().ToString();
-    EXPECT_TRUE(warm->SameSolutions(*fresh))
+    EXPECT_TRUE(warm->SameSolutions(fresh->result))
         << "seed " << seed << " query " << qi
         << ": cached and cache-less engines disagree\n" << text;
 
@@ -201,18 +206,20 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
     // seed sweeps {1, 2, 8}.
     static constexpr uint32_t kThreads[] = {1, 2, 8};
     core::Engine::Options planner_off = options;
-    planner_off.join_planner = false;
-    planner_off.num_threads = kThreads[qi % 3];
+    planner_off.planner.join_planner = false;
+    planner_off.parallelism.num_threads = kThreads[qi % 3];
     core::Engine plain(&dataset, &dict, planner_off);
-    auto unplanned = plain.Execute(*parsed);
-    ASSERT_TRUE(unplanned.ok()) << text << "\n"
-                                << unplanned.status().ToString();
+    ASSERT_TRUE(plain.Load().ok());
+    auto unplanned_exec = plain.Execute(*parsed);
+    ASSERT_TRUE(unplanned_exec.ok()) << text << "\n"
+                                     << unplanned_exec.status().ToString();
+    const eval::QueryResult* unplanned = &unplanned_exec->result;
     EXPECT_EQ(unplanned->columns, got->columns) << text;
     EXPECT_EQ(unplanned->ask_value, got->ask_value) << text;
     EXPECT_TRUE(unplanned->SameSolutions(*got))
         << "seed " << seed << " query " << qi
         << ": planner changed solutions (threads "
-        << planner_off.num_threads << ")\n" << text << "\nplanner-on ("
+        << planner_off.parallelism.num_threads << ")\n" << text << "\nplanner-on ("
         << got->rows.size() << "):\n" << got->ToString(dict, 40)
         << "\nplanner-off (" << unplanned->rows.size() << "):\n"
         << unplanned->ToString(dict, 40);
@@ -224,7 +231,7 @@ TEST_P(QueryFuzzTest, PipelineAgreesWithReference) {
   }
   // The per-seed engine must have served every repeat from the cache
   // (more if the generator happened to repeat a shape across queries).
-  EXPECT_GE(engine.cache_stats().program_hits, 5u);
+  EXPECT_GE(engine.stats().program_hits, 5u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest, ::testing::Range(1, 25));

@@ -1,0 +1,350 @@
+// Tests for the embedded HTTP endpoint: JSON serialization (escaping,
+// SPARQL results format, ASK, unbound cells, typed/tagged literals),
+// URL decoding, socket-free routing (method/path dispatch, engine
+// Status -> HTTP status mapping), and — where the sandbox permits
+// binding a loopback socket — a real client/server round trip with
+// concurrent requests and clean shutdown.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "rdf/turtle_parser.h"
+#include "server/http_server.h"
+#include "server/json.h"
+
+namespace sparqlog::server {
+namespace {
+
+// --- JSON ------------------------------------------------------------------
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonString("plain"), "\"plain\"");
+  EXPECT_EQ(JsonString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonString("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonString("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonString(std::string_view("nul\0byte", 8)),
+            "\"nul\\u0000byte\"");
+  EXPECT_EQ(JsonString("newline\n"), "\"newline\\n\"");
+  // UTF-8 passes through unmodified.
+  EXPECT_EQ(JsonString("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonTest, WriterBuildsNestedStructures) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Number(uint64_t{1});
+  w.Key("b").BeginArray().String("x").Bool(false).EndArray();
+  w.Key("c").BeginObject().Key("d").Number(2.5).EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[\"x\",false],\"c\":{\"d\":2.5}}");
+}
+
+TEST(JsonTest, ResultToJsonSelectWithLiteralsAndUndef) {
+  rdf::TermDictionary dict;
+  eval::QueryResult result;
+  result.columns = {"s", "v"};
+  rdf::TermId iri = dict.InternIri("http://ex.org/a");
+  rdf::TermId lang = dict.InternLiteral("hi", "", "en");
+  rdf::TermId typed = dict.InternInteger(42);
+  rdf::TermId bnode = dict.InternBlank("b0");
+  result.rows = {{iri, lang},
+                 {bnode, typed},
+                 {iri, rdf::TermDictionary::kUndef}};
+
+  std::string json = ResultToJson(result, dict);
+  EXPECT_NE(json.find("\"vars\":[\"s\",\"v\"]"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"type\":\"uri\",\"value\":\"http://ex.org/a\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"xml:lang\":\"en\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"type\":\"bnode\""), std::string::npos) << json;
+  EXPECT_NE(
+      json.find(
+          "\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\""),
+      std::string::npos)
+      << json;
+  // The unbound cell's binding object contains only "s".
+  EXPECT_NE(json.find("{\"s\":{\"type\":\"uri\",\"value\":"
+                      "\"http://ex.org/a\"}}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(JsonTest, ResultToJsonAsk) {
+  rdf::TermDictionary dict;
+  eval::QueryResult result;
+  result.is_ask = true;
+  result.ask_value = true;
+  EXPECT_EQ(ResultToJson(result, dict), "{\"head\":{},\"boolean\":true}");
+}
+
+// --- URL / form decoding ---------------------------------------------------
+
+TEST(UrlDecodeTest, DecodesPercentAndPlus) {
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("%20%7Bx%7D"), " {x}");
+  EXPECT_EQ(UrlDecode("100%"), "100%");     // dangling % passes through
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");       // bad hex passes through
+  EXPECT_EQ(UrlDecode("SELECT+%3Fs"), "SELECT ?s");
+}
+
+TEST(UrlDecodeTest, FormValueFindsKey) {
+  EXPECT_EQ(FormValue("query=ASK+%7B%7D&format=json", "query"), "ASK {}");
+  EXPECT_EQ(FormValue("a=1&b=2", "b"), "2");
+  EXPECT_EQ(FormValue("a=1&b=2", "c"), "");
+  EXPECT_EQ(FormValue("", "query"), "");
+  EXPECT_EQ(FormValue("queryx=1", "query"), "");
+}
+
+// --- Routing (socket-free) -------------------------------------------------
+
+class ServerRoutingTest : public ::testing::Test {
+ protected:
+  ServerRoutingTest() : dataset_(&dict_) {
+    auto st = rdf::ParseTurtle(R"(
+      @prefix ex: <http://ex.org/> .
+      ex:a ex:p ex:b . ex:b ex:p ex:c .
+    )",
+                               &dataset_);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    engine_ = std::make_unique<core::Engine>(&dataset_, &dict_);
+    EXPECT_TRUE(engine_->Load().ok());
+    server_ = std::make_unique<HttpServer>(engine_.get(), &dict_);
+  }
+
+  HttpResponse Get(const std::string& path, const std::string& query = "") {
+    HttpRequest r;
+    r.method = "GET";
+    r.path = path;
+    r.query = query;
+    return server_->Route(r);
+  }
+
+  HttpResponse Post(const std::string& body,
+                    const std::string& content_type = "") {
+    HttpRequest r;
+    r.method = "POST";
+    r.path = "/sparql";
+    r.body = body;
+    r.content_type = content_type;
+    return server_->Route(r);
+  }
+
+  rdf::TermDictionary dict_;
+  rdf::Dataset dataset_;
+  std::unique_ptr<core::Engine> engine_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServerRoutingTest, GetQueryReturnsSparqlJson) {
+  HttpResponse r = Get("/sparql",
+                       "query=SELECT+%3Fo+WHERE+%7B+%3Chttp%3A%2F%2Fex.org"
+                       "%2Fa%3E+%3Chttp%3A%2F%2Fex.org%2Fp%3E+%3Fo+%7D");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/sparql-results+json");
+  EXPECT_NE(r.body.find("http://ex.org/b"), std::string::npos) << r.body;
+  // Per-query stats ride the response.
+  EXPECT_NE(r.body.find("\"stats\":{"), std::string::npos) << r.body;
+  EXPECT_NE(r.body.find("\"program_source\":"), std::string::npos) << r.body;
+}
+
+TEST_F(ServerRoutingTest, PostBodyVariants) {
+  // Raw SPARQL body.
+  HttpResponse raw = Post("ASK { ?s ?p ?o }", "application/sparql-query");
+  EXPECT_EQ(raw.status, 200);
+  EXPECT_NE(raw.body.find("\"boolean\":true"), std::string::npos) << raw.body;
+  // Form-encoded body.
+  HttpResponse form = Post("query=ASK+%7B+%3Fs+%3Fp+%3Fo+%7D",
+                           "application/x-www-form-urlencoded");
+  EXPECT_EQ(form.status, 200);
+  EXPECT_NE(form.body.find("\"boolean\":true"), std::string::npos)
+      << form.body;
+  // Raw SPARQL mislabeled as form-encoded (curl's default) still works.
+  HttpResponse lax = Post("ASK { ?s ?p ?o }",
+                          "application/x-www-form-urlencoded");
+  EXPECT_EQ(lax.status, 200);
+}
+
+TEST_F(ServerRoutingTest, ErrorMapping) {
+  // Missing query.
+  EXPECT_EQ(Get("/sparql").status, 400);
+  // Parse error -> 400.
+  HttpResponse bad = Post("SELECT ?x WHERE { broken");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("parse_error"), std::string::npos) << bad.body;
+  // Unsupported feature -> 400.
+  HttpResponse unsupported =
+      Post("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }");
+  EXPECT_EQ(unsupported.status, 400);
+  EXPECT_NE(unsupported.body.find("not_supported"), std::string::npos);
+  // Unknown path -> 404; wrong method -> 405.
+  EXPECT_EQ(Get("/nope").status, 404);
+  HttpRequest del;
+  del.method = "DELETE";
+  del.path = "/sparql";
+  EXPECT_EQ(server_->Route(del).status, 405);
+}
+
+TEST_F(ServerRoutingTest, UnloadedEngineMapsTo503) {
+  core::Engine cold(&dataset_, &dict_);  // never Load()ed
+  HttpServer server(&cold, &dict_);
+  HttpRequest r;
+  r.method = "POST";
+  r.path = "/sparql";
+  r.body = "ASK { ?s ?p ?o }";
+  HttpResponse response = server.Route(r);
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("not_loaded"), std::string::npos)
+      << response.body;
+
+  HttpRequest health;
+  health.method = "GET";
+  health.path = "/healthz";
+  HttpResponse h = server.Route(health);
+  EXPECT_EQ(h.status, 503);
+  EXPECT_NE(h.body.find("\"loaded\":false"), std::string::npos) << h.body;
+}
+
+TEST_F(ServerRoutingTest, StatsAndHealthRoutes) {
+  // Run one query so the counters are non-trivial.
+  EXPECT_EQ(Post("ASK { ?s ?p ?o }").status, 200);
+  HttpResponse stats = Get("/stats");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"queries\":1"), std::string::npos)
+      << stats.body;
+  EXPECT_NE(stats.body.find("\"storage\":{\"tuples\":"), std::string::npos)
+      << stats.body;
+  HttpResponse health = Get("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"loaded\":true"), std::string::npos);
+}
+
+// --- Live socket round trip ------------------------------------------------
+
+/// Minimal blocking HTTP client for loopback tests.
+std::string HttpRoundTrip(uint16_t port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class ServerSocketTest : public ServerRoutingTest {
+ protected:
+  void SetUp() override {
+    HttpServerOptions options;
+    options.port = 0;  // ephemeral
+    options.num_workers = 4;
+    live_ = std::make_unique<HttpServer>(engine_.get(), &dict_, options);
+    Status st = live_->Start();
+    if (!st.ok()) {
+      GTEST_SKIP() << "cannot bind loopback socket here: " << st.ToString();
+    }
+  }
+
+  void TearDown() override {
+    if (live_) live_->Stop();
+  }
+
+  std::unique_ptr<HttpServer> live_;
+};
+
+TEST_F(ServerSocketTest, GetAndPostOverRealSocket) {
+  std::string get = HttpRoundTrip(
+      live_->port(),
+      "GET /sparql?query=ASK+%7B+%3Fs+%3Fp+%3Fo+%7D HTTP/1.1\r\n"
+      "Host: localhost\r\n\r\n");
+  EXPECT_NE(get.find("HTTP/1.1 200 OK"), std::string::npos) << get;
+  EXPECT_NE(get.find("\"boolean\":true"), std::string::npos) << get;
+
+  const std::string body = "SELECT ?o WHERE { <http://ex.org/a> "
+                           "<http://ex.org/p> ?o }";
+  std::string post = HttpRoundTrip(
+      live_->port(),
+      "POST /sparql HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Type: application/sparql-query\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(post.find("HTTP/1.1 200 OK"), std::string::npos) << post;
+  EXPECT_NE(post.find("http://ex.org/b"), std::string::npos) << post;
+
+  std::string missing = HttpRoundTrip(
+      live_->port(), "GET /gone HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos) << missing;
+
+  std::string malformed = HttpRoundTrip(live_->port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(malformed.find("HTTP/1.1 400"), std::string::npos) << malformed;
+}
+
+TEST_F(ServerSocketTest, ConcurrentClientsAllAnswered) {
+  constexpr int kClients = 16;
+  std::vector<std::thread> clients;
+  std::vector<std::string> responses(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      responses[static_cast<size_t>(i)] = HttpRoundTrip(
+          live_->port(),
+          "GET /sparql?query=ASK+%7B+%3Fs+%3Fp+%3Fo+%7D HTTP/1.1\r\n"
+          "Host: localhost\r\n\r\n");
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (const std::string& r : responses) {
+    EXPECT_NE(r.find("HTTP/1.1 200 OK"), std::string::npos) << r;
+    EXPECT_NE(r.find("\"boolean\":true"), std::string::npos) << r;
+  }
+  // Engine-side serving counters saw the traffic.
+  EXPECT_GE(engine_->stats().queries, static_cast<uint64_t>(kClients));
+}
+
+TEST_F(ServerSocketTest, StopIsIdempotentAndRestartable) {
+  uint16_t first_port = live_->port();
+  EXPECT_TRUE(live_->running());
+  live_->Stop();
+  live_->Stop();  // idempotent
+  EXPECT_FALSE(live_->running());
+  // A second server instance can bind a fresh port immediately.
+  HttpServerOptions options;
+  options.port = 0;
+  HttpServer again(engine_.get(), &dict_, options);
+  Status st = again.Start();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_NE(again.port(), 0);
+  std::string health = HttpRoundTrip(
+      again.port(), "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  again.Stop();
+  (void)first_port;
+}
+
+}  // namespace
+}  // namespace sparqlog::server

@@ -53,6 +53,7 @@ TEST(Sp2bTest, QueriesProduceResultsOnGeneratedData) {
   options.target_triples = 1500;
   GenerateSp2b(options, &dataset);
   core::Engine engine(&dataset, &dict);
+  ASSERT_TRUE(engine.Load().ok());
   // Spot-check queries that must be non-empty on any generated instance.
   for (const char* name : {"q1", "q2", "q3a", "q5b", "q10", "q11"}) {
     for (const auto& [qname, text] : Sp2bQueries()) {
@@ -60,7 +61,7 @@ TEST(Sp2bTest, QueriesProduceResultsOnGeneratedData) {
       auto result = engine.ExecuteText(text);
       ASSERT_TRUE(result.ok()) << qname << ": "
                                << result.status().ToString();
-      EXPECT_FALSE(result->rows.empty()) << qname;
+      EXPECT_FALSE(result->result.rows.empty()) << qname;
     }
   }
 }
@@ -190,20 +191,21 @@ TEST(CacheDifferentialTest, Sp2bQueriesColdWarmBitIdentical) {
   eopts.timeout = std::chrono::seconds(10);
   eopts.tuple_budget = 4'000'000;
   core::Engine engine(&dataset, &dict, eopts);
+  ASSERT_TRUE(engine.Load().ok());
 
   size_t swept = 0;
   for (const auto& [name, text] : Sp2bQueries()) {
-    uint64_t hits_before = engine.cache_stats().program_hits;
+    uint64_t hits_before = engine.stats().program_hits;
     auto cold = engine.ExecuteText(text);
     if (!cold.ok()) continue;  // over-budget queries can't be compared
     auto warm = engine.ExecuteText(text);
     ASSERT_TRUE(warm.ok()) << name << ": " << warm.status().ToString();
-    EXPECT_EQ(cold->columns, warm->columns) << name;
-    EXPECT_TRUE(cold->rows == warm->rows)
-        << name << ": warm run diverged (" << cold->rows.size() << " vs "
-        << warm->rows.size() << " rows)";
-    EXPECT_EQ(warm->ask_value, cold->ask_value) << name;
-    EXPECT_GT(engine.cache_stats().program_hits, hits_before) << name;
+    EXPECT_EQ(cold->result.columns, warm->result.columns) << name;
+    EXPECT_TRUE(cold->result.rows == warm->result.rows)
+        << name << ": warm run diverged (" << cold->result.rows.size()
+        << " vs " << warm->result.rows.size() << " rows)";
+    EXPECT_EQ(warm->result.ask_value, cold->result.ask_value) << name;
+    EXPECT_GT(engine.stats().program_hits, hits_before) << name;
     ++swept;
   }
   // The suite must actually sweep the workload, not skip it wholesale.
@@ -220,24 +222,25 @@ TEST(CacheDifferentialTest, GmarkQueriesColdWarmBitIdentical) {
   eopts.timeout = std::chrono::seconds(10);
   eopts.tuple_budget = 4'000'000;
   core::Engine engine(&dataset, &dict, eopts);
+  ASSERT_TRUE(engine.Load().ok());
 
   size_t swept = 0;
   for (const auto& text : GenerateGmarkQueries(scenario)) {
-    uint64_t hits_before = engine.cache_stats().program_hits;
+    uint64_t hits_before = engine.stats().program_hits;
     auto cold = engine.ExecuteText(text);
     if (!cold.ok()) continue;
     auto warm = engine.ExecuteText(text);
     ASSERT_TRUE(warm.ok()) << text << "\n" << warm.status().ToString();
-    EXPECT_EQ(cold->columns, warm->columns) << text;
-    EXPECT_TRUE(cold->rows == warm->rows)
-        << text << "\nwarm run diverged (" << cold->rows.size() << " vs "
-        << warm->rows.size() << " rows)";
-    EXPECT_GT(engine.cache_stats().program_hits, hits_before) << text;
+    EXPECT_EQ(cold->result.columns, warm->result.columns) << text;
+    EXPECT_TRUE(cold->result.rows == warm->result.rows)
+        << text << "\nwarm run diverged (" << cold->result.rows.size()
+        << " vs " << warm->result.rows.size() << " rows)";
+    EXPECT_GT(engine.stats().program_hits, hits_before) << text;
     ++swept;
   }
   EXPECT_GE(swept, 30u);
   // The recursive-path workload must exercise the stratum memo.
-  EXPECT_GT(engine.cache_stats().stratum_hits, 0u);
+  EXPECT_GT(engine.stats().stratum_hits, 0u);
 }
 
 // Planner differential over the bundled workloads: the cost-based join
@@ -254,11 +257,13 @@ void SweepPlannerDifferential(const rdf::Dataset& dataset,
     core::Engine::Options on;
     on.timeout = std::chrono::seconds(10);
     on.tuple_budget = 4'000'000;
-    on.num_threads = threads;
+    on.parallelism.num_threads = threads;
     core::Engine::Options off = on;
-    off.join_planner = false;
+    off.planner.join_planner = false;
     core::Engine planned(&dataset, dict, on);
     core::Engine plain(&dataset, dict, off);
+    ASSERT_TRUE(planned.Load().ok());
+    ASSERT_TRUE(plain.Load().ok());
     size_t swept = 0;
     for (size_t i = 0; i < queries.size(); ++i) {
       auto parsed = sparql::ParseQuery(queries[i], dict);
@@ -270,13 +275,13 @@ void SweepPlannerDifferential(const rdf::Dataset& dataset,
                           << a.status().ToString();
       ASSERT_TRUE(b.ok()) << names[i] << " threads " << threads << ": "
                           << b.status().ToString();
-      EXPECT_EQ(a->columns, b->columns) << names[i];
-      EXPECT_TRUE(a->SameSolutions(*b))
+      EXPECT_EQ(a->result.columns, b->result.columns) << names[i];
+      EXPECT_TRUE(a->result.SameSolutions(b->result))
           << names[i] << " threads " << threads
-          << ": planner changed solutions (" << a->rows.size() << " vs "
-          << b->rows.size() << " rows)";
+          << ": planner changed solutions (" << a->result.rows.size()
+          << " vs " << b->result.rows.size() << " rows)";
       if (!parsed->order_by.empty()) {
-        EXPECT_TRUE(a->rows == b->rows)
+        EXPECT_TRUE(a->result.rows == b->result.rows)
             << names[i] << " threads " << threads
             << ": planner changed ORDER BY output";
       }
