@@ -22,6 +22,7 @@
 #include "sparql/parser.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
+#include "workloads/gmark.h"
 #include "workloads/sp2bench.h"
 
 namespace {
@@ -543,6 +544,92 @@ void BM_RepeatedQuery_Warm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RepeatedQuery_Warm);
+
+/// Closure program over one predicate's triples in the exact stratum
+/// shape the TC kernel detects: tc(X,Y) :- step(X,Y);
+/// tc(X,Z) :- tc(X,Y), step(Y,Z).
+datalog::Program StepClosureProgram(datalog::Database* edb,
+                                    const rdf::Dataset& dataset,
+                                    rdf::TermId pred) {
+  datalog::Program program;
+  datalog::PredicateId step = program.predicates.Intern("step", 2);
+  dataset.default_graph().Match(
+      std::nullopt, pred, std::nullopt, [&](const rdf::Triple& t) {
+        edb->relation(step, 2).Insert(
+            {datalog::ValueFromTerm(t.s), datalog::ValueFromTerm(t.o)}, 0);
+      });
+  datalog::RuleBuilder rb(&program.predicates);
+  rb.Head("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("step", {rb.Var("X"), rb.Var("Y")});
+  program.rules.push_back(rb.Build());
+  rb.Head("tc", {rb.Var("X"), rb.Var("Z")});
+  rb.Body("tc", {rb.Var("X"), rb.Var("Y")});
+  rb.Body("step", {rb.Var("Y"), rb.Var("Z")});
+  program.rules.push_back(rb.Build());
+  program.output.predicate = *program.predicates.Lookup("tc");
+  program.output.has_graph_column = false;
+  return program;
+}
+
+/// `knows+` closure over the gMark social graph (~3.4k step edges, ~1.05M
+/// closure tuples) with the transitive-closure kernel on (arg 1) or off
+/// (arg 0), measured at the Datalog layer. An end-to-end SPARQL run of
+/// the same query spends most of its time in work identical on both
+/// sides — skolem interning, the answer join, row materialization — so
+/// only the fixpoint itself can expose the kernel's ratio. Serial
+/// evaluator, so the gated on/off pair measures the kernel, not shard
+/// fan-out. The kernel-on row is the ≥5x perf-gate target against
+/// kernel-off.
+void BM_PathKernel_GmarkSocialPlus(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  workloads::GenerateGmarkGraph(workloads::GmarkSocial(), &dataset);
+  const rdf::TermId knows = dict.InternIri("http://example.org/gMark/knows");
+  const bool kernel = state.range(0) != 0;
+  for (auto _ : state) {
+    datalog::Database edb;
+    datalog::Program program = StepClosureProgram(&edb, dataset, knows);
+    datalog::SkolemStore skolems;
+    datalog::Evaluator evaluator(&dict, &skolems);
+    evaluator.set_tc_kernel(kernel);
+    datalog::Database idb;
+    ExecContext ctx;
+    auto st = evaluator.Evaluate(program, &edb, &idb, &ctx);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(idb.TotalTuples());
+  }
+}
+BENCHMARK(BM_PathKernel_GmarkSocialPlus)->Arg(0)->Arg(1);
+
+/// Same on/off pair over the chain-with-shortcuts closure — deep
+/// frontiers (one BFS level per chain hop) rather than the social
+/// graph's shallow fan-out.
+void BM_PathKernel_ChainPlus(benchmark::State& state) {
+  rdf::TermDictionary dict;
+  rdf::Dataset dataset(&dict);
+  BuildChainGraph(500, &dict, &dataset);
+  const rdf::TermId p = dict.InternIri("http://b.org/p");
+  const bool kernel = state.range(0) != 0;
+  for (auto _ : state) {
+    datalog::Database edb;
+    datalog::Program program = StepClosureProgram(&edb, dataset, p);
+    datalog::SkolemStore skolems;
+    datalog::Evaluator evaluator(&dict, &skolems);
+    evaluator.set_tc_kernel(kernel);
+    datalog::Database idb;
+    ExecContext ctx;
+    auto st = evaluator.Evaluate(program, &edb, &idb, &ctx);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(idb.TotalTuples());
+  }
+}
+BENCHMARK(BM_PathKernel_ChainPlus)->Arg(0)->Arg(1);
 
 void BM_PipelineOneOrMore_SparqLog(benchmark::State& state) {
   rdf::TermDictionary dict;

@@ -3,7 +3,7 @@
 committed bench/baseline.json and fail CI on wall-time regressions in the
 gated benchmark families (BM_TupleStore*, BM_TransitiveClosure*,
 BM_RepeatedQuery*, BM_BulkLoad*, BM_BarrierMerge*, BM_Sp2b_Parallel,
-BM_JoinPlanner*).
+BM_JoinPlanner*, BM_Serving*, BM_PathKernel*).
 Both sides are reduced to the per-benchmark median of their recorded
 repetitions before comparing.
 
@@ -46,7 +46,7 @@ DEFAULT_BASELINE = "bench/baseline.json"
 GATE_PATTERN = (
     r"^(BM_TupleStore|BM_TransitiveClosure|BM_RepeatedQuery"
     r"|BM_BulkLoad|BM_BarrierMerge|BM_Sp2b_Parallel|BM_JoinPlanner"
-    r"|BM_Serving)"
+    r"|BM_Serving|BM_PathKernel)"
 )
 
 

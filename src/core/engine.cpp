@@ -146,6 +146,7 @@ Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
           std::make_shared<const datalog::Program>(std::move(*rebound));
       entry->params = shape.params;
       entry->data_key = shape.data_key;
+      entry->var_names = shape.var_names;
       entry->plan_generation = (planner && !scoped) ? stats->generation()
                                                     : ProgramCache::kNoPlan;
       std::shared_ptr<const datalog::Program> program = entry->program;
@@ -165,6 +166,7 @@ Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
   entry.program = program;
   entry.params = shape.params;
   entry.data_key = shape.data_key;
+  entry.var_names = shape.var_names;
   entry.plan_generation = (planner && !scoped) ? stats->generation()
                                                : ProgramCache::kNoPlan;
   program_cache_.Insert(shape, std::move(entry));
@@ -276,6 +278,7 @@ Result<Engine::Execution> Engine::ExecuteInternal(
   evaluator.set_num_threads(options_.parallelism.num_threads);
   evaluator.set_parallel_merge(options_.parallelism.parallel_merge);
   evaluator.set_parallel_naive(options_.parallelism.parallel_naive);
+  evaluator.set_tc_kernel(options_.fixpoint.tc_kernel);
   if (options_.caching.stratum_memo && !scoped) {
     evaluator.set_stratum_memo(&stratum_memo_, loaded_generation_);
   }
@@ -298,6 +301,12 @@ Result<Engine::Execution> Engine::ExecuteInternal(
   counters_.staged_tuples_merged.fetch_add(es.staged_merged,
                                            std::memory_order_relaxed);
   AtomicMax(&counters_.merge_fanout_width, es.merge_fanout_width);
+  counters_.tc_kernels_hit.fetch_add(es.tc_kernels_hit,
+                                     std::memory_order_relaxed);
+  counters_.tc_dense_frontiers.fetch_add(es.tc_dense_frontiers,
+                                         std::memory_order_relaxed);
+  counters_.tc_sparse_frontiers.fetch_add(es.tc_sparse_frontiers,
+                                          std::memory_order_relaxed);
 
   // Planner feedback: q-error between the estimated and materialized
   // output cardinality (benchmarks watch this to keep the cost model
@@ -365,6 +374,9 @@ Engine::EngineStats Engine::stats() const {
   s.naive_rounds_sharded = ld(counters_.naive_rounds_sharded);
   s.staged_tuples_merged = ld(counters_.staged_tuples_merged);
   s.merge_fanout_width = ld(counters_.merge_fanout_width);
+  s.tc_kernels_hit = ld(counters_.tc_kernels_hit);
+  s.tc_dense_frontiers = ld(counters_.tc_dense_frontiers);
+  s.tc_sparse_frontiers = ld(counters_.tc_sparse_frontiers);
   s.interning_contention =
       dict_->intern_contention() + skolems_.intern_contention();
   return s;

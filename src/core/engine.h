@@ -113,6 +113,18 @@ class Engine {
       bool join_planner = true;
     };
 
+    /// Fixpoint evaluation strategy (datalog/evaluator.h).
+    struct Fixpoint {
+      /// Routes TC-shaped recursive strata — the single linear closure
+      /// rule every recursive property path (`p+`, `p*`, …) translates
+      /// to — through the dedicated transitive-closure kernel
+      /// (datalog/tc_kernel.h) instead of generic delta rounds. Results
+      /// are identical either way (differential-tested); only evaluation
+      /// cost changes. Off = the generic fixpoint, kept as the ablation
+      /// reference and differential ground truth.
+      bool tc_kernel = true;
+    };
+
     /// Concurrent-serving admission control.
     struct Serving {
       /// Maximum concurrently admitted Execute calls; further calls fail
@@ -124,6 +136,7 @@ class Engine {
     Parallelism parallelism;
     Caching caching;
     Planner planner;
+    Fixpoint fixpoint;
     Serving serving;
   };
 
@@ -203,6 +216,11 @@ class Engine {
     uint64_t naive_rounds_sharded = 0;
     uint64_t staged_tuples_merged = 0;
     uint64_t merge_fanout_width = 0;
+    // Transitive-closure kernel (datalog/tc_kernel.h; summed across
+    // queries — one "hit" is one TC-shaped stratum run by the kernel).
+    uint64_t tc_kernels_hit = 0;
+    uint64_t tc_dense_frontiers = 0;
+    uint64_t tc_sparse_frontiers = 0;
     /// Current dict + Skolem interning-contention totals.
     uint64_t interning_contention = 0;
   };
@@ -278,6 +296,9 @@ class Engine {
     std::atomic<uint64_t> naive_rounds_sharded{0};
     std::atomic<uint64_t> staged_tuples_merged{0};
     std::atomic<uint64_t> merge_fanout_width{0};  // running maximum
+    std::atomic<uint64_t> tc_kernels_hit{0};
+    std::atomic<uint64_t> tc_dense_frontiers{0};
+    std::atomic<uint64_t> tc_sparse_frontiers{0};
   };
 
   Result<Execution> ExecuteInternal(const sparql::Query& query,

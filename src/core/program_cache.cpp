@@ -124,13 +124,35 @@ std::optional<Program> RebindProgram(
       }
     }
   }
-  // Column *positions* are shape-invariant (the shape key pins the
-  // sort-rank permutation of variables); the names, ORDER BY expressions
-  // and LIMIT/OFFSET are data, refreshed from the live query via the
-  // same routine T_Q's SELECT emission uses. ASK output (a single fixed
-  // boolean column, no @post directives) has nothing to refresh.
+  // Column *positions* were fixed when the cached program was translated
+  // (predicate layouts follow the build query's sorted variable names);
+  // an order-permuting alpha-renaming lays the live query's own columns
+  // out differently, so recomputing them from `query` would misalign
+  // names and positions. Keep the cached positions and translate each
+  // column name through the canonical variable ordinals instead, then
+  // refresh the pure-data directives (ORDER BY, LIMIT/OFFSET, DISTINCT)
+  // from the live query. ASK output (a single fixed boolean column, no
+  // @post directives) has nothing to refresh.
   if (!program.output.is_ask) {
-    RefreshOutputDirectives(query, &program.output);
+    auto translate = [&](std::vector<std::string>* cols) {
+      for (std::string& name : *cols) {
+        auto it = std::find(entry.var_names.begin(), entry.var_names.end(),
+                            name);
+        if (it == entry.var_names.end()) return false;
+        size_t ordinal =
+            static_cast<size_t>(it - entry.var_names.begin());
+        if (ordinal >= shape.var_names.size()) return false;
+        name = shape.var_names[ordinal];
+      }
+      return true;
+    };
+    if (!translate(&program.output.columns) ||
+        !translate(&program.output.hidden_columns)) {
+      // A column name outside the canonical variable set (should not
+      // happen for shape-equal queries); re-translate to be safe.
+      return std::nullopt;
+    }
+    RefreshOutputData(query, &program.output);
   }
   return program;
 }

@@ -59,6 +59,12 @@ class ProgramCache {
     std::vector<rdf::TermId> params;
     /// QueryShape::data_key of the query the program was built from.
     std::string data_key;
+    /// QueryShape::var_names of that query: spelling of each canonical
+    /// variable ordinal. Re-binding uses it to rewrite the cached output
+    /// columns into a shape-equal query's spellings while keeping the
+    /// cached column *positions* (which an order-permuting alpha-renaming
+    /// would otherwise lay out differently).
+    std::vector<std::string> var_names;
     /// Dataset generation the program's join plan was computed against
     /// (kNoPlan when unplanned): a warm hit whose generation matches the
     /// engine's current EDB statistics pays zero planning cost; a

@@ -856,7 +856,10 @@ void RefreshOutputDirectives(const Query& q, datalog::OutputSpec* out) {
     out->columns = std::move(visible);
     out->hidden_columns = std::move(hidden);
   }
+  RefreshOutputData(q, out);
+}
 
+void RefreshOutputData(const Query& q, datalog::OutputSpec* out) {
   out->order_by.clear();
   for (const auto& key : q.order_by) {
     datalog::OrderSpec spec;

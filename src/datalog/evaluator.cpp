@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "datalog/stride.h"
+#include "datalog/tc_kernel.h"
 #include "util/thread_pool.h"
 
 namespace sparqlog::datalog {
@@ -559,6 +560,20 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
       stratum_heads.insert(program.rules[ri].head.predicate);
     }
 
+    // TC fast path: a stratum whose only recursive dependency is one
+    // linear closure rule (the shape every recursive property path
+    // translates to) runs the dedicated kernel instead of the generic
+    // delta rounds. The closure rule is excluded from the initial pass —
+    // the kernel's seeds are exactly the rows the remaining rules (and
+    // program facts) put into the head relation — and the fixpoint loop
+    // below is replaced wholesale. Detection is structural, so it can
+    // run before any tuple is derived.
+    std::optional<TcShape> tc;
+    if (tc_kernel_ && mode_ == FixpointMode::kSemiNaive &&
+        strat.stratum_recursive[s]) {
+      tc = DetectTcShape(program, rule_ids, stratum_heads);
+    }
+
     auto run_rule = [&](uint32_t ri, uint32_t delta_atom,
                         uint32_t delta_round) -> Result<uint64_t> {
       RuleRun run;
@@ -743,6 +758,7 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
     if (shard_stratum && parallel_naive_) {
       std::vector<ScanTask> tasks;
       for (uint32_t ri : rule_ids) {
+        if (tc && ri == tc->rule_index) continue;  // kernel handles it
         const Rule& rule = program.rules[ri];
         if (rule.positive.empty()) {
           // Nothing to shard on (builtins-only body); run serially
@@ -786,6 +802,7 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
       new_tuples += n;
     } else {
       for (uint32_t ri : rule_ids) {
+        if (tc && ri == tc->rule_index) continue;  // kernel handles it
         SPARQLOG_ASSIGN_OR_RETURN(uint64_t n, run_rule(ri, kNoDelta, 0));
         new_tuples += n;
       }
@@ -813,6 +830,31 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
 
     // Non-recursive strata are complete after the single pass.
     if (!recursive) {
+      snapshot_stratum();
+      continue;
+    }
+
+    if (tc) {
+      // The kernel completes the closure in one shot: grouped BFS over
+      // the frozen step relation, pivoting on newly reached endpoints
+      // only (the delta side), with no per-round rescans or merges.
+      SPARQLOG_ASSIGN_OR_RETURN(
+          TcKernelStats kstats,
+          RunTcKernel(*tc, program, edb, idb, round, ctx,
+                      &serial_clock_phase,
+                      shard_stratum ? pool_.get() : nullptr));
+      ++stats_.tc_kernels_hit;
+      if (kstats.dense) {
+        ++stats_.tc_dense_frontiers;
+      } else {
+        ++stats_.tc_sparse_frontiers;
+      }
+      stats_.rules_fired += kstats.emitted;
+      stats_.tuples_derived += kstats.inserted;
+      if (kstats.inserted > 0) {
+        ++stats_.rounds;
+        ++round;
+      }
       snapshot_stratum();
       continue;
     }

@@ -40,6 +40,10 @@ struct EvalStats {
   uint64_t staged_merged = 0;         ///< tuples inserted by barrier merges
   uint32_t merge_fanout_width = 0;    ///< max merge workers in any round
   uint64_t interning_contention = 0;  ///< dict+Skolem lock contention delta
+  // Transitive-closure kernel observability (see tc_kernel.h).
+  uint32_t tc_kernels_hit = 0;        ///< TC-shaped strata run by the kernel
+  uint32_t tc_dense_frontiers = 0;    ///< kernel runs with bitset frontiers
+  uint32_t tc_sparse_frontiers = 0;   ///< kernel runs with sorted-vector ones
 };
 
 /// Evaluation strategy knob for the micro-ablation benchmark: naive mode
@@ -75,6 +79,14 @@ class Evaluator {
   /// Off = the serial initial pass with same-pass visibility.
   void set_parallel_naive(bool on) { parallel_naive_ = on; }
 
+  /// Runs TC-shaped recursive strata (one linear closure rule — the
+  /// shape every recursive property path translates to) through the
+  /// dedicated transitive-closure kernel instead of the generic delta
+  /// rounds (default on; see tc_kernel.h). Off = the generic fixpoint,
+  /// kept as differential ground truth. Semi-naive mode only; the kernel
+  /// never changes result sets, only arena row ids.
+  void set_tc_kernel(bool on) { tc_kernel_ = on; }
+
   /// Attaches a cross-query stratum memo (see stratum_memo.h).
   /// `dataset_fp` is the generation fingerprint of the dataset the EDB
   /// was materialized from; it anchors every EDB input in the composed
@@ -104,6 +116,7 @@ class Evaluator {
   uint32_t num_threads_ = 1;
   bool parallel_merge_ = true;
   bool parallel_naive_ = true;
+  bool tc_kernel_ = true;
   StratumMemo* memo_ = nullptr;
   uint64_t dataset_fp_ = 0;
   std::unique_ptr<ThreadPool> pool_;  // lazily sized on first parallel round

@@ -310,6 +310,11 @@ double PlanRule(Rule* rule, const std::vector<RelEstimate>& est,
   }
   rule->planned = true;
   ++report->rules_planned;
+  if (n == 2 && rule->negative.empty() &&
+      (rule->positive[0].predicate == rule->head.predicate) !=
+          (rule->positive[1].predicate == rule->head.predicate)) {
+    ++report->tc_shaped_rules;
+  }
 
   double rows = n == 0 ? 1.0 : cost.CardOf((1u << n) - 1);
   for (const BuiltinLit& b : rule->builtins) {

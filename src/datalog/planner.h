@@ -51,6 +51,10 @@ struct PlannerReport {
   uint32_t bodies_reordered = 0; ///< rules whose atom order actually changed
   uint32_t dp_bodies = 0;        ///< bodies ordered by the exact subset-DP
   uint32_t greedy_bodies = 0;    ///< bodies ordered greedily (> kDpMaxAtoms)
+  /// Linear self-recursive two-atom bodies — the closure shape the
+  /// evaluator's transitive-closure kernel targets (tc_kernel.h). Counted
+  /// here so plan reports flag TC-kernel candidates without evaluating.
+  uint32_t tc_shaped_rules = 0;
   /// Estimated output-predicate cardinality (rows); negative when the
   /// program has no output rules to estimate.
   double output_estimate = -1.0;

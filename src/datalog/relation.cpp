@@ -150,6 +150,54 @@ uint32_t TupleStore::BulkLoad(const Value* rows, size_t num_rows) {
   });
 }
 
+template <typename Stride>
+void TupleStore::AppendDistinctImpl(Stride s, const Value* rows,
+                                    size_t num_rows) {
+  const uint32_t k = s.arity();
+  const size_t final_rows = num_rows_ + num_rows;
+  // One table resize to the final size, then every append probes to the
+  // first empty slot: known-new rows need no key comparisons, and the
+  // pre-sizing means no incremental doubling mid-batch.
+  if (SlotsFor(final_rows) > slots_.size()) Rehash(SlotsFor(final_rows));
+  const size_t mask = slots_.size() - 1;
+  // One contiguous arena append for the whole batch, then a pure
+  // hash-and-slot pass over the freshly copied rows.
+  const uint32_t first = num_rows_;
+  arena_.reserve(final_rows * static_cast<size_t>(k));
+  arena_.insert(arena_.end(), rows,
+                rows + num_rows * static_cast<size_t>(k));
+  // Hashing streams the arena sequentially; the slot writes that follow
+  // land on random cache lines of a table that can be tens of megabytes.
+  // Splitting the two lets the second pass prefetch its slots a fixed
+  // distance ahead, hiding most of the miss latency.
+  std::vector<uint64_t> hashes(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const Value* row = row_data(first + static_cast<uint32_t>(i));
+    // The caller's distinctness proof, revalidated in debug builds (note
+    // intra-batch duplicates surface only once their earlier copy's slot
+    // is written, i.e. on a later AppendDistinct or Contains).
+    assert(!ContainsImpl(s, row));
+    hashes[i] = StrideHashRow(s, row);
+  }
+  constexpr size_t kPrefetchAhead = 16;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (i + kPrefetchAhead < num_rows) {
+      __builtin_prefetch(&slots_[hashes[i + kPrefetchAhead] & mask], 1);
+    }
+    size_t slot = hashes[i] & mask;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask;
+    slots_[slot] = ++num_rows_;  // row id + 1
+  }
+}
+
+void TupleStore::AppendDistinct(const Value* rows, size_t num_rows) {
+  assert(arity_ > 0);
+  WithStride(arity_, [&](auto s) {
+    AppendDistinctImpl(s, rows, num_rows);
+    return 0;
+  });
+}
+
 // --- Relation::Index --------------------------------------------------------
 
 uint64_t Relation::Index::HashProjected(const TupleStore& store,
@@ -280,6 +328,22 @@ size_t Relation::InsertStaged(const Value* rows, size_t num_rows,
       if (InsertWithStride(s, row, round)) ++inserted;
     }
     return inserted;
+  });
+}
+
+void Relation::AppendDistinct(const Value* rows, size_t num_rows,
+                              uint32_t round) {
+  if (num_rows == 0) return;
+  assert(round_marks_.empty() || round >= round_marks_.back().first);
+  const uint32_t first = store_.size();
+  if (round_marks_.empty() || round_marks_.back().first != round) {
+    round_marks_.emplace_back(round, first);
+  }
+  store_.AppendDistinct(rows, num_rows);
+  ForEachIndex([&](Index& index) {
+    for (uint32_t id = first; id < store_.size(); ++id) {
+      index.Add(store_, id);
+    }
   });
 }
 

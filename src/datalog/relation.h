@@ -164,6 +164,18 @@ class TupleStore {
     return BulkLoad(rows.data(), rows.size() / arity_);
   }
 
+  /// Appends a flat batch of tuples the caller guarantees are distinct —
+  /// pairwise within the batch AND from every existing row (asserted per
+  /// row in debug builds). The dedup table is grown to its final size
+  /// once up front, and each row's slot is found by probing to the first
+  /// empty slot with no key comparisons, so the batch costs one hash and
+  /// one table write per row — none of the compare-probe and incremental
+  /// doubling/rehash work that dominates tuple-at-a-time Insert on a
+  /// large store. `rows` must not alias the arena. This is the emission
+  /// path of the transitive-closure kernel, whose frontier bitsets prove
+  /// distinctness structurally (datalog/tc_kernel.cpp).
+  void AppendDistinct(const Value* rows, size_t num_rows);
+
   bool Contains(const Value* row) const;
 
   /// Drops all tuples but keeps the arena and dedup capacity, so a store
@@ -201,6 +213,8 @@ class TupleStore {
   bool ContainsImpl(Stride s, const Value* row) const;
   template <typename Stride>
   uint32_t BulkLoadImpl(Stride s, const Value* rows, size_t num_rows);
+  template <typename Stride>
+  void AppendDistinctImpl(Stride s, const Value* rows, size_t num_rows);
 
   uint32_t arity_;
   uint32_t num_rows_ = 0;
@@ -304,6 +318,13 @@ class Relation {
     assert(staged.arity() == arity());
     return InsertStaged(staged.row_data(0), staged.size(), round);
   }
+
+  /// Bulk-appends `num_rows` tuples the caller guarantees are new —
+  /// distinct within the batch and absent from the relation — tagged
+  /// with `round`, maintaining any built indexes (see
+  /// TupleStore::AppendDistinct for the no-compare fast path this
+  /// enables). Single-writer, like Insert.
+  void AppendDistinct(const Value* rows, size_t num_rows, uint32_t round);
 
   /// Cursor over all rows in insertion order. Invalidated by inserts.
   TupleCursor rows() const {

@@ -48,6 +48,7 @@ PairList PathEvaluator::ZeroPairs(std::optional<TermId> s,
 
 Status PathEvaluator::StepFrom(const Path& path, TermId x,
                                std::vector<TermId>* out) {
+  ++inner_step_evals_;
   SPARQLOG_ASSIGN_OR_RETURN(PairList pairs, EvalImpl(path, x, std::nullopt));
   std::unordered_set<TermId> seen;
   for (const auto& [from, to] : pairs) {
@@ -81,6 +82,48 @@ Result<std::vector<TermId>> PathEvaluator::ReachOneOrMore(const Path& path,
     first = false;
   }
   (void)first;
+  return reached;
+}
+
+Result<PathEvaluator::StepIndex> PathEvaluator::MaterializeStep(
+    const Path& path) {
+  ++inner_step_evals_;
+  SPARQLOG_ASSIGN_OR_RETURN(PairList pairs,
+                            EvalImpl(path, std::nullopt, std::nullopt));
+  Dedup(&pairs);  // the closure is set-semantics; sorted → deterministic BFS
+  StepIndex index;
+  for (const auto& [from, to] : pairs) index[from].push_back(to);
+  return index;
+}
+
+Result<std::vector<TermId>> PathEvaluator::ReachFromIndex(
+    const StepIndex& index, TermId start,
+    const std::vector<TermId>& start_step) {
+  std::vector<TermId> reached;
+  std::unordered_set<TermId> visited;
+  std::vector<TermId> frontier;
+  auto expand = [&](const std::vector<TermId>& succs,
+                    std::vector<TermId>* next) {
+    cost_.Charge(succs.size());
+    for (TermId y : succs) {
+      if (visited.insert(y).second) {
+        reached.push_back(y);
+        next->push_back(y);
+        ctx_->AddTuples(1);
+      }
+    }
+  };
+  auto it = index.find(start);
+  expand(it != index.end() ? it->second : start_step, &frontier);
+  while (!frontier.empty()) {
+    SPARQLOG_RETURN_NOT_OK(ctx_->CheckBudget());
+    std::vector<TermId> next;
+    for (TermId x : frontier) {
+      auto jt = index.find(x);
+      if (jt != index.end()) expand(jt->second, &next);
+    }
+    frontier = std::move(next);
+  }
   return reached;
 }
 
@@ -182,22 +225,64 @@ Result<PairList> PathEvaluator::EvalImpl(const Path& path,
         return filtered;
       }
       PairList out;
-      if (s) {
-        SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
-                                  ReachOneOrMore(*path.left, *s));
-        for (TermId y : reach) out.emplace_back(*s, y);
-        return out;
-      }
-      if (o) {
+      if (quirks_.error_on_two_var_recursive_path) {
+        // Quirk engines push each frontier node into the inner path —
+        // materializing the step relation would evaluate it with both
+        // endpoints unbound, which this quirk must reject for recursive
+        // inner paths. Keep the per-node walk for them.
+        if (s) {
+          SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
+                                    ReachOneOrMore(*path.left, *s));
+          for (TermId y : reach) out.emplace_back(*s, y);
+          return out;
+        }
         auto inv = Path::Inverse(NonOwning(*path.left));
         SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
                                   ReachOneOrMore(*inv, *o));
         for (TermId x : reach) out.emplace_back(x, *o);
         return out;
       }
+      // Materialize the one-step relation once and BFS over the index —
+      // re-running the inner path per frontier node is quadratic in the
+      // closure size.
+      SPARQLOG_ASSIGN_OR_RETURN(StepIndex step, MaterializeStep(*path.left));
+      if (s) {
+        std::vector<TermId> probe;
+        if (step.find(*s) == step.end()) {
+          // A constant start outside the materialized relation can still
+          // step via zero-admitting inner paths (e.g. (p?)+ from a term
+          // not in the graph) — one pushed-down probe covers it.
+          SPARQLOG_RETURN_NOT_OK(StepFrom(*path.left, *s, &probe));
+        }
+        SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
+                                  ReachFromIndex(step, *s, probe));
+        for (TermId y : reach) out.emplace_back(*s, y);
+        return out;
+      }
+      if (o) {
+        // Reverse adjacency from the same forward relation — no second
+        // full evaluation for the inverse direction.
+        StepIndex rev;
+        for (const auto& [x, succs] : step) {
+          for (TermId y : succs) rev[y].push_back(x);
+        }
+        for (auto& [y, preds] : rev) {
+          std::sort(preds.begin(), preds.end());
+        }
+        std::vector<TermId> probe;
+        if (rev.find(*o) == rev.end()) {
+          auto inv = Path::Inverse(NonOwning(*path.left));
+          SPARQLOG_RETURN_NOT_OK(StepFrom(*inv, *o, &probe));
+        }
+        SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
+                                  ReachFromIndex(rev, *o, probe));
+        for (TermId x : reach) out.emplace_back(x, *o);
+        return out;
+      }
+      const std::vector<TermId> no_probe;
       for (TermId n : graph_.SubjectsAndObjects()) {
         SPARQLOG_ASSIGN_OR_RETURN(std::vector<TermId> reach,
-                                  ReachOneOrMore(*path.left, n));
+                                  ReachFromIndex(step, n, no_probe));
         for (TermId y : reach) out.emplace_back(n, y);
       }
       Dedup(&out);

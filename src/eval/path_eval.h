@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -37,7 +39,30 @@ class PathEvaluator {
                         std::optional<rdf::TermId> s,
                         std::optional<rdf::TermId> o);
 
+  /// How many times a recursive closure evaluated its inner path in
+  /// full (one MaterializeStep, or one legacy per-node StepFrom). The
+  /// linearity pin: a `p+` evaluation must materialize the step
+  /// relation once, not once per frontier node.
+  uint64_t inner_step_evals() const { return inner_step_evals_; }
+
  private:
+  /// Adjacency of the materialized one-step relation (from → sorted
+  /// distinct successors).
+  using StepIndex =
+      std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>;
+
+  /// Evaluates `path` once with both endpoints unbound and indexes the
+  /// resulting step relation by source — the linear-in-edges replacement
+  /// for per-frontier-node StepFrom re-evaluation.
+  Result<StepIndex> MaterializeStep(const sparql::Path& path);
+
+  /// ALP reachability (>= 1 step) over a materialized step index.
+  /// `start_step` supplies the start node's successors when the index
+  /// has no entry for it (a constant endpoint outside the graph can
+  /// still step via zero-admitting inner paths).
+  Result<std::vector<rdf::TermId>> ReachFromIndex(
+      const StepIndex& index, rdf::TermId start,
+      const std::vector<rdf::TermId>& start_step);
   Result<PairList> EvalImpl(const sparql::Path& path,
                             std::optional<rdf::TermId> s,
                             std::optional<rdf::TermId> o);
@@ -62,6 +87,7 @@ class PathEvaluator {
   ExecContext* ctx_;
   EngineQuirks quirks_;
   CostModel cost_;
+  uint64_t inner_step_evals_ = 0;
 };
 
 }  // namespace sparqlog::eval

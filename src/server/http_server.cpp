@@ -3,10 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -30,6 +32,7 @@ const char* ReasonPhrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -85,18 +88,56 @@ void WriteResponse(int fd, const HttpResponse& response) {
   }
 }
 
-/// Reads one request (head + Content-Length body) into `request`.
-/// Returns false on malformed/oversized input (the caller answers 400).
-bool ReadRequest(int fd, size_t max_bytes, HttpRequest* request) {
+/// How reading one request off a connection ended; each bucket maps to
+/// a distinct HTTP status in HandleConnection.
+enum class ReadOutcome { kOk, kMalformed, kTooLarge, kTimeout };
+
+/// Reads one request (head + Content-Length body) into `request`,
+/// enforcing the size cap *after* every append (the old pre-recv check
+/// let the buffer overshoot the cap by a whole chunk and misreported
+/// oversize as 400) and an overall receive deadline so a stalled client
+/// cannot pin a worker forever.
+ReadOutcome ReadRequest(int fd, size_t max_bytes, int timeout_ms,
+                        HttpRequest* request) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  // One recv bounded by the remaining deadline (SO_RCVTIMEO re-armed per
+  // call so slow-trickle clients cannot reset the clock).
+  auto recv_some = [&](char* dst, size_t cap,
+                       ReadOutcome* err) -> ssize_t {
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      *err = ReadOutcome::kTimeout;
+      return -1;
+    }
+    auto remaining =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(remaining.count() / 1000000);
+    tv.tv_usec = static_cast<suseconds_t>(remaining.count() % 1000000);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ssize_t n = ::recv(fd, dst, cap, 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      *err = ReadOutcome::kTimeout;
+    } else if (n <= 0) {
+      *err = ReadOutcome::kMalformed;
+    }
+    return n;
+  };
+
   std::string buf;
   char chunk[4096];
   size_t head_end = std::string::npos;
   while (head_end == std::string::npos) {
-    if (buf.size() > max_bytes) return false;
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
+    ReadOutcome err = ReadOutcome::kMalformed;
+    ssize_t n = recv_some(chunk, sizeof(chunk), &err);
+    if (n <= 0) return err;
     buf.append(chunk, static_cast<size_t>(n));
     head_end = buf.find("\r\n\r\n");
+    if (head_end == std::string::npos && buf.size() > max_bytes) {
+      return ReadOutcome::kTooLarge;
+    }
   }
 
   // Request line: METHOD SP target SP version.
@@ -104,7 +145,7 @@ bool ReadRequest(int fd, size_t max_bytes, HttpRequest* request) {
   std::string line = buf.substr(0, line_end);
   size_t sp1 = line.find(' ');
   size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  if (sp1 == std::string::npos || sp2 == sp1) return ReadOutcome::kMalformed;
   request->method = line.substr(0, sp1);
   std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
   size_t qmark = target.find('?');
@@ -135,15 +176,18 @@ bool ReadRequest(int fd, size_t max_bytes, HttpRequest* request) {
       request->content_type = value;
     }
   }
-  if (head_end + 4 + content_length > max_bytes) return false;
+  if (head_end + 4 + content_length > max_bytes) {
+    return ReadOutcome::kTooLarge;
+  }
 
   while (buf.size() < head_end + 4 + content_length) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return false;
+    ReadOutcome err = ReadOutcome::kMalformed;
+    ssize_t n = recv_some(chunk, sizeof(chunk), &err);
+    if (n <= 0) return err;
     buf.append(chunk, static_cast<size_t>(n));
   }
   request->body = buf.substr(head_end + 4, content_length);
-  return true;
+  return ReadOutcome::kOk;
 }
 
 }  // namespace
@@ -318,13 +362,30 @@ void HttpServer::WorkerLoop() {
 
 void HttpServer::HandleConnection(int fd) {
   HttpRequest request;
-  if (ReadRequest(fd, options_.max_request_bytes, &request)) {
-    WriteResponse(fd, Route(request));
-  } else {
-    WriteResponse(fd, HttpResponse{400, "application/json",
-                                   ErrorBody("bad_request",
-                                             "malformed or oversized "
-                                             "request")});
+  switch (ReadRequest(fd, options_.max_request_bytes,
+                      options_.recv_timeout_ms, &request)) {
+    case ReadOutcome::kOk:
+      WriteResponse(fd, Route(request));
+      break;
+    case ReadOutcome::kTooLarge:
+      WriteResponse(
+          fd, HttpResponse{413, "application/json",
+                           ErrorBody("payload_too_large",
+                                     "request exceeds max_request_bytes")});
+      break;
+    case ReadOutcome::kTimeout:
+      WriteResponse(
+          fd, HttpResponse{408, "application/json",
+                           ErrorBody("request_timeout",
+                                     "no complete request within the "
+                                     "receive deadline")});
+      break;
+    case ReadOutcome::kMalformed:
+      WriteResponse(fd,
+                    HttpResponse{400, "application/json",
+                                 ErrorBody("bad_request",
+                                           "malformed request")});
+      break;
   }
   ::close(fd);
 }
@@ -425,6 +486,9 @@ HttpResponse HttpServer::StatsResponse() const {
   w.Key("staged_tuples_merged").Number(s.staged_tuples_merged);
   w.Key("merge_fanout_width").Number(s.merge_fanout_width);
   w.Key("interning_contention").Number(s.interning_contention);
+  w.Key("tc_kernels_hit").Number(s.tc_kernels_hit);
+  w.Key("tc_dense_frontiers").Number(s.tc_dense_frontiers);
+  w.Key("tc_sparse_frontiers").Number(s.tc_sparse_frontiers);
   w.Key("storage").BeginObject();
   w.Key("tuples").Number(storage.tuples);
   w.Key("bytes").Number(storage.bytes);

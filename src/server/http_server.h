@@ -52,6 +52,10 @@ struct HttpServerOptions {
   size_t max_queued_connections = 64;
   /// Requests larger than this (head + body) are rejected with 413.
   size_t max_request_bytes = 1 << 20;
+  /// A connection that has not delivered a complete request within this
+  /// many milliseconds is answered 408 and closed — a stalled client
+  /// must not pin a worker forever.
+  int recv_timeout_ms = 5000;
 };
 
 /// Parsed request, exposed for testing the routing logic in isolation.

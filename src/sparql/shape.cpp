@@ -65,17 +65,11 @@ class Canonicalizer {
       Expr(*k.expr);
     }
 
-    // Lexicographic rank permutation of the canonical variables: the
-    // translation orders predicate arguments by sorted original names
-    // (Pattern::Vars), so the relative name order is structural.
-    Tag('P');
-    std::vector<uint32_t> order(var_names_.size());
-    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-      return var_names_[a] < var_names_[b];
-    });
-    for (uint32_t id : order) Num(id);
-
+    // The lexicographic rank permutation of the canonical variables is
+    // deliberately NOT part of the key: the translation orders predicate
+    // arguments by sorted original names (Pattern::Vars), but re-binding
+    // restores the cached column layout through `var_names`, so renamings
+    // that permute the name order still hit.
     QueryShape shape;
     shape.key = std::move(key_);
     shape.params = std::move(params_);
@@ -95,6 +89,7 @@ class Canonicalizer {
     if (q.limit) data += "L" + std::to_string(*q.limit);
     if (q.offset) data += "O" + std::to_string(*q.offset);
     shape.data_key = std::move(data);
+    shape.var_names = std::move(var_names_);
     return shape;
   }
 

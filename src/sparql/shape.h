@@ -31,15 +31,17 @@
 ///    by content, never by hash, so a collision can't serve a program
 ///    with the wrong constants baked in.
 ///
-/// Because the translation lays predicate arguments out in the *sorted*
-/// order of the original variable names (Pattern::Vars), the key also
-/// records the lexicographic rank permutation of the canonical
-/// variables. Two queries therefore collide exactly when their
-/// translated programs are identical up to parameter values, variable
-/// spellings, output column names and conjunct order inside joins — all
-/// of which re-binding (or nothing at all) can patch. Alpha-renamings
-/// that preserve the relative order of variable names collide; renamings
-/// that permute the order conservatively miss.
+/// The translation lays predicate arguments out in the *sorted* order of
+/// the original variable names (Pattern::Vars), so an alpha-renaming that
+/// permutes the lexicographic order of names permutes the translated
+/// column layout. That permutation is pure *data*, not shape: the cache
+/// serves such a hit by keeping the cached program's column positions and
+/// translating each column name through the canonical variable ordinals
+/// (`var_names` below), so order-permuting renamings hit instead of
+/// conservatively missing. Two queries therefore collide exactly when
+/// their translated programs are identical up to parameter values,
+/// variable spellings, output column names and conjunct order inside
+/// joins — all of which re-binding (or nothing at all) can patch.
 ///
 /// Join chains are order-normalized: a kJoin tree is flattened and its
 /// conjuncts are serialized in the order of their concrete local keys
@@ -67,6 +69,11 @@ struct QueryShape {
   /// spellings, LIMIT/OFFSET): an equal data_key on a key hit means the
   /// cached program can be reused without any re-binding.
   std::string data_key;
+  /// Original variable spellings by canonical ordinal (first-appearance
+  /// order in the canonical traversal). Not part of the key; re-binding
+  /// uses it to map a cached program's column names onto a shape-equal
+  /// query's spellings even when the renaming permutes name order.
+  std::vector<std::string> var_names;
 };
 
 /// Canonicalizes `query`. Total over the supported AST: every pattern,

@@ -103,6 +103,10 @@ std::string FormatCacheStats(const RunRecord& r) {
         static_cast<unsigned long long>(r.plan_cache_hits),
         r.plan_estimate_error);
   }
+  if (r.tc_kernels_hit > 0) {
+    out += StringPrintf(" · tc %uk (%ud/%us)", r.tc_kernels_hit,
+                        r.tc_dense_frontiers, r.tc_sparse_frontiers);
+  }
   return out;
 }
 

@@ -61,6 +61,11 @@ struct RunRecord {
   uint64_t staged_tuples_merged = 0;
   uint32_t merge_fanout_width = 0;
   uint64_t interning_contention = 0;
+  /// Transitive-closure kernel counters (SparqLog adapter only, from
+  /// Engine::stats(): zero for baselines and kernel-off runs).
+  uint32_t tc_kernels_hit = 0;
+  uint32_t tc_dense_frontiers = 0;
+  uint32_t tc_sparse_frontiers = 0;
   /// Join-planner counters (SparqLog adapter only, from Engine::stats():
   /// zero / 0.0 for baselines and planner-off runs).
   uint64_t plans_computed = 0;

@@ -88,6 +88,9 @@ class SparqLogSystem : public System {
     r.interning_contention = es.interning_contention;
     r.plans_computed = es.plans_computed;
     r.plan_cache_hits = es.plan_cache_hits;
+    r.tc_kernels_hit = static_cast<uint32_t>(es.tc_kernels_hit);
+    r.tc_dense_frontiers = static_cast<uint32_t>(es.tc_dense_frontiers);
+    r.tc_sparse_frontiers = static_cast<uint32_t>(es.tc_sparse_frontiers);
     r.result = std::move(std::move(result).ValueOrDie().result);
     return r;
   }

@@ -191,6 +191,52 @@ TEST_F(PathEvalTest, QuirkAlternativeDedup) {
   EXPECT_EQ(Count(pairs, Iri("a"), Iri("c")), 1u);  // duplicate lost
 }
 
+TEST_F(PathEvalTest, OneOrMoreMaterializesStepOnce) {
+  // The closure must evaluate its inner path once in full, not once per
+  // frontier node (the old quadratic StepFrom walk).
+  PathEvaluator eval(dataset_.default_graph(), &ctx_);
+  auto bound = eval.Eval(*ParsePath("ex:p+"), Iri("a"), std::nullopt);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->size(), 4u);
+  EXPECT_EQ(eval.inner_step_evals(), 1u);
+
+  PathEvaluator rev(dataset_.default_graph(), &ctx_);
+  auto obound = rev.Eval(*ParsePath("ex:p+"), std::nullopt, Iri("a"));
+  ASSERT_TRUE(obound.ok()) << obound.status().ToString();
+  EXPECT_EQ(obound->size(), 3u);  // a, b, c reach a through the cycle
+  EXPECT_EQ(rev.inner_step_evals(), 1u);  // reverse reuses the forward step
+
+  PathEvaluator twovar(dataset_.default_graph(), &ctx_);
+  auto both = twovar.Eval(*ParsePath("ex:p+"), std::nullopt, std::nullopt);
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_EQ(both->size(), 12u);
+  EXPECT_EQ(twovar.inner_step_evals(), 1u);  // shared across all sources
+}
+
+TEST_F(PathEvalTest, MaterializedClosureKeepsGhostZeroStep) {
+  // A start term outside the graph still steps via a zero-admitting inner
+  // path; one pushed-down probe (and only one) covers it.
+  TermId ghost = Iri("ghost");
+  PathEvaluator eval(dataset_.default_graph(), &ctx_);
+  auto pairs = eval.Eval(*ParsePath("(ex:p?)+"), ghost, std::nullopt);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_EQ(Count(*pairs, ghost, ghost), 1u);
+  EXPECT_EQ(eval.inner_step_evals(), 2u);  // materialize + start probe
+}
+
+TEST_F(PathEvalTest, QuirkEnginesKeepPerNodeWalk) {
+  // Simulated engines with the two-var-recursive quirk push each frontier
+  // node into the inner path; the materialized fast path must not change
+  // their modelled behavior.
+  EngineQuirks quirks;
+  quirks.error_on_two_var_recursive_path = true;
+  PathEvaluator eval(dataset_.default_graph(), &ctx_, quirks);
+  auto pairs = eval.Eval(*ParsePath("ex:p+"), Iri("a"), std::nullopt);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_EQ(pairs->size(), 4u);
+  EXPECT_GT(eval.inner_step_evals(), 1u);  // one eval per frontier node
+}
+
 TEST_F(PathEvalTest, BudgetAborts) {
   ExecContext tight;
   tight.set_tuple_budget(2);

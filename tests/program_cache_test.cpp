@@ -124,6 +124,19 @@ TEST(QueryShapeTest, JoinNormalizationAlignsParameterSlots) {
   EXPECT_EQ(b.params[1], dict.InternIri("http://ex.org/q2"));
 }
 
+TEST(QueryShapeTest, OrderPermutingRenamingsCollide) {
+  rdf::TermDictionary dict;
+  auto a = Shape("SELECT ?x ?y WHERE { ?x ex:p ?y }", &dict);
+  // ?b sorts before ?a: the renaming permutes the lexicographic name
+  // order, which used to be part of the key (a conservative miss).
+  auto b = Shape("SELECT ?b ?a WHERE { ?b ex:p ?a }", &dict);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_NE(a.data_key, b.data_key);
+  // The spellings ride along by canonical ordinal for re-binding.
+  EXPECT_EQ(a.var_names, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(b.var_names, (std::vector<std::string>{"b", "a"}));
+}
+
 TEST(QueryShapeTest, LimitOffsetAreDataNotShape) {
   rdf::TermDictionary dict;
   auto a = Shape("SELECT ?x WHERE { ?x ex:p ?y } LIMIT 5", &dict);
@@ -243,6 +256,75 @@ TEST_F(ProgramCacheEngineTest, JoinPermutationHitsAndAnswersCorrectly) {
   core::Engine cold(dataset_.get(), &dict_, cold_opts);
   auto fresh = Exec(cold, "SELECT ?x ?z WHERE { ?y ex:p ?z . ?x ex:q ?y }");
   EXPECT_TRUE(r3.SameSolutions(fresh));
+}
+
+// Rows keyed by column *name* (SameSolutions is positional; permuted
+// renamings may legitimately lay columns out differently).
+std::multiset<std::vector<std::pair<std::string, rdf::TermId>>> NamedRows(
+    const eval::QueryResult& r) {
+  std::multiset<std::vector<std::pair<std::string, rdf::TermId>>> out;
+  for (const auto& row : r.rows) {
+    std::vector<std::pair<std::string, rdf::TermId>> named;
+    for (size_t i = 0; i < r.columns.size() && i < row.size(); ++i) {
+      named.emplace_back(r.columns[i], row[i]);
+    }
+    std::sort(named.begin(), named.end());
+    out.insert(std::move(named));
+  }
+  return out;
+}
+
+TEST_F(ProgramCacheEngineTest, OrderPermutingRenamingRebindsCorrectly) {
+  core::Engine engine(dataset_.get(), &dict_);
+  auto r1 = Exec(engine, "SELECT ?x ?y WHERE { ?x ex:p ?y } ORDER BY ?y");
+  EXPECT_EQ(engine.stats().program_misses, 1u);
+  // ?b < ?a: the renaming permutes the sorted variable layout the
+  // translation uses internally. Must re-bind (names are data), not miss.
+  auto r2 = Exec(engine, "SELECT ?b ?a WHERE { ?b ex:p ?a } ORDER BY ?a");
+  EXPECT_EQ(engine.stats().program_misses, 1u);
+  EXPECT_EQ(engine.stats().program_rebinds, 1u);
+  EXPECT_EQ(r2.columns, (std::vector<std::string>{"b", "a"}));
+  // SELECT lists align canonically, so the rows agree positionally too.
+  EXPECT_EQ(r1.rows, r2.rows);
+}
+
+TEST_F(ProgramCacheEngineTest, PermutedRenamingSelectStarMatchesCold) {
+  core::Engine engine(dataset_.get(), &dict_);
+  // SELECT * lays columns out in each query's own sorted name order —
+  // exactly the layout a permuted renaming disturbs.
+  Exec(engine, "SELECT * WHERE { ?u ex:p ?t }");
+  auto warm = Exec(engine, "SELECT * WHERE { ?a ex:p ?z }");
+  EXPECT_EQ(engine.stats().program_rebinds, 1u);
+  core::Engine::Options cold_opts;
+  cold_opts.caching.program_cache = false;
+  cold_opts.caching.stratum_memo = false;
+  core::Engine cold(dataset_.get(), &dict_, cold_opts);
+  auto fresh = Exec(cold, "SELECT * WHERE { ?a ex:p ?z }");
+  EXPECT_EQ(NamedRows(warm), NamedRows(fresh));
+}
+
+TEST_F(ProgramCacheEngineTest, PermutedRenamingAggregateMatchesCold) {
+  core::Engine engine(dataset_.get(), &dict_);
+  // The aggregate path reads the pattern root laid out in sorted pattern
+  // variables; the permuted renaming must not scramble group keys.
+  auto r1 = Exec(engine,
+                 "SELECT ?y (COUNT(?x) AS ?n) WHERE { ?x ex:p ?y } "
+                 "GROUP BY ?y");
+  auto r2 = Exec(engine,
+                 "SELECT ?b (COUNT(?c) AS ?n) WHERE { ?c ex:p ?b } "
+                 "GROUP BY ?b");
+  EXPECT_EQ(engine.stats().program_misses, 1u);
+  EXPECT_EQ(engine.stats().program_rebinds, 1u);
+  core::Engine::Options cold_opts;
+  cold_opts.caching.program_cache = false;
+  cold_opts.caching.stratum_memo = false;
+  core::Engine cold(dataset_.get(), &dict_, cold_opts);
+  auto fresh = Exec(cold,
+                    "SELECT ?b (COUNT(?c) AS ?n) WHERE { ?c ex:p ?b } "
+                    "GROUP BY ?b");
+  EXPECT_EQ(NamedRows(r2), NamedRows(fresh));
+  // The renaming only relabels columns; the solutions agree positionally.
+  EXPECT_TRUE(r1.SameSolutions(r2));
 }
 
 TEST_F(ProgramCacheEngineTest, RebindReachesFilterExpressions) {

@@ -326,6 +326,64 @@ TEST_F(ServerSocketTest, ConcurrentClientsAllAnswered) {
   EXPECT_GE(engine_->stats().queries, static_cast<uint64_t>(kClients));
 }
 
+TEST_F(ServerSocketTest, OversizedRequestRejectedWith413) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.max_request_bytes = 1024;
+  HttpServer small(engine_.get(), &dict_, options);
+  ASSERT_TRUE(small.Start().ok());
+
+  // Declared body larger than the cap: rejected from the Content-Length
+  // header alone, before buffering the body.
+  std::string body(4096, 'x');
+  std::string post = HttpRoundTrip(
+      small.port(),
+      "POST /sparql HTTP/1.1\r\nHost: localhost\r\n"
+      "Content-Type: application/sparql-query\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_NE(post.find("HTTP/1.1 413"), std::string::npos) << post;
+  EXPECT_NE(post.find("payload_too_large"), std::string::npos) << post;
+
+  // A head that never terminates within the cap is 413 too (it used to
+  // be misreported as 400 after overshooting the cap by a recv chunk).
+  std::string junk_head = "GET /sparql?query=" + std::string(8192, 'a');
+  std::string oversized_head = HttpRoundTrip(small.port(), junk_head);
+  EXPECT_NE(oversized_head.find("HTTP/1.1 413"), std::string::npos)
+      << oversized_head;
+  small.Stop();
+}
+
+TEST_F(ServerSocketTest, StalledClientGets408) {
+  HttpServerOptions options;
+  options.port = 0;
+  options.recv_timeout_ms = 200;
+  HttpServer strict(engine_.get(), &dict_, options);
+  ASSERT_TRUE(strict.Start().ok());
+
+  // Send a partial request head and then stall: the worker must answer
+  // 408 after the receive deadline instead of blocking forever.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(strict.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char partial[] = "GET /healthz HTTP/1.1\r\n";
+  ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, MSG_NOSIGNAL), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+  EXPECT_NE(response.find("request_timeout"), std::string::npos) << response;
+  strict.Stop();
+}
+
 TEST_F(ServerSocketTest, StopIsIdempotentAndRestartable) {
   uint16_t first_port = live_->port();
   EXPECT_TRUE(live_->running());
