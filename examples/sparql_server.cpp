@@ -10,6 +10,8 @@
 // Then:
 //   curl 'http://127.0.0.1:8080/sparql?query=SELECT%20*%20WHERE%20{?s%20?p%20?o}'
 //   curl -X POST --data-binary 'SELECT * WHERE { ?s ?p ?o }' (to /sparql)
+//   curl -X POST 'http://127.0.0.1:8080/update?op=insert'
+//     --data-binary '<http://ex.org/a> <http://ex.org/borders> <http://ex.org/b> .'
 //   curl http://127.0.0.1:8080/stats
 //   curl http://127.0.0.1:8080/healthz
 
@@ -84,7 +86,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("serving SPARQL on http://127.0.0.1:%u/sparql "
-              "(/stats, /healthz; Ctrl-C to stop)\n",
+              "(/update, /stats, /healthz; Ctrl-C to stop)\n",
               server.port());
 
   std::signal(SIGINT, OnSignal);

@@ -46,7 +46,7 @@ DEFAULT_BASELINE = "bench/baseline.json"
 GATE_PATTERN = (
     r"^(BM_TupleStore|BM_TransitiveClosure|BM_RepeatedQuery"
     r"|BM_BulkLoad|BM_BarrierMerge|BM_Sp2b_Parallel|BM_JoinPlanner"
-    r"|BM_Serving|BM_PathKernel)"
+    r"|BM_Serving|BM_PathKernel|BM_Update)"
 )
 
 

@@ -60,6 +60,17 @@ Status Engine::Load() {
   SPARQLOG_RETURN_NOT_OK(
       DataTranslator::Translate(*dataset_, dict_, &edb_, options_.edb_build));
   loaded_generation_ = generation;
+  // Re-anchor the incremental-update state: the stratum fingerprints of
+  // this build are keyed by the fresh generation with all predicate
+  // versions at zero, and any pending delta refers to a discarded EDB.
+  edb_base_fp_ = generation;
+  edb_versions_.clear();
+  edb_prev_versions_.clear();
+  pending_delta_.reset();
+  occ_built_ = false;
+  term_occ_.clear();
+  so_occ_.clear();
+  delta_since_stats_ = 0;
   // Planner statistics ride every (re)build, stamped with the dataset
   // generation so cached plans can tell they went stale.
   if (options_.planner.join_planner) {
@@ -71,6 +82,293 @@ Status Engine::Load() {
   }
   loaded_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+void Engine::BuildOccurrenceCounters() {
+  term_occ_.assign(dict_->size(), 0);
+  so_occ_.clear();
+  auto count_graph = [&](const rdf::Graph& graph, bool is_default) {
+    for (const rdf::Triple& t : graph.triples()) {
+      ++term_occ_[t.s];
+      ++term_occ_[t.p];
+      ++term_occ_[t.o];
+      if (is_default) {
+        ++so_occ_[t.s];
+        ++so_occ_[t.o];
+      }
+    }
+  };
+  count_graph(dataset_->default_graph(), /*is_default=*/true);
+  for (const auto& [name, graph] : dataset_->named_graphs()) {
+    ++term_occ_[name];
+    count_graph(graph, /*is_default=*/false);
+  }
+}
+
+Status Engine::ApplyUpdate(const std::vector<rdf::Triple>& inserts,
+                           const std::vector<rdf::Triple>& deletes,
+                           UpdateStats* stats) {
+  using datalog::Value;
+  using datalog::ValueFromTerm;
+  const auto wall_start = std::chrono::steady_clock::now();
+  UpdateStats us;
+  auto finish = [&](Status st) {
+    us.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (stats != nullptr) *stats = us;
+    if (st.ok()) {
+      counters_.updates.fetch_add(1, std::memory_order_relaxed);
+      if (us.noop) {
+        counters_.update_noops.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return st;
+  };
+
+  if (mutable_dataset_ == nullptr) {
+    return finish(Status::FailedPrecondition(
+        "Engine::ApplyUpdate: engine was constructed over a const dataset"));
+  }
+  // Writer side of the load lock: in-flight queries drain first, later
+  // ones see the updated snapshot — publishing is atomic either way.
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (!loaded_.load(std::memory_order_relaxed)) {
+    return finish(Status::FailedPrecondition(
+        "Engine::ApplyUpdate: Load() must complete before updates"));
+  }
+
+  // Net semantics (G \ deletes) ∪ inserts against the current default
+  // graph: a triple in both lists stays present, deleting an absent
+  // triple or re-inserting a present one drops out, duplicates collapse.
+  rdf::Graph& graph = mutable_dataset_->default_graph();
+  std::unordered_set<rdf::Triple, rdf::TripleHash> ins_set(inserts.begin(),
+                                                           inserts.end());
+  std::vector<rdf::Triple> net_del;
+  std::unordered_set<rdf::Triple, rdf::TripleHash> seen;
+  for (const rdf::Triple& t : deletes) {
+    if (ins_set.count(t) != 0 || !graph.Contains(t)) continue;
+    if (seen.insert(t).second) net_del.push_back(t);
+  }
+  seen.clear();
+  std::vector<rdf::Triple> net_ins;
+  for (const rdf::Triple& t : inserts) {
+    if (graph.Contains(t)) continue;
+    if (seen.insert(t).second) net_ins.push_back(t);
+  }
+  us.inserted = net_ins.size();
+  us.deleted = net_del.size();
+  if (net_ins.empty() && net_del.empty()) {
+    // True no-op: no generation bump, no EDB work, no invalidation of
+    // any cache — an idempotent re-send costs nothing but the net check.
+    us.noop = true;
+    return finish(Status::OK());
+  }
+
+  // A direct dataset mutation since the loaded snapshot means the graph
+  // no longer matches the EDB we would delta against; so does disabling
+  // the incremental path. Both publish via the full rebuild.
+  const bool incremental = options_.update.incremental &&
+                           dataset_->Generation() == loaded_generation_;
+  datalog::PredicateTable scratch;
+  EdbPredicates preds = InternEdbPredicates(&scratch);
+
+  if (!incremental) {
+    graph.ApplyDelta(net_ins, net_del);
+    edb_ = datalog::Database();
+    stratum_memo_.Clear();
+    counters_.invalidations.fetch_add(1, std::memory_order_relaxed);
+    Status st = DataTranslator::Translate(*dataset_, dict_, &edb_,
+                                          options_.edb_build);
+    if (!st.ok()) return finish(st);
+    loaded_generation_ = dataset_->Generation();
+    edb_base_fp_ = loaded_generation_;
+    edb_versions_.clear();
+    edb_prev_versions_.clear();
+    pending_delta_.reset();
+    occ_built_ = false;
+    term_occ_.clear();
+    so_occ_.clear();
+    delta_since_stats_ = 0;
+    if (options_.planner.join_planner) {
+      edb_stats_ = datalog::EdbStats();
+      edb_stats_.Collect(edb_, preds.triple);
+      edb_stats_.set_generation(loaded_generation_);
+    }
+    return finish(Status::OK());
+  }
+
+  // ---- Incremental publish -------------------------------------------
+  us.incremental = true;
+  if (!occ_built_) {
+    BuildOccurrenceCounters();
+    occ_built_ = true;
+  }
+  // The caller may have interned new terms while parsing the update.
+  if (term_occ_.size() < dict_->size()) term_occ_.resize(dict_->size(), 0);
+
+  // Capture pre-update occurrence counts of every affected term, then
+  // apply the count deltas; 0 ↔ >0 transitions are exactly the term/kind
+  // and subjectOrObject rows that appear or disappear.
+  std::unordered_map<rdf::TermId, uint64_t> old_term;
+  std::unordered_map<rdf::TermId, uint64_t> old_so;
+  auto capture = [&](const rdf::Triple& t) {
+    old_term.emplace(t.s, term_occ_[t.s]);
+    old_term.emplace(t.p, term_occ_[t.p]);
+    old_term.emplace(t.o, term_occ_[t.o]);
+    old_so.emplace(t.s, so_occ_[t.s]);
+    old_so.emplace(t.o, so_occ_[t.o]);
+  };
+  for (const rdf::Triple& t : net_del) capture(t);
+  for (const rdf::Triple& t : net_ins) capture(t);
+  for (const rdf::Triple& t : net_del) {
+    --term_occ_[t.s];
+    --term_occ_[t.p];
+    --term_occ_[t.o];
+    --so_occ_[t.s];
+    --so_occ_[t.o];
+  }
+  for (const rdf::Triple& t : net_ins) {
+    ++term_occ_[t.s];
+    ++term_occ_[t.p];
+    ++term_occ_[t.o];
+    ++so_occ_[t.s];
+    ++so_occ_[t.o];
+  }
+
+  // Translate the net triple delta into per-predicate EDB deltas, keyed
+  // by predicate name (the currency of stratum fingerprints). Insertion
+  // rows walk net_ins in the translator's (s, p, o) first-occurrence
+  // order, so an insert-only update appends to each relation in exactly
+  // the order a fresh Translate would have — arena order, and hence
+  // solution order, stays bit-identical to a full reload.
+  auto delta = std::make_shared<datalog::EdbDelta>();
+  const Value graph_value = ValueFromTerm(DefaultGraphTerm(dict_));
+  auto pred_rows = [&](const char* name,
+                       uint32_t arity) -> datalog::EdbDelta::PredicateDelta& {
+    auto [it, unused] = delta->preds.try_emplace(name);
+    it->second.arity = arity;
+    return it->second;
+  };
+  auto kind_name = [&](rdf::TermId id) -> const char* {
+    switch (dict_->get(id).kind) {
+      case rdf::TermKind::kIri:
+        return "iri";
+      case rdf::TermKind::kLiteral:
+        return "literal";
+      case rdf::TermKind::kBlank:
+        return "bnode";
+      case rdf::TermKind::kUndef:
+        return nullptr;  // the null marker is not an RDF term
+    }
+    return nullptr;
+  };
+  std::unordered_set<rdf::TermId> term_done;
+  auto emit_term = [&](rdf::TermId id, bool deleting) {
+    if (!term_done.insert(id).second) return;
+    const uint64_t before = old_term[id];
+    const uint64_t after = term_occ_[id];
+    const bool gone = before > 0 && after == 0;
+    const bool fresh = before == 0 && after > 0;
+    if (deleting ? !gone : !fresh) return;
+    const char* kind = kind_name(id);
+    if (kind == nullptr) return;
+    const Value v = ValueFromTerm(id);
+    // Kind row before term row, mirroring the translator's walk.
+    auto& krows = pred_rows(kind, 1);
+    auto& trows = pred_rows("term", 1);
+    (deleting ? krows.del : krows.ins).push_back(v);
+    (deleting ? trows.del : trows.ins).push_back(v);
+  };
+  std::unordered_set<rdf::TermId> so_done;
+  auto emit_so = [&](rdf::TermId id, bool deleting) {
+    if (!so_done.insert(id).second) return;
+    const uint64_t before = old_so[id];
+    const uint64_t after = so_occ_[id];
+    if (deleting ? !(before > 0 && after == 0) : !(before == 0 && after > 0)) {
+      return;
+    }
+    auto& rows = pred_rows("subjectOrObject", 2);
+    auto& out = deleting ? rows.del : rows.ins;
+    out.push_back(ValueFromTerm(id));
+    out.push_back(graph_value);
+  };
+  auto& triple_rows = pred_rows("triple", 4);
+  for (const rdf::Triple& t : net_del) {
+    triple_rows.del.insert(triple_rows.del.end(),
+                           {ValueFromTerm(t.s), ValueFromTerm(t.p),
+                            ValueFromTerm(t.o), graph_value});
+    emit_term(t.s, /*deleting=*/true);
+    emit_term(t.p, /*deleting=*/true);
+    emit_term(t.o, /*deleting=*/true);
+    emit_so(t.s, /*deleting=*/true);
+    emit_so(t.o, /*deleting=*/true);
+  }
+  for (const rdf::Triple& t : net_ins) {
+    triple_rows.ins.insert(triple_rows.ins.end(),
+                           {ValueFromTerm(t.s), ValueFromTerm(t.p),
+                            ValueFromTerm(t.o), graph_value});
+    emit_term(t.s, /*deleting=*/false);
+    emit_term(t.p, /*deleting=*/false);
+    emit_term(t.o, /*deleting=*/false);
+    emit_so(t.s, /*deleting=*/false);
+    emit_so(t.o, /*deleting=*/false);
+  }
+  // Entries whose transitions all cancelled out must not bump a
+  // predicate version (that would invalidate memo entries for nothing).
+  for (auto it = delta->preds.begin(); it != delta->preds.end();) {
+    if (it->second.ins.empty() && it->second.del.empty()) {
+      it = delta->preds.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Mutate the graph, then apply the same delta to the materialized EDB:
+  // removals first, then insertions appended in walk order.
+  graph.ApplyDelta(net_ins, net_del);
+  auto pred_id = [&](const std::string& name) -> datalog::PredicateId {
+    if (name == "triple") return preds.triple;
+    if (name == "iri") return preds.iri;
+    if (name == "literal") return preds.literal;
+    if (name == "bnode") return preds.bnode;
+    if (name == "term") return preds.term;
+    return preds.subject_or_object;
+  };
+  for (const auto& [name, d] : delta->preds) {
+    datalog::Relation& rel = edb_.relation(pred_id(name), d.arity);
+    if (!d.del.empty()) rel.RemoveRows(d.del);
+    if (!d.ins.empty()) {
+      rel.InsertStaged(d.ins.data(), d.ins.size() / d.arity, 0);
+    }
+  }
+
+  // Publish: per-predicate version bumps invalidate exactly the strata
+  // reading a touched predicate; `edb_base_fp_` stays fixed so untouched
+  // strata keep their memo entries. The delta itself rides along for the
+  // evaluator's snapshot re-derivation.
+  edb_prev_versions_ = edb_versions_;
+  for (const auto& [name, d] : delta->preds) ++edb_versions_[name];
+  pending_delta_ = std::move(delta);
+  loaded_generation_ = dataset_->Generation();
+
+  if (options_.planner.join_planner) {
+    delta_since_stats_ += net_ins.size() + net_del.size();
+    const datalog::Relation* triples = edb_.Find(preds.triple);
+    const uint64_t triple_count = triples == nullptr ? 0 : triples->size();
+    if (double(delta_since_stats_) >
+        options_.update.stats_refresh_fraction * double(triple_count)) {
+      edb_stats_ = datalog::EdbStats();
+      edb_stats_.Collect(edb_, preds.triple);
+      delta_since_stats_ = 0;
+    }
+    // Re-stamp either way: cached plans check the stats generation, and
+    // a stale stamp would force a replan of every cached shape per
+    // update.
+    edb_stats_.set_generation(loaded_generation_);
+  }
+  return finish(Status::OK());
 }
 
 void Engine::PlanForEdb(datalog::Program* program,
@@ -280,7 +578,18 @@ Result<Engine::Execution> Engine::ExecuteInternal(
   evaluator.set_parallel_naive(options_.parallelism.parallel_naive);
   evaluator.set_tc_kernel(options_.fixpoint.tc_kernel);
   if (options_.caching.stratum_memo && !scoped) {
-    evaluator.set_stratum_memo(&stratum_memo_, loaded_generation_);
+    // The memo anchor is the cold-load generation; incremental updates
+    // refine it with per-predicate versions instead of moving it, so
+    // strata over untouched predicates keep their snapshots. The latest
+    // update's delta (if any) enables snapshot re-derivation.
+    evaluator.set_stratum_memo(&stratum_memo_, edb_base_fp_);
+    datalog::Evaluator::IncrementalInput inc;
+    inc.delta = pending_delta_;
+    inc.versions = &edb_versions_;
+    inc.prev_versions = pending_delta_ != nullptr ? &edb_prev_versions_
+                                                  : nullptr;
+    inc.max_overdelete = options_.update.max_overdelete;
+    evaluator.set_incremental(std::move(inc));
   }
   SPARQLOG_RETURN_NOT_OK(evaluator.Evaluate(*program, edb, &idb, &ctx));
   qs.fixpoint = evaluator.stats();
@@ -307,6 +616,15 @@ Result<Engine::Execution> Engine::ExecuteInternal(
                                          std::memory_order_relaxed);
   counters_.tc_sparse_frontiers.fetch_add(es.tc_sparse_frontiers,
                                           std::memory_order_relaxed);
+  counters_.strata_incremental.fetch_add(es.strata_incremental,
+                                         std::memory_order_relaxed);
+  counters_.strata_dred.fetch_add(es.strata_dred, std::memory_order_relaxed);
+  counters_.incremental_fallbacks.fetch_add(es.incremental_fallbacks,
+                                            std::memory_order_relaxed);
+  counters_.tuples_overdeleted.fetch_add(es.tuples_overdeleted,
+                                         std::memory_order_relaxed);
+  counters_.tuples_rederived.fetch_add(es.tuples_rederived,
+                                       std::memory_order_relaxed);
 
   // Planner feedback: q-error between the estimated and materialized
   // output cardinality (benchmarks watch this to keep the cost model
@@ -377,6 +695,13 @@ Engine::EngineStats Engine::stats() const {
   s.tc_kernels_hit = ld(counters_.tc_kernels_hit);
   s.tc_dense_frontiers = ld(counters_.tc_dense_frontiers);
   s.tc_sparse_frontiers = ld(counters_.tc_sparse_frontiers);
+  s.updates = ld(counters_.updates);
+  s.update_noops = ld(counters_.update_noops);
+  s.strata_incremental = ld(counters_.strata_incremental);
+  s.strata_dred = ld(counters_.strata_dred);
+  s.incremental_fallbacks = ld(counters_.incremental_fallbacks);
+  s.tuples_overdeleted = ld(counters_.tuples_overdeleted);
+  s.tuples_rederived = ld(counters_.tuples_rederived);
   s.interning_contention =
       dict_->intern_contention() + skolems_.intern_contention();
   return s;

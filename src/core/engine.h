@@ -133,11 +133,36 @@ class Engine {
       uint32_t max_in_flight = 0;
     };
 
+    /// Incremental EDB maintenance (ApplyUpdate; datalog/incremental.h).
+    struct Update {
+      /// Publishes ApplyUpdate mutations by translating only the changed
+      /// triples into per-predicate EDB deltas and invalidating memoized
+      /// strata selectively (per-predicate version counters in the
+      /// stratum fingerprints); affected strata are then re-derived from
+      /// their pre-update snapshots at the next query instead of from
+      /// scratch. Off = every ApplyUpdate falls back to the full
+      /// rebuild-and-clear path (the exact re-Load() behaviour, kept for
+      /// differentials and ablations). Results are identical either way.
+      bool incremental = true;
+      /// DRed over-deletion bound: when a deletion cascade over-deletes
+      /// more than this many tuples in one stratum, the evaluator
+      /// abandons the incremental path for that stratum and recomputes
+      /// it from scratch (counted in EngineStats::incremental_fallbacks).
+      uint64_t max_overdelete = 1ull << 20;
+      /// Planner statistics are recollected once the triples touched
+      /// since the last collection exceed this fraction of the triple
+      /// relation; below it, the existing statistics are re-stamped
+      /// (cardinalities barely moved, replanning every cached shape per
+      /// update would cost more than it saves).
+      double stats_refresh_fraction = 0.10;
+    };
+
     Parallelism parallelism;
     Caching caching;
     Planner planner;
     Fixpoint fixpoint;
     Serving serving;
+    Update update;
   };
 
   /// Per-call resource limits; zero fields fall back to the engine-wide
@@ -221,8 +246,26 @@ class Engine {
     uint64_t tc_kernels_hit = 0;
     uint64_t tc_dense_frontiers = 0;
     uint64_t tc_sparse_frontiers = 0;
+    // Incremental maintenance (ApplyUpdate + the evaluator's delta
+    // re-derivation; strata counters are summed across queries).
+    uint64_t updates = 0;        ///< ApplyUpdate calls, completed OK
+    uint64_t update_noops = 0;   ///< updates whose net delta was empty
+    uint64_t strata_incremental = 0;  ///< strata re-derived from snapshots
+    uint64_t strata_dred = 0;         ///< incremental strata that ran DRed
+    uint64_t incremental_fallbacks = 0;  ///< DRed-bound full recomputes
+    uint64_t tuples_overdeleted = 0;
+    uint64_t tuples_rederived = 0;
     /// Current dict + Skolem interning-contention totals.
     uint64_t interning_contention = 0;
+  };
+
+  /// What one ApplyUpdate call did.
+  struct UpdateStats {
+    size_t inserted = 0;       ///< triples that became present
+    size_t deleted = 0;        ///< triples that became absent
+    bool noop = false;         ///< net delta was empty; nothing changed
+    bool incremental = false;  ///< delta publish (vs full EDB rebuild)
+    double wall_seconds = 0.0;
   };
 
   /// The engine keeps references to the dataset and dictionary; both must
@@ -230,6 +273,16 @@ class Engine {
   Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict,
          Options options);
   Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict)
+      : Engine(dataset, dict, Options()) {}
+  /// Mutable-dataset overloads: the engine may additionally mutate the
+  /// dataset through ApplyUpdate. Queries never require mutability — a
+  /// const-dataset engine simply has ApplyUpdate fail with
+  /// FailedPrecondition.
+  Engine(rdf::Dataset* dataset, rdf::TermDictionary* dict, Options options)
+      : Engine(static_cast<const rdf::Dataset*>(dataset), dict, options) {
+    mutable_dataset_ = dataset;
+  }
+  Engine(rdf::Dataset* dataset, rdf::TermDictionary* dict)
       : Engine(dataset, dict, Options()) {}
 
   /// T_D: materializes the EDB and its planner statistics. Explicit
@@ -240,6 +293,26 @@ class Engine {
   Status Load();
 
   bool loaded() const { return loaded_.load(std::memory_order_acquire); }
+
+  /// Applies a batch mutation to the default graph and publishes it
+  /// atomically with respect to concurrent Execute calls (writer side of
+  /// the engine's reader/writer lock; in-flight queries drain first and
+  /// later ones see the updated snapshot). Semantics are net:
+  /// (G \ deletes) ∪ inserts — deleting an absent triple or inserting a
+  /// present one is ignored, and a triple in both lists stays present. An
+  /// empty net delta is a true no-op: no generation bump, no EDB work,
+  /// no cache invalidation.
+  ///
+  /// With Options::Update::incremental (default), publishing translates
+  /// only the changed triples into per-predicate EDB deltas — term/kind
+  /// and subjectOrObject rows are maintained by occurrence counting —
+  /// and memoized strata are invalidated selectively; affected strata
+  /// re-derive from their snapshots at the next query (insertions as one
+  /// extra semi-naive round, deletions via DRed). Requires a
+  /// mutable-dataset engine and a completed Load().
+  Status ApplyUpdate(const std::vector<rdf::Triple>& inserts,
+                     const std::vector<rdf::Triple>& deletes,
+                     UpdateStats* stats = nullptr);
 
   /// Full pipeline on a parsed query. Thread-safe after Load(): any
   /// number of threads may Execute on one shared Engine.
@@ -299,6 +372,13 @@ class Engine {
     std::atomic<uint64_t> tc_kernels_hit{0};
     std::atomic<uint64_t> tc_dense_frontiers{0};
     std::atomic<uint64_t> tc_sparse_frontiers{0};
+    std::atomic<uint64_t> updates{0};
+    std::atomic<uint64_t> update_noops{0};
+    std::atomic<uint64_t> strata_incremental{0};
+    std::atomic<uint64_t> strata_dred{0};
+    std::atomic<uint64_t> incremental_fallbacks{0};
+    std::atomic<uint64_t> tuples_overdeleted{0};
+    std::atomic<uint64_t> tuples_rederived{0};
   };
 
   Result<Execution> ExecuteInternal(const sparql::Query& query,
@@ -322,7 +402,13 @@ class Engine {
   void PlanForEdb(datalog::Program* program,
                   const datalog::EdbStats& stats) const;
 
+  /// Rebuilds the occurrence counters (`term_occ_`, `so_occ_`) from the
+  /// whole dataset; called lazily by the first incremental ApplyUpdate.
+  void BuildOccurrenceCounters();
+
   const rdf::Dataset* dataset_;
+  /// Non-null only for mutable-dataset engines; aliases `dataset_`.
+  rdf::Dataset* mutable_dataset_ = nullptr;
   rdf::TermDictionary* dict_;
   Options options_;
   /// Thread-safe interners (striped mutexes, lock-free reads) shared by
@@ -343,6 +429,31 @@ class Engine {
   /// EDB statistics for the planner, recollected by every Load; stamped
   /// with loaded_generation_.
   datalog::EdbStats edb_stats_;
+
+  /// Incremental-update state, all guarded by `state_mu_` (exclusive in
+  /// ApplyUpdate/Load, shared in Execute).
+  /// Fingerprint anchor of the memoized strata: the dataset generation at
+  /// cold Load. Incremental updates keep it fixed and refine it with the
+  /// per-predicate `edb_versions_` instead, so untouched predicates keep
+  /// their memo entries; full rebuilds re-anchor it.
+  uint64_t edb_base_fp_ = 0;
+  datalog::EdbVersionMap edb_versions_;       ///< current per-name versions
+  datalog::EdbVersionMap edb_prev_versions_;  ///< before the latest update
+  /// The latest update's per-predicate delta, consumed by the evaluator's
+  /// incremental stratum path; replaced on the next update, cleared by
+  /// full rebuilds.
+  datalog::EdbDeltaPtr pending_delta_;
+  /// Occurrence counters behind the term/kind and subjectOrObject delta
+  /// translation: `term_occ_[t]` counts t's occurrences across all graphs
+  /// (s/p/o positions plus named-graph names), `so_occ_[n]` counts n's
+  /// subject/object occurrences in the default graph (the only mutable
+  /// one). Built lazily on the first incremental update.
+  std::vector<uint64_t> term_occ_;
+  std::unordered_map<rdf::TermId, uint64_t> so_occ_;
+  bool occ_built_ = false;
+  /// Triples touched since planner statistics were last collected (see
+  /// Options::Update::stats_refresh_fraction).
+  uint64_t delta_since_stats_ = 0;
 
   /// Shared, internally synchronized caches.
   mutable ProgramCache program_cache_;

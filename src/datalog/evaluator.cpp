@@ -56,6 +56,19 @@ struct Evaluator::RuleRun {
   const Relation* staging_target = nullptr;
   uint64_t* staged = nullptr;
   uint32_t clock_phase = 0;  // worker-local deadline-check pacing
+  // Incremental maintenance (serial paths only; see the incremental
+  // stratum block in Evaluate): `delta_source` redirects the pinned
+  // delta scan away from the IDB (to a scratch database of input
+  // deltas), `aux` joins as a third non-delta source on top of EDB+IDB
+  // (the over-delete pass over-approximates the pre-update state with
+  // current ∪ deleted), `emit_db` redirects head emission (over-deleted
+  // heads accumulate in the scratch database, not the IDB), and
+  // `head_binding` pre-binds the head tuple (DRed re-derivation asks
+  // "is exactly this tuple still derivable?").
+  Database* delta_source = nullptr;
+  Database* aux = nullptr;
+  Database* emit_db = nullptr;
+  const Value* head_binding = nullptr;
 
   std::vector<Value> vals;
   std::vector<bool> bound;
@@ -315,11 +328,19 @@ struct Evaluator::RuleRun {
       }
     } else {
       Relation& rel =
-          idb->relation(rule->head.predicate,
-                        static_cast<uint32_t>(rule->head.args.size()));
+          (emit_db != nullptr ? emit_db : idb)
+              ->relation(rule->head.predicate,
+                         static_cast<uint32_t>(rule->head.args.size()));
       if (rel.Insert(head_scratch, insert_round)) {
         ++inserted;
         ctx->AddTuples(1);
+      }
+      if (head_binding != nullptr) {
+        // DRed re-derivation asks for one witness of the pre-bound head
+        // tuple; it exists now, so abort the join early. The false
+        // return unwinds the search with an OK status.
+        status = ctx->CheckBudgetShared(&clock_phase);
+        return false;
       }
     }
     status = ctx->CheckBudgetShared(&clock_phase);
@@ -423,7 +444,9 @@ struct Evaluator::RuleRun {
       // Serial path: id-based fetch, not pointer-stepped — a recursive
       // rule may insert into the very relation it is scanning, growing
       // the arena.
-      Relation* rel = idb->FindMutable(atom.predicate);
+      Relation* rel =
+          (delta_source != nullptr ? delta_source : idb)
+              ->FindMutable(atom.predicate);
       if (rel == nullptr) return true;
       auto [lo, hi] = rel->RoundRange(delta_round);
       for (uint32_t id = lo; id < hi; ++id) {
@@ -432,8 +455,10 @@ struct Evaluator::RuleRun {
       return true;
     }
 
-    Relation* sources[2] = {edb->FindMutable(atom.predicate),
-                            idb->FindMutable(atom.predicate)};
+    Relation* sources[3] = {edb->FindMutable(atom.predicate),
+                            idb->FindMutable(atom.predicate),
+                            aux != nullptr ? aux->FindMutable(atom.predicate)
+                                           : nullptr};
     for (Relation* rel : sources) {
       if (rel == nullptr || rel->size() == 0) continue;
       bool indexed = false;
@@ -475,6 +500,23 @@ struct Evaluator::RuleRun {
     builtin_done.assign(rule->builtins.size(), false);
     trail.clear();
     status = Status::OK();
+    if (head_binding != nullptr) {
+      // DRed re-derivation: constrain the whole join to one head tuple by
+      // pre-binding the head args. A constant mismatch or a conflicting
+      // repeated variable means this rule cannot derive the tuple at all.
+      const auto& hargs = rule->head.args;
+      for (size_t i = 0; i < hargs.size(); ++i) {
+        const RuleTerm& t = hargs[i];
+        if (!t.is_var) {
+          if (t.constant != head_binding[i]) return status;
+        } else if (bound[t.var]) {
+          if (vals[t.var] != head_binding[i]) return status;
+        } else {
+          vals[t.var] = head_binding[i];
+          bound[t.var] = true;
+        }
+      }
+    }
     ComputeOrder();
     scratch_cols.assign(order.size(), {});
     scratch_keys.assign(order.size(), {});
@@ -499,9 +541,32 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
   // arena insertion order differs).
   const bool memo_ok = memo_ != nullptr && mode_ == FixpointMode::kSemiNaive;
   std::vector<uint64_t> stratum_fp;
+  std::vector<uint64_t> stratum_fp_old;
+  // Incremental stratum maintenance: when the engine supplies the latest
+  // update's EDB delta plus the version map from *before* it, a stratum
+  // whose previous fingerprint still has a snapshot is re-derived from
+  // that snapshot + the input deltas (insertions as one extra semi-naive
+  // round, deletions via DRed) instead of from scratch. IDB input
+  // changes propagate through the composed fingerprints, so
+  // fp_new == fp_old means "all transitive inputs unchanged".
+  const bool inc_ok =
+      memo_ok && inc_.delta != nullptr && inc_.prev_versions != nullptr;
   if (memo_ok) {
-    stratum_fp = StratumFingerprints(program, strat, *skolems_, dataset_fp_);
+    stratum_fp = StratumFingerprints(program, strat, *skolems_, dataset_fp_,
+                                     inc_.versions);
+    if (inc_ok) {
+      stratum_fp_old = StratumFingerprints(program, strat, *skolems_,
+                                           dataset_fp_, inc_.prev_versions);
+    }
   }
+  // Downstream change propagation: after each stratum whose fingerprint
+  // changed, its head relations are diffed against the pre-update
+  // snapshot; the diffs become the IDB input deltas of later strata. A
+  // head whose diff can't be computed (old snapshot evicted, arity 0)
+  // lands in `idb_unknown`, which poisons downstream *eligibility*, never
+  // correctness.
+  std::unordered_map<PredicateId, EdbDelta::PredicateDelta> idb_delta;
+  std::unordered_set<PredicateId> idb_unknown;
 
   uint32_t threads = num_threads_;
   if (threads == 0) threads = std::thread::hardware_concurrency();
@@ -523,6 +588,78 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
   for (uint32_t s = 0; s < strat.num_strata; ++s) {
     const std::vector<uint32_t>& rule_ids = strat.strata_rules[s];
     if (rule_ids.empty()) continue;
+
+    // Head predicates defined in this stratum (delta candidates; also the
+    // unit of incremental change tracking).
+    std::unordered_set<PredicateId> stratum_heads;
+    for (uint32_t ri : rule_ids) {
+      stratum_heads.insert(program.rules[ri].head.predicate);
+    }
+
+    // Records this stratum's head-relation diff (current vs the
+    // pre-update snapshot) into `idb_delta` once the heads are final —
+    // called on every exit path of the stratum body. No-op when the
+    // fingerprint didn't change (inputs, and hence heads, are
+    // identical).
+    auto record_change = [&]() {
+      if (!inc_ok || stratum_fp[s] == stratum_fp_old[s]) return;
+      std::shared_ptr<const StratumSnapshot> old_snap =
+          memo_->Lookup(stratum_fp_old[s]);
+      bool usable = old_snap != nullptr;
+      if (usable) {
+        for (const auto& rel : old_snap->relations) {
+          auto pid = program.predicates.Lookup(rel.predicate);
+          if (!pid || program.predicates.Arity(*pid) != rel.arity ||
+              rel.arity == 0) {
+            usable = false;
+            break;
+          }
+        }
+      }
+      if (!usable) {
+        idb_unknown.insert(stratum_heads.begin(), stratum_heads.end());
+        return;
+      }
+      for (PredicateId p : stratum_heads) {
+        const uint32_t arity = program.predicates.Arity(p);
+        if (arity == 0) {
+          idb_unknown.insert(p);
+          continue;
+        }
+        const std::string& name = program.predicates.Name(p);
+        const StratumSnapshot::RelationSnapshot* old_rel = nullptr;
+        for (const auto& rel : old_snap->relations) {
+          if (rel.predicate == name) {
+            old_rel = &rel;
+            break;
+          }
+        }
+        const Relation* cur = idb->Find(p);
+        EdbDelta::PredicateDelta d;
+        d.arity = arity;
+        TupleStore old_store(arity);
+        if (old_rel != nullptr && old_rel->num_rows > 0) {
+          old_store.BulkLoad(old_rel->rows.data(), old_rel->num_rows);
+        }
+        if (cur != nullptr) {
+          for (RowRef row : cur->rows()) {
+            if (!old_store.Contains(row.data())) {
+              d.ins.insert(d.ins.end(), row.begin(), row.end());
+            }
+          }
+        }
+        if (old_rel != nullptr) {
+          for (uint32_t i = 0; i < old_rel->num_rows; ++i) {
+            const Value* row =
+                old_rel->rows.data() + static_cast<size_t>(i) * arity;
+            if (cur == nullptr || !cur->Contains(row)) {
+              d.del.insert(d.del.end(), row, row + arity);
+            }
+          }
+        }
+        if (!d.ins.empty() || !d.del.empty()) idb_delta[p] = std::move(d);
+      }
+    };
 
     // Memo hit: replay the snapshot (arena order preserved; program
     // facts already seeded above dedup away) instead of evaluating.
@@ -547,17 +684,12 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
           stats_.tuples_restored += restored;
           ++stats_.strata_memo_hits;
           SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+          record_change();
           ++round;
           continue;
         }
       }
       ++stats_.strata_memo_misses;
-    }
-
-    // Head predicates defined in this stratum (delta candidates).
-    std::unordered_set<PredicateId> stratum_heads;
-    for (uint32_t ri : rule_ids) {
-      stratum_heads.insert(program.rules[ri].head.predicate);
     }
 
     // TC fast path: a stratum whose only recursive dependency is one
@@ -572,6 +704,311 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
     if (tc_kernel_ && mode_ == FixpointMode::kSemiNaive &&
         strat.stratum_recursive[s]) {
       tc = DetectTcShape(program, rule_ids, stratum_heads);
+    }
+
+    // ---- Incremental stratum path ------------------------------------
+    // Memo miss whose previous fingerprint still has a snapshot: restore
+    // the pre-update result, then bring it to the new fixpoint from the
+    // input deltas alone. Insert-only deltas seed one extra semi-naive
+    // round (the fixpoint loop below finishes the closure); deletions run
+    // DRed first — over-delete to a fixpoint against current ∪ deleted
+    // (a sound over-approximation of the pre-update state), physically
+    // remove, then re-derive survivors head-by-head. Serial by design:
+    // delta volumes are bounded by contract (`max_overdelete` trips the
+    // full-recompute fallback), so sharding would only add barriers. This
+    // runs before the shard scaffolding is built because the fallback
+    // Resets head relations, which would dangle the merge plan's
+    // Relation pointers.
+    bool inc_handled = false;
+    uint64_t inc_new = 0;
+    auto attempt_incremental = [&]() -> Status {
+      std::shared_ptr<const StratumSnapshot> old_snap =
+          memo_->Lookup(stratum_fp_old[s]);
+      if (old_snap == nullptr) return Status::OK();
+      for (const auto& rel : old_snap->relations) {
+        auto pid = program.predicates.Lookup(rel.predicate);
+        if (!pid || program.predicates.Arity(*pid) != rel.arity ||
+            rel.arity == 0) {
+          return Status::OK();
+        }
+      }
+      for (PredicateId p : stratum_heads) {
+        if (program.predicates.Arity(p) == 0) return Status::OK();
+      }
+
+      // Collect the input deltas this stratum is affected by. Unknown
+      // (undiffable) inputs, arity mismatches, and negation over a
+      // changed predicate all disqualify — DRed handles stratified
+      // negation only when the negated side is stable.
+      struct InputDelta {
+        PredicateId pred;
+        const EdbDelta::PredicateDelta* delta;
+      };
+      std::vector<InputDelta> inputs;
+      std::unordered_set<PredicateId> seen_inputs;
+      bool eligible = true;
+      bool has_del = false;
+      uint64_t del_rows = 0;
+      auto find_delta =
+          [&](PredicateId p) -> const EdbDelta::PredicateDelta* {
+        if (idb_unknown.count(p) != 0) {
+          eligible = false;
+          return nullptr;
+        }
+        auto it = idb_delta.find(p);
+        if (it != idb_delta.end()) return &it->second;
+        auto eit = inc_.delta->preds.find(program.predicates.Name(p));
+        if (eit != inc_.delta->preds.end()) {
+          if (eit->second.arity != program.predicates.Arity(p)) {
+            eligible = false;
+            return nullptr;
+          }
+          return &eit->second;
+        }
+        return nullptr;
+      };
+      for (uint32_t ri : rule_ids) {
+        const Rule& rule = program.rules[ri];
+        for (const Atom& a : rule.positive) {
+          PredicateId p = a.predicate;
+          if (stratum_heads.count(p) != 0 || seen_inputs.count(p) != 0) {
+            continue;
+          }
+          seen_inputs.insert(p);
+          const EdbDelta::PredicateDelta* d = find_delta(p);
+          if (!eligible) return Status::OK();
+          if (d != nullptr) {
+            inputs.push_back({p, d});
+            has_del = has_del || !d->del.empty();
+            del_rows += d->del.size() / d->arity;
+          }
+        }
+        for (const Atom& a : rule.negative) {
+          const EdbDelta::PredicateDelta* d = find_delta(a.predicate);
+          if (!eligible || d != nullptr) return Status::OK();
+        }
+      }
+      if (has_del && (del_rows > inc_.max_overdelete || tc)) {
+        // TC-shaped strata lean on the kernel; unwinding a closure via
+        // DRed over-deletes nearly everything, so recompute instead.
+        // (Insert-only TC deltas do run incrementally — through the
+        // generic delta rounds, skipping the kernel.) An input delta
+        // already past the over-delete bound is the same fallback the
+        // in-cascade check takes, just caught before any work.
+        if (del_rows > inc_.max_overdelete) ++stats_.incremental_fallbacks;
+        return Status::OK();
+      }
+
+      // Restore the pre-update snapshot at this round; all incremental
+      // derivations go to the next round, which the fixpoint loop then
+      // scans as its first delta.
+      uint64_t restored = old_snap->Restore(program.predicates, round, idb);
+      ctx->AddTuples(restored);
+      stats_.tuples_restored += restored;
+      SPARQLOG_RETURN_NOT_OK(ctx->CheckBudget());
+      ++round;
+      const uint32_t derive_round = round;
+
+      // Scratch databases holding the input deltas at round 0. `aux_del`
+      // additionally accumulates over-deleted head tuples (rounds >= 1).
+      Database aux_ins;
+      Database aux_del;
+      for (const InputDelta& in : inputs) {
+        if (!in.delta->ins.empty()) {
+          aux_ins.relation(in.pred, in.delta->arity)
+              .InsertStaged(in.delta->ins.data(),
+                            in.delta->ins.size() / in.delta->arity, 0);
+        }
+        if (!in.delta->del.empty()) {
+          aux_del.relation(in.pred, in.delta->arity)
+              .InsertStaged(in.delta->del.data(),
+                            in.delta->del.size() / in.delta->arity, 0);
+        }
+      }
+
+      if (has_del) {
+        ++stats_.strata_dred;
+        // Program facts are axioms, not derivations — they survive any
+        // over-delete.
+        std::unordered_map<PredicateId, TupleStore> fact_rows;
+        for (const Fact& f : program.facts) {
+          if (stratum_heads.count(f.predicate) == 0) continue;
+          auto [it, unused] = fact_rows.try_emplace(
+              f.predicate, static_cast<uint32_t>(f.tuple.size()));
+          bool fresh = false;
+          it->second.Insert(f.tuple.data(), &fresh);
+        }
+
+        // Over-delete fixpoint: every (rule, atom) whose predicate has
+        // deleted rows at round `dr` re-fires with the delta scan pinned
+        // to those rows, the remaining atoms matched against
+        // current ∪ deleted, and heads emitted into `aux_del` at dr+1.
+        uint64_t overdeleted = 0;
+        uint32_t dr = 0;
+        bool progress = true;
+        while (progress) {
+          progress = false;
+          for (uint32_t ri : rule_ids) {
+            const Rule& rule = program.rules[ri];
+            for (uint32_t ai = 0;
+                 ai < static_cast<uint32_t>(rule.positive.size()); ++ai) {
+              const Relation* drel =
+                  aux_del.Find(rule.positive[ai].predicate);
+              if (drel == nullptr) continue;
+              auto [lo, hi] = drel->RoundRange(dr);
+              if (lo >= hi) continue;
+              RuleRun run;
+              run.eval = this;
+              run.rule = &rule;
+              run.edb = edb;
+              run.idb = idb;
+              run.ctx = ctx;
+              run.insert_round = dr + 1;
+              run.delta_round = dr;
+              run.delta_atom = ai;
+              run.delta_source = &aux_del;
+              run.aux = &aux_del;
+              run.emit_db = &aux_del;
+              run.clock_phase = serial_clock_phase;
+              Status st = run.Run();
+              serial_clock_phase = run.clock_phase;
+              stats_.rules_fired += run.fired;
+              SPARQLOG_RETURN_NOT_OK(st);
+              if (run.inserted > 0) progress = true;
+              overdeleted += run.inserted;
+            }
+          }
+          ++dr;
+          if (overdeleted > inc_.max_overdelete) {
+            // The cascade outgrew the bound: discard the restored
+            // stratum and fall back to the full recompute below.
+            ++stats_.incremental_fallbacks;
+            for (PredicateId p : stratum_heads) {
+              idb->Reset(p, program.predicates.Arity(p));
+            }
+            for (const Fact& f : program.facts) {
+              if (stratum_heads.count(f.predicate) == 0) continue;
+              Relation& rel = idb->relation(
+                  f.predicate, static_cast<uint32_t>(f.tuple.size()));
+              if (rel.Insert(f.tuple, 0)) ctx->AddTuples(1);
+            }
+            return Status::OK();
+          }
+        }
+        stats_.tuples_overdeleted += overdeleted;
+
+        // Physically remove the over-deleted head tuples (absent ones —
+        // the over-approximation surplus — are skipped by RemoveRows
+        // anyway; program facts are pre-filtered out), remembering each
+        // removed tuple for the re-derivation pass.
+        struct Doomed {
+          PredicateId pred;
+          std::vector<Value> row;
+        };
+        std::vector<Doomed> removed_tuples;
+        for (PredicateId p : stratum_heads) {
+          const Relation* od = aux_del.Find(p);
+          Relation* target = idb->FindMutable(p);
+          if (od == nullptr || od->size() == 0 || target == nullptr) {
+            continue;
+          }
+          const TupleStore* facts = nullptr;
+          if (auto fit = fact_rows.find(p); fit != fact_rows.end()) {
+            facts = &fit->second;
+          }
+          const uint32_t arity = od->arity();
+          std::vector<Value> doomed;
+          for (RowRef row : od->rows()) {
+            if (!target->Contains(row.data())) continue;
+            if (facts != nullptr && facts->Contains(row.data())) continue;
+            doomed.insert(doomed.end(), row.begin(), row.end());
+            removed_tuples.push_back({p, row.ToVector()});
+          }
+          if (!doomed.empty()) {
+            target->RemoveRows(doomed.data(), doomed.size() / arity);
+          }
+        }
+
+        // Re-derivation: a removed tuple may have an alternate support
+        // among the survivors (plus unchanged inputs). Each success puts
+        // the tuple back, which can in turn support others — iterate to
+        // fixpoint over the shrinking list.
+        bool rederived = true;
+        while (rederived) {
+          rederived = false;
+          for (size_t i = 0; i < removed_tuples.size();) {
+            Doomed& dt = removed_tuples[i];
+            bool found = false;
+            for (uint32_t ri : rule_ids) {
+              const Rule& rule = program.rules[ri];
+              if (rule.head.predicate != dt.pred) continue;
+              RuleRun run;
+              run.eval = this;
+              run.rule = &rule;
+              run.edb = edb;
+              run.idb = idb;
+              run.ctx = ctx;
+              run.insert_round = derive_round;
+              run.head_binding = dt.row.data();
+              run.clock_phase = serial_clock_phase;
+              Status st = run.Run();
+              serial_clock_phase = run.clock_phase;
+              stats_.rules_fired += run.fired;
+              SPARQLOG_RETURN_NOT_OK(st);
+              if (run.inserted > 0) {
+                found = true;
+                inc_new += run.inserted;
+                ++stats_.tuples_rederived;
+                break;
+              }
+            }
+            if (found) {
+              rederived = true;
+              removed_tuples[i] = std::move(removed_tuples.back());
+              removed_tuples.pop_back();
+            } else {
+              ++i;
+            }
+          }
+        }
+      }
+
+      // Insertion phase: one semi-naive round with the delta scan pinned
+      // to the inserted input rows (per rule and per atom, the standard
+      // rotation — the remaining atoms see the full new state, EDB
+      // deltas included, so multi-atom all-new derivations are covered).
+      for (uint32_t ri : rule_ids) {
+        const Rule& rule = program.rules[ri];
+        for (uint32_t ai = 0;
+             ai < static_cast<uint32_t>(rule.positive.size()); ++ai) {
+          const Relation* irel = aux_ins.Find(rule.positive[ai].predicate);
+          if (irel == nullptr || irel->size() == 0) continue;
+          RuleRun run;
+          run.eval = this;
+          run.rule = &rule;
+          run.edb = edb;
+          run.idb = idb;
+          run.ctx = ctx;
+          run.insert_round = derive_round;
+          run.delta_round = 0;
+          run.delta_atom = ai;
+          run.delta_source = &aux_ins;
+          run.clock_phase = serial_clock_phase;
+          Status st = run.Run();
+          serial_clock_phase = run.clock_phase;
+          stats_.rules_fired += run.fired;
+          SPARQLOG_RETURN_NOT_OK(st);
+          inc_new += run.inserted;
+        }
+      }
+
+      stats_.tuples_derived += inc_new;
+      ++stats_.strata_incremental;
+      inc_handled = true;
+      return Status::OK();
+    };
+    if (inc_ok && stratum_fp[s] != stratum_fp_old[s]) {
+      SPARQLOG_RETURN_NOT_OK(attempt_incremental());
     }
 
     auto run_rule = [&](uint32_t ri, uint32_t delta_atom,
@@ -755,7 +1192,12 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
     // output, and the EDB/IDB source split of the pivot predicate
     // partitions its rows.
     uint64_t new_tuples = 0;
-    if (shard_stratum && parallel_naive_) {
+    if (inc_handled) {
+      // Incremental path already restored + re-derived this stratum; its
+      // fresh tuples sit at the previous round, which the fixpoint loop
+      // below picks up as its first delta.
+      new_tuples = inc_new;
+    } else if (shard_stratum && parallel_naive_) {
       std::vector<ScanTask> tasks;
       for (uint32_t ri : rule_ids) {
         if (tc && ri == tc->rule_index) continue;  // kernel handles it
@@ -831,10 +1273,11 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
     // Non-recursive strata are complete after the single pass.
     if (!recursive) {
       snapshot_stratum();
+      record_change();
       continue;
     }
 
-    if (tc) {
+    if (tc && !inc_handled) {
       // The kernel completes the closure in one shot: grouped BFS over
       // the frozen step relation, pivoting on newly reached endpoints
       // only (the delta side), with no per-round rescans or merges.
@@ -856,6 +1299,7 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
         ++round;
       }
       snapshot_stratum();
+      record_change();
       continue;
     }
 
@@ -913,6 +1357,7 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
       ++round;
     }
     snapshot_stratum();
+    record_change();
   }
   stats_.interning_contention = expr_eval_.dict()->intern_contention() +
                                 skolems_->intern_contention() -

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "datalog/ast.h"
+#include "datalog/incremental.h"
 #include "datalog/relation.h"
 #include "datalog/stratify.h"
 #include "datalog/stratum_memo.h"
@@ -44,6 +45,12 @@ struct EvalStats {
   uint32_t tc_kernels_hit = 0;        ///< TC-shaped strata run by the kernel
   uint32_t tc_dense_frontiers = 0;    ///< kernel runs with bitset frontiers
   uint32_t tc_sparse_frontiers = 0;   ///< kernel runs with sorted-vector ones
+  // Incremental maintenance (incremental.h + the engine's ApplyUpdate).
+  uint32_t strata_incremental = 0;    ///< strata re-derived from an old snapshot
+  uint32_t strata_dred = 0;           ///< incremental strata that ran DRed
+  uint32_t incremental_fallbacks = 0; ///< DRed-bound aborts → full recompute
+  uint64_t tuples_overdeleted = 0;    ///< DRed over-deletions before re-derive
+  uint64_t tuples_rederived = 0;      ///< over-deleted tuples derived back
 };
 
 /// Evaluation strategy knob for the micro-ablation benchmark: naive mode
@@ -99,6 +106,24 @@ class Evaluator {
     dataset_fp_ = dataset_fp;
   }
 
+  /// Incremental-maintenance input, provided by the engine alongside the
+  /// stratum memo. `versions` refines every EDB anchor in the stratum
+  /// fingerprints (it must be passed consistently across queries once
+  /// updates have happened); `delta` + `prev_versions` describe the
+  /// latest `ApplyUpdate`, enabling the incremental stratum path: on a
+  /// memo miss whose previous-versions fingerprint still has a snapshot,
+  /// the stratum is re-derived from that snapshot plus the input deltas
+  /// (insertions as one extra semi-naive round, deletions via DRed)
+  /// instead of from scratch. Lifetimes: the maps must outlive the
+  /// Evaluate call; `delta` is shared-owned.
+  struct IncrementalInput {
+    EdbDeltaPtr delta;                             ///< latest update's delta
+    const EdbVersionMap* versions = nullptr;       ///< current EDB versions
+    const EdbVersionMap* prev_versions = nullptr;  ///< versions before delta
+    uint64_t max_overdelete = 1ull << 20;          ///< DRed bound → fallback
+  };
+  void set_incremental(IncrementalInput input) { inc_ = std::move(input); }
+
   /// Evaluates `program` with EDB relations from `edb` (indexes may be
   /// built on it, tuples are never added), materializing derived tuples
   /// into `idb`. IDB and EDB predicate sets must be disjoint.
@@ -119,6 +144,7 @@ class Evaluator {
   bool tc_kernel_ = true;
   StratumMemo* memo_ = nullptr;
   uint64_t dataset_fp_ = 0;
+  IncrementalInput inc_;
   std::unique_ptr<ThreadPool> pool_;  // lazily sized on first parallel round
   EvalStats stats_;
 };

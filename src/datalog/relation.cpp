@@ -359,6 +359,119 @@ uint32_t Relation::BulkLoad(const Value* rows, size_t num_rows,
   return loaded;
 }
 
+size_t Relation::RemoveRows(const Value* rows, size_t num_rows) {
+  const uint32_t k = arity();
+  assert(k > 0);
+  if (num_rows == 0 || store_.size() == 0) return 0;
+  // Locate each doomed row through the dedup table and unlink it with
+  // backward-shift deletion (linear probe chains stay dense, no
+  // tombstones). The table keeps serving lookups between unlinks, so a
+  // duplicate in `rows` simply probes to an empty slot. Rebuilding the
+  // table instead would hash every survivor — O(relation) for a
+  // 100-tuple delete.
+  std::vector<char> doomed(store_.size(), 0);
+  size_t removed = 0;
+  WithStride(k, [&](auto s) {
+    const size_t mask = store_.slots_.size() - 1;
+    const Value* row = rows;
+    for (size_t i = 0; i < num_rows; ++i, row += s.arity()) {
+      size_t slot = StrideHashRow(s, row) & mask;
+      uint32_t found = 0;  // row id + 1
+      while (store_.slots_[slot] != 0) {
+        uint32_t id = store_.slots_[slot] - 1;
+        if (StrideRowEquals(s, store_.row_data(id), row)) {
+          found = id + 1;
+          break;
+        }
+        slot = (slot + 1) & mask;
+      }
+      if (found == 0) continue;
+      doomed[found - 1] = 1;
+      ++removed;
+      // Backward shift: pull forward every chained entry whose home slot
+      // does not lie strictly inside (hole, j] — those may legally move
+      // into the hole; the rest would land before their home and become
+      // unreachable.
+      size_t hole = slot;
+      size_t j = slot;
+      bool open = true;
+      while (open) {
+        store_.slots_[hole] = 0;
+        for (;;) {
+          j = (j + 1) & mask;
+          const uint32_t v = store_.slots_[j];
+          if (v == 0) {
+            open = false;
+            break;
+          }
+          const size_t home =
+              StrideHashRow(s, store_.row_data(v - 1)) & mask;
+          const bool stays = hole < j ? (home > hole && home <= j)
+                                      : (home > hole || home <= j);
+          if (!stays) {
+            store_.slots_[hole] = v;
+            hole = j;
+            break;
+          }
+        }
+      }
+    }
+    return 0;
+  });
+  if (removed == 0) return 0;
+  // When every doomed row sits at the arena tail — the common shape for
+  // retracting recently inserted tuples — survivors keep their ids:
+  // truncate and stop, touching nothing proportional to the relation.
+  const uint32_t suffix_keep = store_.size() - static_cast<uint32_t>(removed);
+  bool suffix = true;
+  for (uint32_t id = suffix_keep; id < store_.size(); ++id) {
+    if (!doomed[id]) {
+      suffix = false;
+      break;
+    }
+  }
+  uint32_t keep = suffix_keep;
+  if (suffix) {
+    store_.num_rows_ = keep;
+    store_.arena_.resize(static_cast<size_t>(keep) * k);
+  } else {
+    // Compact the arena in place, preserving survivor order, then
+    // renumber the surviving ids in the table directly — renaming a row
+    // does not move its slot, so no rehash is needed.
+    std::vector<uint32_t> new_id(store_.size(), 0);
+    keep = 0;
+    for (uint32_t id = 0; id < store_.size(); ++id) {
+      if (doomed[id]) continue;
+      new_id[id] = keep;
+      if (keep != id) {
+        std::copy(store_.arena_.begin() + static_cast<size_t>(id) * k,
+                  store_.arena_.begin() + static_cast<size_t>(id + 1) * k,
+                  store_.arena_.begin() + static_cast<size_t>(keep) * k);
+      }
+      ++keep;
+    }
+    store_.num_rows_ = keep;
+    store_.arena_.resize(static_cast<size_t>(keep) * k);
+    for (uint32_t& v : store_.slots_) {
+      if (v != 0) v = new_id[v - 1] + 1;
+    }
+  }
+  // A mass delete (e.g. a fixpoint over-delete cascade) can leave the
+  // table arbitrarily under-loaded; shrink through the rebuild then.
+  if (SlotsFor(keep) * 4 <= store_.slots_.size()) {
+    store_.Rehash(SlotsFor(keep));
+  }
+  // Row ids shifted: round provenance and index buckets are both stale.
+  // Survivors collapse into round 0 (the caller re-derives from there)
+  // and indexes rebuild lazily on the next probe.
+  round_marks_.clear();
+  if (keep > 0) round_marks_.emplace_back(0u, 0u);
+  for (auto& index : indexes_) index.reset();
+  num_indexes_.store(0, std::memory_order_release);
+  overflow_indexes_.clear();
+  return removed;
+}
+
 uint32_t Relation::row_round(uint32_t id) const {
   assert(id < store_.size());
   // Find the last mark whose first row id is <= id.
@@ -520,6 +633,10 @@ const Relation* Database::Find(uint32_t pred) const {
 Relation* Database::FindMutable(uint32_t pred) {
   auto it = relations_.find(pred);
   return it == relations_.end() ? nullptr : it->second.get();
+}
+
+void Database::Reset(uint32_t pred, uint32_t arity) {
+  relations_[pred] = std::make_unique<Relation>(arity);
 }
 
 size_t Database::TotalTuples() const {

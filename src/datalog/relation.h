@@ -326,6 +326,19 @@ class Relation {
   /// enables). Single-writer, like Insert.
   void AppendDistinct(const Value* rows, size_t num_rows, uint32_t round);
 
+  /// Removes every listed tuple that is present (flat TupleStore layout,
+  /// arity() stride); returns the number actually removed. The arena is
+  /// compacted preserving the survivors' relative order and the dedup
+  /// table rebuilt; row ids shift, so all round bookkeeping collapses to
+  /// round 0 and every built index is dropped (rebuilt lazily on the
+  /// next probe). Single-writer, like Insert — the incremental-update
+  /// path calls this under the engine's exclusive state lock.
+  size_t RemoveRows(const Value* rows, size_t num_rows);
+  size_t RemoveRows(const std::vector<Value>& rows) {
+    assert(arity() > 0 && rows.size() % arity() == 0);
+    return RemoveRows(rows.data(), rows.size() / arity());
+  }
+
   /// Cursor over all rows in insertion order. Invalidated by inserts.
   TupleCursor rows() const {
     return TupleCursor(store_.row_data(0), store_.arity(), store_.size());
@@ -452,6 +465,13 @@ class Database {
 
   const Relation* Find(uint32_t pred) const;
   Relation* FindMutable(uint32_t pred);
+
+  /// Replaces `pred`'s relation with a fresh empty one of `arity`
+  /// (creating it if absent). Outstanding Relation pointers to the old
+  /// object dangle, so this is only safe where none are held — the
+  /// evaluator's incremental fallback uses it to discard a restored
+  /// stratum before re-evaluating it from scratch.
+  void Reset(uint32_t pred, uint32_t arity);
 
   size_t TotalTuples() const;
   /// Approximate memory footprint of all relations, for stats.

@@ -1,7 +1,6 @@
 #include "datalog/stats.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace sparqlog::datalog {
 
@@ -11,6 +10,21 @@ namespace {
 constexpr size_t kSubjectCol = 0;
 constexpr size_t kPredicateCol = 1;
 constexpr size_t kObjectCol = 2;
+
+
+/// Distinct values in a column, by sorting a flat copy: one allocation
+/// and a cache-friendly pass, where hash-set insertion paid an allocator
+/// hit and a random probe per row. Collection runs on the update publish
+/// path, so its constant factor is serving latency.
+uint64_t DistinctInColumn(const Relation& rel, uint32_t col,
+                          std::vector<Value>* scratch) {
+  scratch->clear();
+  scratch->reserve(rel.size());
+  for (RowRef row : rel.rows()) scratch->push_back(row[col]);
+  std::sort(scratch->begin(), scratch->end());
+  return static_cast<uint64_t>(
+      std::unique(scratch->begin(), scratch->end()) - scratch->begin());
+}
 
 }  // namespace
 
@@ -23,70 +37,106 @@ void EdbStats::Collect(const Database& edb, PredicateId triple_pred) {
   char_sets_ok_ = false;
   total_triples_ = 0;
 
+  const Relation* triples = edb.Find(triple_pred);
+  const bool refine = triples != nullptr && triples->arity() >= 3 &&
+                      triples->size() <= kMaxExactRows;
+
+  std::vector<Value> scratch;
   for (PredicateId pred : edb.Predicates()) {
     const Relation* rel = edb.Find(pred);
     if (rel == nullptr) continue;
     RelationStats rs;
     rs.rows = rel->size();
     rs.distinct.assign(rel->arity(), rs.rows);
-    if (rs.rows <= kMaxExactRows && rel->arity() > 0) {
-      // One pass, one hash set per column. Relations are deduplicated
-      // sets, so these are exact distinct counts, not estimates.
-      std::vector<std::unordered_set<Value>> seen(rel->arity());
-      for (auto& s : seen) s.reserve(rel->size());
-      for (RowRef row : rel->rows()) {
-        for (uint32_t c = 0; c < rel->arity(); ++c) seen[c].insert(row[c]);
-      }
+    // Relations are deduplicated sets, so an arity-1 relation's only
+    // column holds exactly `rows` distinct values — no pass needed.
+    // The triple relation's s/p columns fall out of the refinement
+    // passes below; only its remaining columns sort here.
+    if (rs.rows <= kMaxExactRows && rel->arity() > 1) {
       for (uint32_t c = 0; c < rel->arity(); ++c) {
-        rs.distinct[c] = seen[c].size();
+        if (refine && rel == triples &&
+            (c == kSubjectCol || c == kPredicateCol)) {
+          continue;  // patched from the (s,p)/(p,s) passes
+        }
+        rs.distinct[c] = DistinctInColumn(*rel, c, &scratch);
       }
     }
     relations_.emplace(pred, std::move(rs));
   }
 
   // RDF refinements over the triple relation.
-  const Relation* triples = edb.Find(triple_pred);
-  if (triples == nullptr || triples->arity() < 3 ||
-      triples->size() > kMaxExactRows) {
-    return;
-  }
+  if (!refine) return;
   has_triple_ = true;
   total_triples_ = triples->size();
 
-  struct PerPredicate {
-    uint64_t count = 0;
-    std::unordered_set<Value> subjects;
-    std::unordered_set<Value> objects;
-  };
-  std::unordered_map<Value, PerPredicate> per_p;
-  std::unordered_map<Value, std::vector<Value>> subject_preds;
+  // Flat (p,s) / (p,o) / (s,p) copies, each sorted once; every grouped
+  // statistic then reads off a linear scan. These are exact counts, not
+  // estimates — relations are deduplicated sets.
+  const size_t n = triples->size();
+  std::vector<std::pair<Value, Value>> ps;
+  std::vector<std::pair<Value, Value>> po;
+  std::vector<std::pair<Value, Value>> sp;
+  ps.reserve(n);
+  po.reserve(n);
+  sp.reserve(n);
   for (RowRef row : triples->rows()) {
-    PerPredicate& pp = per_p[row[kPredicateCol]];
-    ++pp.count;
-    pp.subjects.insert(row[kSubjectCol]);
-    pp.objects.insert(row[kObjectCol]);
-    subject_preds[row[kSubjectCol]].push_back(row[kPredicateCol]);
+    ps.emplace_back(row[kPredicateCol], row[kSubjectCol]);
+    po.emplace_back(row[kPredicateCol], row[kObjectCol]);
+    sp.emplace_back(row[kSubjectCol], row[kPredicateCol]);
   }
-  per_predicate_.reserve(per_p.size());
-  for (auto& [p, pp] : per_p) {
-    per_predicate_.emplace(
-        p, PredicateTermStats{pp.count, pp.subjects.size(),
-                              pp.objects.size()});
+  std::sort(ps.begin(), ps.end());
+  std::sort(po.begin(), po.end());
+  std::sort(sp.begin(), sp.end());
+
+  // Per-predicate triple count and distinct subject/object counts: ps
+  // and po share group boundaries (both are keyed by predicate).
+  uint64_t distinct_preds = 0;
+  for (size_t i = 0; i < n;) {
+    const Value p = ps[i].first;
+    size_t end = i;
+    PredicateTermStats stats;
+    while (end < n && ps[end].first == p) {
+      if (end == i || ps[end].second != ps[end - 1].second) {
+        ++stats.distinct_subjects;
+      }
+      ++end;
+    }
+    for (size_t j = i; j < end; ++j) {
+      if (j == i || po[j].second != po[j - 1].second) {
+        ++stats.distinct_objects;
+      }
+    }
+    stats.triples = end - i;
+    per_predicate_.emplace(p, stats);
+    ++distinct_preds;
+    i = end;
   }
 
   // Characteristic sets: group subjects by their sorted distinct
   // predicate signature. Signature explosion (heterogeneous data) is the
   // failure mode, so the count is capped rather than the pass aborted.
   std::unordered_map<uint64_t, size_t> sig_index;  // signature hash -> slot
-  for (auto& [subject, preds] : subject_preds) {
-    std::sort(preds.begin(), preds.end());
-    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  std::vector<Value> preds;
+  uint64_t distinct_subjects = 0;
+  bool capped = false;
+  for (size_t i = 0; i < n;) {
+    const Value s = sp[i].first;
+    preds.clear();
+    while (i < n && sp[i].first == s) {
+      if (preds.empty() || preds.back() != sp[i].second) {
+        preds.push_back(sp[i].second);
+      }
+      ++i;
+    }
+    ++distinct_subjects;
+    if (capped) continue;  // keep scanning for the subject count
     uint64_t h = Fmix64(HashRange(preds.data(), preds.data() + preds.size()));
     auto [it, fresh] = sig_index.emplace(h, signatures_.size());
     if (fresh) {
       if (signatures_.size() >= kMaxSignatures) {
         signatures_.clear();
-        return;  // capped: char_sets_ok_ stays false
+        capped = true;  // char_sets_ok_ stays false
+        continue;
       }
       signatures_.push_back({preds, 0});
     }
@@ -94,7 +144,17 @@ void EdbStats::Collect(const Database& edb, PredicateId triple_pred) {
     // counts; at 64 bits that is noise within an estimator's tolerance.
     ++signatures_[it->second].second;
   }
-  char_sets_ok_ = true;
+  char_sets_ok_ = !capped;
+
+  auto tit = relations_.find(triple_pred);
+  if (tit != relations_.end()) {
+    if (tit->second.distinct.size() > kSubjectCol) {
+      tit->second.distinct[kSubjectCol] = distinct_subjects;
+    }
+    if (tit->second.distinct.size() > kPredicateCol) {
+      tit->second.distinct[kPredicateCol] = distinct_preds;
+    }
+  }
 }
 
 const RelationStats* EdbStats::Find(PredicateId pred) const {

@@ -111,7 +111,20 @@ void FoldRule(size_t& h, const Program& program, const SkolemStore& skolems,
               const Rule& rule) {
   FoldAtom(h, program, rule.head);
   Fold(h, rule.positive.size());
-  for (const Atom& a : rule.positive) FoldAtom(h, program, a);
+  // Positive bodies fold order-insensitively (per-atom fingerprints,
+  // sorted): the join planner reorders them for cost, and a
+  // conjunction's derived relation does not depend on atom order — so a
+  // replan (e.g. after an incremental update refreshes EDB statistics)
+  // must not orphan every memo entry and old-snapshot anchor.
+  std::vector<uint64_t> atom_fps;
+  atom_fps.reserve(rule.positive.size());
+  for (const Atom& a : rule.positive) {
+    size_t ah = 0x243f6a8885a308d3ULL;
+    FoldAtom(ah, program, a);
+    atom_fps.push_back(ah);
+  }
+  std::sort(atom_fps.begin(), atom_fps.end());
+  for (uint64_t fp : atom_fps) Fold(h, fp);
   Fold(h, rule.negative.size());
   for (const Atom& a : rule.negative) FoldAtom(h, program, a);
   Fold(h, rule.builtins.size());
@@ -136,10 +149,10 @@ void FoldRule(size_t& h, const Program& program, const SkolemStore& skolems,
 
 }  // namespace
 
-std::vector<uint64_t> StratumFingerprints(const Program& program,
-                                          const Stratification& strat,
-                                          const SkolemStore& skolems,
-                                          uint64_t dataset_fp) {
+std::vector<uint64_t> StratumFingerprints(
+    const Program& program, const Stratification& strat,
+    const SkolemStore& skolems, uint64_t dataset_fp,
+    const EdbVersionMap* edb_versions) {
   // Program facts, fingerprinted per predicate in seed order (the seed
   // loop inserts facts in program order, so order is part of the state a
   // snapshot reproduces).
@@ -199,7 +212,17 @@ std::vector<uint64_t> StratumFingerprints(const Program& program,
       if (it != head_stratum.end()) {
         Fold(h, fps[it->second]);  // rule-defined strictly below
       } else {
-        Fold(h, dataset_fp);  // EDB relation or always-empty
+        // EDB relation or always-empty: the anchor refined by the
+        // predicate's own mutation counter, so incremental updates only
+        // move the fingerprints of strata that actually read a touched
+        // predicate.
+        Fold(h, dataset_fp);
+        uint64_t version = 0;
+        if (edb_versions != nullptr) {
+          auto vit = edb_versions->find(program.predicates.Name(p));
+          if (vit != edb_versions->end()) version = vit->second;
+        }
+        Fold(h, version);
       }
       auto fit = facts_fp.find(p);
       if (fit != facts_fp.end()) Fold(h, fit->second);

@@ -123,12 +123,22 @@ class StratumMemo {
   std::unordered_map<uint64_t, std::list<Slot>::iterator> index_;
 };
 
+/// Per-predicate-name EDB mutation counters, maintained by the engine's
+/// incremental-update path: ApplyUpdate bumps the counter of every EDB
+/// predicate whose delta translation produced rows, so strata reading
+/// only untouched predicates keep their fingerprint (and memo entry)
+/// across writes.
+using EdbVersionMap = std::unordered_map<std::string, uint64_t>;
+
 /// Computes the composed fingerprint of every stratum of `program` under
-/// `strat`. `dataset_fp` is the engine's loaded dataset generation;
-/// `skolems` resolves Skolem function ids to their canonical names.
-std::vector<uint64_t> StratumFingerprints(const Program& program,
-                                          const Stratification& strat,
-                                          const SkolemStore& skolems,
-                                          uint64_t dataset_fp);
+/// `strat`. `dataset_fp` is the engine's EDB anchor (the generation at
+/// cold load); `skolems` resolves Skolem function ids to their canonical
+/// names. `edb_versions`, when non-null, refines the EDB anchor per
+/// predicate name (absent name = version 0), enabling selective memo
+/// invalidation after incremental updates; null behaves as all-zero.
+std::vector<uint64_t> StratumFingerprints(
+    const Program& program, const Stratification& strat,
+    const SkolemStore& skolems, uint64_t dataset_fp,
+    const EdbVersionMap* edb_versions = nullptr);
 
 }  // namespace sparqlog::datalog

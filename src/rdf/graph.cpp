@@ -1,5 +1,7 @@
 #include "rdf/graph.h"
 
+#include <algorithm>
+
 namespace sparqlog::rdf {
 
 namespace {
@@ -88,6 +90,67 @@ std::vector<TermId> Graph::Predicates() const {
 
 void Graph::MergeFrom(const Graph& other) {
   for (const Triple& t : other.triples()) Add(t);
+}
+
+std::pair<size_t, size_t> Graph::ApplyDelta(
+    const std::vector<Triple>& inserts, const std::vector<Triple>& deletes) {
+  size_t removed = 0;
+  std::unordered_set<Triple, TripleHash> gone;
+  for (const Triple& t : deletes) {
+    if (set_.erase(t) == 0) continue;
+    gone.insert(t);
+    ++removed;
+    ++version_;
+  }
+  if (removed > 0) {
+    // A removed triple's subject must be a removed subject, so the main
+    // scan tests the TermId before paying a TripleHash — for a small
+    // delete over a large graph nearly every resident triple takes the
+    // cheap branch.
+    std::unordered_set<TermId> gone_s;
+    std::unordered_set<TermId> gone_p;
+    std::unordered_set<TermId> gone_o;
+    for (const Triple& t : gone) {
+      gone_s.insert(t.s);
+      gone_p.insert(t.p);
+      gone_o.insert(t.o);
+    }
+    auto filter = [&](std::vector<Triple>& v) {
+      v.erase(std::remove_if(v.begin(), v.end(),
+                             [&](const Triple& t) {
+                               return gone_s.count(t.s) > 0 &&
+                                      gone.count(t) > 0;
+                             }),
+              v.end());
+    };
+    filter(triples_);
+    // Only buckets that a deleted triple touches can change, and one
+    // pass per distinct key suffices (per-triple scrubbing re-filters a
+    // shared bucket once per deleted triple — quadratic when a delete
+    // batch shares a predicate).
+    auto scrub = [&](std::unordered_map<TermId, std::vector<Triple>>& idx,
+                     const std::unordered_set<TermId>& keys) {
+      for (TermId key : keys) {
+        auto it = idx.find(key);
+        if (it == idx.end()) continue;
+        filter(it->second);
+        if (it->second.empty()) idx.erase(it);
+      }
+    };
+    scrub(by_s_, gone_s);
+    scrub(by_p_, gone_p);
+    scrub(by_o_, gone_o);
+    // The lazily built node list may contain terms whose last triple was
+    // just removed; rebuild from scratch on next use.
+    nodes_.clear();
+    node_set_.clear();
+    nodes_built_upto_ = 0;
+  }
+  size_t added = 0;
+  for (const Triple& t : inserts) {
+    if (Add(t)) ++added;
+  }
+  return {added, removed};
 }
 
 size_t Dataset::TotalTriples() const {

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "rdf/dictionary.h"
@@ -86,6 +87,15 @@ class Graph {
 
   /// Merges all triples of `other` into this graph.
   void MergeFrom(const Graph& other);
+
+  /// Applies a batch mutation: removes `deletes` (ignoring absent
+  /// triples), then adds `inserts` (ignoring duplicates), keeping the
+  /// set semantics and all indexes consistent. Returns
+  /// {added, removed} counts of triples that actually changed state.
+  /// The version counter advances once per effective change, so a
+  /// no-op batch leaves version() (and Dataset::Generation) untouched.
+  std::pair<size_t, size_t> ApplyDelta(const std::vector<Triple>& inserts,
+                                       const std::vector<Triple>& deletes);
 
  private:
   uint64_t version_ = 0;

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "rdf/turtle_parser.h"
 #include "server/json.h"
 
 namespace sparqlog::server {
@@ -30,6 +31,7 @@ const char* ReasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
@@ -238,6 +240,15 @@ HttpServer::HttpServer(const core::Engine* engine,
   if (options_.num_workers == 0) options_.num_workers = 1;
 }
 
+HttpServer::HttpServer(core::Engine* engine, rdf::TermDictionary* dict,
+                       HttpServerOptions options)
+    : HttpServer(static_cast<const core::Engine*>(engine),
+                 static_cast<const rdf::TermDictionary*>(dict),
+                 std::move(options)) {
+  mutable_engine_ = engine;
+  mutable_dict_ = dict;
+}
+
 HttpServer::~HttpServer() { Stop(); }
 
 Status HttpServer::Start() {
@@ -415,6 +426,13 @@ HttpResponse HttpServer::Route(const HttpRequest& request) const {
     }
     return ExecuteQuery(query_text);
   }
+  if (request.path == "/update") {
+    if (request.method != "POST") {
+      return {405, "application/json",
+              ErrorBody("method_not_allowed", "use POST")};
+    }
+    return UpdateResponse(request);
+  }
   if (request.path == "/stats") {
     if (request.method != "GET") {
       return {405, "application/json",
@@ -460,6 +478,55 @@ HttpResponse HttpServer::ExecuteQuery(const std::string& query_text) const {
   return {200, "application/sparql-results+json", std::move(results)};
 }
 
+HttpResponse HttpServer::UpdateResponse(const HttpRequest& request) const {
+  if (mutable_engine_ == nullptr) {
+    return {403, "application/json",
+            ErrorBody("read_only",
+                      "server was built over a const engine; updates are "
+                      "disabled")};
+  }
+  if (request.body.empty()) {
+    return {400, "application/json",
+            ErrorBody("missing_body", "no Turtle payload in request body")};
+  }
+  std::string op = FormValue(request.query, "op");
+  if (op.empty()) op = "insert";
+  if (op != "insert" && op != "delete") {
+    return {400, "application/json",
+            ErrorBody("bad_op", "op must be 'insert' or 'delete'")};
+  }
+  // The payload interns terms into the engine's own dictionary so the
+  // resulting triples carry the TermIds ApplyUpdate expects. Interning
+  // for a delete of unknown terms is harmless: the triples simply will
+  // not match and the update nets out as a no-op.
+  rdf::Graph staged;
+  Status parse = rdf::ParseTurtleIntoGraph(request.body, mutable_dict_,
+                                           &staged);
+  if (!parse.ok()) {
+    auto [http, code] = MapStatus(parse);
+    return {http, "application/json", ErrorBody(code, parse.message())};
+  }
+  std::vector<rdf::Triple> empty;
+  const std::vector<rdf::Triple>& triples = staged.triples();
+  core::Engine::UpdateStats us;
+  Status st = op == "insert"
+                  ? mutable_engine_->ApplyUpdate(triples, empty, &us)
+                  : mutable_engine_->ApplyUpdate(empty, triples, &us);
+  if (!st.ok()) {
+    auto [http, code] = MapStatus(st);
+    return {http, "application/json", ErrorBody(code, st.message())};
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("inserted").Number(static_cast<uint64_t>(us.inserted));
+  w.Key("deleted").Number(static_cast<uint64_t>(us.deleted));
+  w.Key("noop").Bool(us.noop);
+  w.Key("incremental").Bool(us.incremental);
+  w.Key("wall_ms").Number(us.wall_seconds * 1e3);
+  w.EndObject();
+  return {200, "application/json", w.Take()};
+}
+
 HttpResponse HttpServer::StatsResponse() const {
   core::Engine::EngineStats s = engine_->stats();
   core::Engine::StorageStats storage = engine_->edb_storage();
@@ -489,6 +556,13 @@ HttpResponse HttpServer::StatsResponse() const {
   w.Key("tc_kernels_hit").Number(s.tc_kernels_hit);
   w.Key("tc_dense_frontiers").Number(s.tc_dense_frontiers);
   w.Key("tc_sparse_frontiers").Number(s.tc_sparse_frontiers);
+  w.Key("updates").Number(s.updates);
+  w.Key("update_noops").Number(s.update_noops);
+  w.Key("strata_incremental").Number(s.strata_incremental);
+  w.Key("strata_dred").Number(s.strata_dred);
+  w.Key("incremental_fallbacks").Number(s.incremental_fallbacks);
+  w.Key("tuples_overdeleted").Number(s.tuples_overdeleted);
+  w.Key("tuples_rederived").Number(s.tuples_rederived);
   w.Key("storage").BeginObject();
   w.Key("tuples").Number(storage.tuples);
   w.Key("bytes").Number(storage.bytes);

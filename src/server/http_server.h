@@ -27,14 +27,25 @@
 ///   GET  /stats                       EngineStats + storage as JSON
 ///   GET  /healthz                     {"status":"ok","loaded":...}
 ///
+/// Routes (mutable server only):
+///   POST /update?op=insert|delete     body = Turtle triples; applies
+///                                     an incremental EDB update and
+///                                     returns `{"inserted":...,
+///                                     "deleted":...,"noop":...,
+///                                     "incremental":...,"wall_ms":...}`
+///
 /// Engine failures map onto HTTP statuses: parse/unsupported -> 400,
 /// unloaded engine or admission rejection -> 503, timeout -> 504,
 /// budget exhaustion -> 413, anything else -> 500. Error bodies are
 /// `{"error":{"code":...,"message":...}}`.
 ///
-/// The server never mutates the engine; HTTP is a read-only query
-/// surface. Connections are one-request (`Connection: close`) — ideal
-/// for a benchmark/ops endpoint, and it keeps the worker loop trivial.
+/// A server built over a `const Engine*` never mutates the engine and
+/// answers POST /update with 403 `read_only`; the mutable-engine
+/// constructor additionally enables /update, which serializes against
+/// in-flight queries through the engine's own publish lock, so readers
+/// always see a fully published EDB. Connections are one-request
+/// (`Connection: close`) — ideal for a benchmark/ops endpoint, and it
+/// keeps the worker loop trivial.
 
 namespace sparqlog::server {
 
@@ -88,6 +99,12 @@ class HttpServer {
   /// it is.
   HttpServer(const core::Engine* engine, const rdf::TermDictionary* dict,
              HttpServerOptions options = {});
+
+  /// Mutable-engine overload: same read surface, plus POST /update.
+  /// The dictionary must be the engine's own (update payloads intern
+  /// new terms into it before ApplyUpdate).
+  HttpServer(core::Engine* engine, rdf::TermDictionary* dict,
+             HttpServerOptions options = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -115,11 +132,15 @@ class HttpServer {
   void HandleConnection(int fd);
 
   HttpResponse ExecuteQuery(const std::string& query_text) const;
+  HttpResponse UpdateResponse(const HttpRequest& request) const;
   HttpResponse StatsResponse() const;
   HttpResponse HealthResponse() const;
 
   const core::Engine* engine_;
   const rdf::TermDictionary* dict_;
+  // Non-null only for the mutable-engine constructor; gates /update.
+  core::Engine* mutable_engine_ = nullptr;
+  rdf::TermDictionary* mutable_dict_ = nullptr;
   HttpServerOptions options_;
 
   std::atomic<int> listen_fd_{-1};

@@ -270,7 +270,15 @@ void SweepPlannerDifferential(const rdf::Dataset& dataset,
       ASSERT_TRUE(parsed.ok()) << names[i];
       auto a = planned.Execute(*parsed);
       auto b = plain.Execute(*parsed);
-      if (!a.ok() && !b.ok()) continue;  // both over budget: nothing to pin
+      // A budget-class failure (timeout / mem-out) on either side leaves
+      // nothing to compare — slow hosts (Debug, sanitizers) legitimately
+      // blow the 10 s deadline on the heaviest queries, on either engine.
+      // Skip those; min_swept still enforces coverage. Any other failure
+      // is a real bug and still fails the sweep.
+      auto over_budget = [](const Status& s) {
+        return s.IsTimeout() || s.IsResourceExhausted();
+      };
+      if (over_budget(a.status()) || over_budget(b.status())) continue;
       ASSERT_TRUE(a.ok()) << names[i] << " threads " << threads << ": "
                           << a.status().ToString();
       ASSERT_TRUE(b.ok()) << names[i] << " threads " << threads << ": "
