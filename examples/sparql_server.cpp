@@ -24,6 +24,7 @@
 #include "core/engine.h"
 #include "rdf/turtle_parser.h"
 #include "server/http_server.h"
+#include "util/retry.h"
 
 namespace {
 
@@ -67,6 +68,13 @@ int main(int argc, char** argv) {
 
   core::Engine::Options options;
   options.serving.max_in_flight = 64;
+  // Overload posture: queue briefly instead of failing fast, shed with
+  // 503 + Retry-After past the deadline, and let the sliding-window
+  // degrade controller shed caches / tighten admission under sustained
+  // pressure (it recovers on its own when load drops).
+  options.serving.queue_limit = 128;
+  options.serving.queue_timeout = std::chrono::milliseconds(100);
+  options.degrade.enabled = true;
   core::Engine engine(&dataset, &dict, options);
   if (auto st = engine.Load(); !st.ok()) {
     std::printf("load error: %s\n", st.ToString().c_str());
@@ -88,6 +96,19 @@ int main(int argc, char** argv) {
   std::printf("serving SPARQL on http://127.0.0.1:%u/sparql "
               "(/update, /stats, /healthz; Ctrl-C to stop)\n",
               server.port());
+
+  // Self-probe through the client-side retry helper: if the endpoint is
+  // momentarily shedding (503/kUnavailable) the probe backs off with
+  // jitter instead of hammering it — the pattern real clients should
+  // copy.
+  util::BackoffPolicy probe_policy;
+  probe_policy.max_attempts = 5;
+  probe_policy.seed = 42;
+  auto probe = util::RetryWithBackoff(probe_policy, [&] {
+    return engine.ExecuteText("SELECT * WHERE { ?s ?p ?o } LIMIT 1").status();
+  });
+  std::printf("self-probe: %s\n",
+              probe.ok() ? "ok" : probe.ToString().c_str());
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);

@@ -3,6 +3,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace sparqlog::core {
 
 using datalog::Database;
@@ -157,8 +159,11 @@ void BatchGraph(const rdf::Graph& graph, Value graph_value,
   }
 }
 
+SPARQLOG_FAILPOINT_DEFINE(g_fp_bulk_load, "core.edb.bulk_load");
+
 Status TranslateBulk(const rdf::Dataset& dataset, TermDictionary* dict,
                      const EdbPredicates& preds, Database* edb) {
+  SPARQLOG_FAILPOINT(g_fp_bulk_load);
   EdbBatch batch;
   Value default_graph = ValueFromTerm(DefaultGraphTerm(dict));
   SeenTerms seen(dict->size(), 0);  // after DefaultGraphTerm's intern
@@ -191,9 +196,14 @@ Status TranslateBulk(const rdf::Dataset& dataset, TermDictionary* dict,
 
 }  // namespace
 
+namespace {
+SPARQLOG_FAILPOINT_DEFINE(g_fp_translate, "core.edb.translate");
+}  // namespace
+
 Status DataTranslator::Translate(const rdf::Dataset& dataset,
                                  TermDictionary* dict, Database* edb,
                                  EdbBuild build) {
+  SPARQLOG_FAILPOINT(g_fp_translate);
   PredicateTable scratch;
   EdbPredicates preds = InternEdbPredicates(&scratch);
 

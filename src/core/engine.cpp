@@ -7,10 +7,20 @@
 #include "datalog/planner.h"
 #include "datalog/printer.h"
 #include "sparql/shape.h"
+#include "util/failpoint.h"
 
 namespace sparqlog::core {
 
 namespace {
+
+// Named fault-injection sites along the load / update publish protocol
+// (util/failpoint.h). Disarmed cost: one relaxed load each.
+SPARQLOG_FAILPOINT_DEFINE(g_fp_load_publish, "engine.load.publish");
+SPARQLOG_FAILPOINT_DEFINE(g_fp_update_net, "engine.update.net");
+SPARQLOG_FAILPOINT_DEFINE(g_fp_update_rebuild, "engine.update.rebuild");
+SPARQLOG_FAILPOINT_DEFINE(g_fp_update_translate, "engine.update.translate");
+SPARQLOG_FAILPOINT_DEFINE(g_fp_update_stage, "engine.update.stage");
+SPARQLOG_FAILPOINT_DEFINE(g_fp_update_publish, "engine.update.publish");
 
 /// CPU seconds consumed by the calling thread (fixpoint workers run on
 /// their own threads and are not included — that asymmetry is what lets a
@@ -43,22 +53,28 @@ Engine::Engine(const rdf::Dataset* dataset, rdf::TermDictionary* dict,
 Status Engine::Load() {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   const uint64_t generation = dataset_->Generation();
+  if (loaded_.load(std::memory_order_relaxed) &&
+      generation == loaded_generation_) {
+    return Status::OK();  // idempotent
+  }
+  // Cold EDB build into a scratch database: bulk-load by default —
+  // per-relation batches deduped in one pass against a one-shot-sized
+  // table — instead of tuple-at-a-time inserts. Building off to the side
+  // makes a failed (re)Load harmless: the previous snapshot, if any,
+  // keeps serving and nothing below this point has been touched.
+  datalog::Database fresh;
+  SPARQLOG_RETURN_NOT_OK(
+      DataTranslator::Translate(*dataset_, dict_, &fresh, options_.edb_build));
+  SPARQLOG_FAILPOINT(g_fp_load_publish);
   if (loaded_.load(std::memory_order_relaxed)) {
-    if (generation == loaded_generation_) return Status::OK();  // idempotent
-    // The dataset was mutated since the last Load: the materialized EDB
-    // and every memoized stratum result derived from it are stale.
-    // In-flight queries finished before we got the exclusive lock; they
-    // saw the previous snapshot consistently.
-    edb_ = datalog::Database();
+    // Re-Load over a mutated dataset: the materialized EDB and every
+    // memoized stratum result derived from it are stale. In-flight
+    // queries finished before we got the exclusive lock; they saw the
+    // previous snapshot consistently.
     stratum_memo_.Clear();
     counters_.invalidations.fetch_add(1, std::memory_order_relaxed);
-    loaded_.store(false, std::memory_order_relaxed);
   }
-  // Cold EDB build: bulk-load by default — per-relation batches deduped in
-  // one pass against a one-shot-sized table — instead of tuple-at-a-time
-  // inserts.
-  SPARQLOG_RETURN_NOT_OK(
-      DataTranslator::Translate(*dataset_, dict_, &edb_, options_.edb_build));
+  edb_ = std::move(fresh);
   loaded_generation_ = generation;
   // Re-anchor the incremental-update state: the stratum fingerprints of
   // this build are keyed by the fresh generation with all predicate
@@ -138,6 +154,7 @@ Status Engine::ApplyUpdate(const std::vector<rdf::Triple>& inserts,
     return finish(Status::FailedPrecondition(
         "Engine::ApplyUpdate: Load() must complete before updates"));
   }
+  if (Status st = g_fp_update_net.Check(); !st.ok()) return finish(st);
 
   // Net semantics (G \ deletes) ∪ inserts against the current default
   // graph: a triple in both lists stays present, deleting an absent
@@ -175,13 +192,26 @@ Status Engine::ApplyUpdate(const std::vector<rdf::Triple>& inserts,
   EdbPredicates preds = InternEdbPredicates(&scratch);
 
   if (!incremental) {
+    // The translator reads the dataset, so the graph must mutate first;
+    // a failed rebuild un-applies the delta, putting the graph's content
+    // back in sync with the still-served EDB. (The generation counter
+    // keeps moving — version counters never run backwards — which only
+    // means the *next* successful update publishes via this full-rebuild
+    // path again rather than incrementally.)
     graph.ApplyDelta(net_ins, net_del);
-    edb_ = datalog::Database();
+    datalog::Database fresh;
+    Status st = g_fp_update_rebuild.Check();
+    if (st.ok()) {
+      st = DataTranslator::Translate(*dataset_, dict_, &fresh,
+                                     options_.edb_build);
+    }
+    if (!st.ok()) {
+      graph.ApplyDelta(net_del, net_ins);
+      return finish(st);
+    }
+    edb_ = std::move(fresh);
     stratum_memo_.Clear();
     counters_.invalidations.fetch_add(1, std::memory_order_relaxed);
-    Status st = DataTranslator::Translate(*dataset_, dict_, &edb_,
-                                          options_.edb_build);
-    if (!st.ok()) return finish(st);
     loaded_generation_ = dataset_->Generation();
     edb_base_fp_ = loaded_generation_;
     edb_versions_.clear();
@@ -325,9 +355,29 @@ Status Engine::ApplyUpdate(const std::vector<rdf::Triple>& inserts,
     }
   }
 
-  // Mutate the graph, then apply the same delta to the materialized EDB:
-  // removals first, then insertions appended in walk order.
-  graph.ApplyDelta(net_ins, net_del);
+  // Apply the delta to the materialized EDB: removals first, then
+  // insertions appended in walk order. Every relation mutation is
+  // journaled so a failure anywhere before the commit point below rolls
+  // the EDB (and the occurrence counters) back to a state bit-identical
+  // to pre-update: RemoveRows captures an O(delta) undo of exactly what
+  // it destroyed, and staged inserts are peeled by suffix truncation.
+  // The dataset graph is untouched until the commit point, so rollback
+  // never has to revert it.
+  struct JournalEntry {
+    datalog::Relation* rel = nullptr;
+    uint32_t rows_after_remove = 0;  ///< truncation point undoing inserts
+    datalog::Relation::RemovalUndo removal;
+  };
+  std::vector<JournalEntry> journal;
+  journal.reserve(delta->preds.size());
+  auto rollback = [&]() {
+    for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+      it->rel->TruncateTo(it->rows_after_remove);
+      it->rel->RestoreRemoved(it->removal);
+    }
+    for (const auto& [id, count] : old_term) term_occ_[id] = count;
+    for (const auto& [id, count] : old_so) so_occ_[id] = count;
+  };
   auto pred_id = [&](const std::string& name) -> datalog::PredicateId {
     if (name == "triple") return preds.triple;
     if (name == "iri") return preds.iri;
@@ -336,18 +386,45 @@ Status Engine::ApplyUpdate(const std::vector<rdf::Triple>& inserts,
     if (name == "term") return preds.term;
     return preds.subject_or_object;
   };
+  if (Status st = g_fp_update_translate.Check(); !st.ok()) {
+    rollback();  // only the occurrence counters have moved so far
+    return finish(st);
+  }
   for (const auto& [name, d] : delta->preds) {
     datalog::Relation& rel = edb_.relation(pred_id(name), d.arity);
-    if (!d.del.empty()) rel.RemoveRows(d.del);
+    journal.emplace_back();
+    JournalEntry& entry = journal.back();
+    entry.rel = &rel;
+    if (!d.del.empty()) rel.RemoveRows(d.del, &entry.removal);
+    entry.rows_after_remove = static_cast<uint32_t>(rel.size());
+    if (Status st = g_fp_update_stage.Check(); !st.ok()) {
+      rollback();
+      return finish(st);
+    }
     if (!d.ins.empty()) {
       rel.InsertStaged(d.ins.data(), d.ins.size() / d.arity, 0);
     }
+    if (Status st = g_fp_update_stage.Check(); !st.ok()) {
+      rollback();
+      return finish(st);
+    }
+  }
+  if (Status st = g_fp_update_publish.Check(); !st.ok()) {
+    // The whole EDB delta is staged but nothing is published: the
+    // version counters, pending delta, graph and generation are all
+    // still pre-update, so rollback restores full bit-identity.
+    rollback();
+    return finish(st);
   }
 
-  // Publish: per-predicate version bumps invalidate exactly the strata
-  // reading a touched predicate; `edb_base_fp_` stays fixed so untouched
-  // strata keep their memo entries. The delta itself rides along for the
-  // evaluator's snapshot re-derivation.
+  // ---- Commit point ---------------------------------------------------
+  // Everything below is infallible publication: mutate the graph to
+  // match the EDB, then bump the per-predicate version counters —
+  // invalidating exactly the strata reading a touched predicate;
+  // `edb_base_fp_` stays fixed so untouched strata keep their memo
+  // entries. The delta itself rides along for the evaluator's snapshot
+  // re-derivation.
+  graph.ApplyDelta(net_ins, net_del);
   edb_prev_versions_ = edb_versions_;
   for (const auto& [name, d] : delta->preds) ++edb_versions_[name];
   pending_delta_ = std::move(delta);
@@ -471,27 +548,134 @@ Result<std::shared_ptr<const datalog::Program>> Engine::TranslateCached(
   return program;
 }
 
-Result<Engine::Execution> Engine::Execute(const sparql::Query& query,
-                                          const QueryLimits& limits) const {
-  // Admission control: fail fast past the in-flight bound so a saturated
-  // server sheds load instead of queueing unboundedly. The slot is held
-  // for the whole call (RAII) — rejected calls release it immediately.
-  struct Admission {
-    const Engine* engine;
-    ~Admission() {
-      engine->in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    }
-  };
-  const uint32_t admitted =
-      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
-  Admission slot{this};
+Status Engine::Admit(const QueryLimits& limits) const {
   const uint32_t max_in_flight = options_.serving.max_in_flight;
-  if (max_in_flight > 0 && admitted > max_in_flight) {
+  if (max_in_flight == 0) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  // Degraded mode tightens admission: half the configured capacity (at
+  // least one slot) until the outcome window recovers.
+  auto effective_cap = [&]() -> uint32_t {
+    uint32_t cap = max_in_flight;
+    if (degraded_.load(std::memory_order_relaxed)) {
+      cap = std::max(1u, cap / 2);
+    }
+    return cap;
+  };
+  if (in_flight_.load(std::memory_order_relaxed) < effective_cap()) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  const uint32_t queue_limit = options_.serving.queue_limit;
+  if (queue_limit == 0 || queue_waiters_ >= queue_limit) {
+    // Saturated and no queue slot: shed immediately (queue_limit == 0 is
+    // the legacy fail-fast mode).
     counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    RecordOutcomeLocked(Outcome::kShed);
     return Status::Unavailable(
         "Engine::Execute: admission control rejected the query (" +
-        std::to_string(max_in_flight) + " queries already in flight)");
+        std::to_string(effective_cap()) + " queries already in flight)");
   }
+  // Deadline-aware bounded wait: never hold a caller past the point
+  // where its own timeout budget would be mostly gone anyway.
+  std::chrono::milliseconds wait_budget = options_.serving.queue_timeout;
+  const std::chrono::milliseconds query_timeout =
+      limits.timeout.count() > 0 ? limits.timeout : options_.timeout;
+  if (query_timeout.count() > 0 && query_timeout < wait_budget) {
+    wait_budget = query_timeout;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + wait_budget;
+  ++queue_waiters_;
+  queued_total_.fetch_add(1, std::memory_order_relaxed);
+  while (in_flight_.load(std::memory_order_relaxed) >= effective_cap()) {
+    if (admission_cv_.wait_until(lock, deadline) ==
+        std::cv_status::timeout &&
+        in_flight_.load(std::memory_order_relaxed) >= effective_cap()) {
+      --queue_waiters_;
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      RecordOutcomeLocked(Outcome::kShed);
+      return Status::Unavailable(
+          "Engine::Execute: queued past the admission deadline (" +
+          std::to_string(wait_budget.count()) + " ms)");
+    }
+  }
+  --queue_waiters_;
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Engine::ReleaseAdmission() const {
+  if (options_.serving.max_in_flight == 0) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    // Decrement under the lock so a waiter cannot observe "full" and
+    // park between our decrement and notify (lost wake-up).
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  admission_cv_.notify_one();
+}
+
+void Engine::RecordOutcome(Outcome outcome) const {
+  if (!options_.degrade.enabled) return;
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  RecordOutcomeLocked(outcome);
+}
+
+void Engine::RecordOutcomeLocked(Outcome outcome) const {
+  const Options::Degrade& cfg = options_.degrade;
+  if (!cfg.enabled || cfg.window == 0) return;
+  if (outcome_ring_.size() != cfg.window) {
+    outcome_ring_.assign(cfg.window, 0);
+    outcome_pos_ = 0;
+    outcome_count_ = 0;
+    outcome_bad_ = 0;
+  }
+  const uint8_t bad = outcome == Outcome::kOk ? 0 : 1;
+  if (outcome_count_ == outcome_ring_.size()) {
+    outcome_bad_ -= outcome_ring_[outcome_pos_];
+  } else {
+    ++outcome_count_;
+  }
+  outcome_ring_[outcome_pos_] = bad;
+  outcome_bad_ += bad;
+  outcome_pos_ = (outcome_pos_ + 1) % outcome_ring_.size();
+  if (outcome_count_ < cfg.min_events) return;
+  const double ratio = double(outcome_bad_) / double(outcome_count_);
+  const bool degraded = degraded_.load(std::memory_order_relaxed);
+  if (!degraded && ratio >= cfg.enter_ratio) {
+    // Enter degraded mode: shed both caches (reclaiming the memo's byte
+    // budget immediately) and halve the admission cap via effective_cap.
+    // Lock order: admission_mu_ -> cache mutexes; the caches never call
+    // back into admission.
+    degraded_.store(true, std::memory_order_relaxed);
+    degrade_entries_.fetch_add(1, std::memory_order_relaxed);
+    stratum_memo_.Clear();
+    program_cache_.Clear();
+  } else if (degraded && ratio <= cfg.exit_ratio) {
+    degraded_.store(false, std::memory_order_relaxed);
+    degrade_exits_.fetch_add(1, std::memory_order_relaxed);
+    // Capacity just doubled back: wake every queued waiter to re-check.
+    admission_cv_.notify_all();
+  }
+}
+
+Result<Engine::Execution> Engine::Execute(const sparql::Query& query,
+                                          const QueryLimits& limits) const {
+  // Admission control: within the in-flight bound, or a bounded
+  // deadline-aware wait for a slot (Options::Serving::queue_limit), or
+  // shed with Unavailable so a saturated server degrades instead of
+  // queueing unboundedly. The slot is held for the whole call (RAII).
+  SPARQLOG_RETURN_NOT_OK(Admit(limits));
+  struct Admission {
+    const Engine* engine;
+    ~Admission() { engine->ReleaseAdmission(); }
+  };
+  Admission slot{this};
 
   // Reader side of the load lock: every concurrent query sees one
   // consistent loaded snapshot, and a re-Load waits for us to finish.
@@ -533,8 +717,16 @@ Result<Engine::Execution> Engine::Execute(const sparql::Query& query,
 
   if (result.ok()) {
     counters_.queries.fetch_add(1, std::memory_order_relaxed);
+    RecordOutcome(Outcome::kOk);
   } else {
     counters_.failures.fetch_add(1, std::memory_order_relaxed);
+    // Only pressure signals feed the degrade window: a parse error or
+    // unsupported feature says nothing about load.
+    if (result.status().IsTimeout()) {
+      RecordOutcome(Outcome::kTimeout);
+    } else if (result.status().IsResourceExhausted()) {
+      RecordOutcome(Outcome::kMemOut);
+    }
   }
   return result;
 }
@@ -577,7 +769,11 @@ Result<Engine::Execution> Engine::ExecuteInternal(
   evaluator.set_parallel_merge(options_.parallelism.parallel_merge);
   evaluator.set_parallel_naive(options_.parallelism.parallel_naive);
   evaluator.set_tc_kernel(options_.fixpoint.tc_kernel);
-  if (options_.caching.stratum_memo && !scoped) {
+  // Degraded mode bypasses the stratum memo entirely: no lookups (the
+  // memo was just shed) and — more importantly — no new snapshots taken
+  // while the engine is trying to shed memory.
+  if (options_.caching.stratum_memo && !scoped &&
+      !degraded_.load(std::memory_order_relaxed)) {
     // The memo anchor is the cold-load generation; incremental updates
     // refine it with per-predicate versions instead of moving it, so
     // strata over untouched predicates keep their snapshots. The latest
@@ -676,6 +872,10 @@ Engine::EngineStats Engine::stats() const {
   s.failures = ld(counters_.failures);
   s.rejected = ld(counters_.rejected);
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.queued = queued_total_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.degrade_entries = degrade_entries_.load(std::memory_order_relaxed);
+  s.degrade_exits = degrade_exits_.load(std::memory_order_relaxed);
   s.program_hits = ld(counters_.program_hits);
   s.program_rebinds = ld(counters_.program_rebinds);
   s.program_misses = ld(counters_.program_misses);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <shared_mutex>
 #include <string_view>
@@ -131,6 +132,32 @@ class Engine {
       /// fast with Status::Unavailable instead of queueing. 0 (default)
       /// = unlimited.
       uint32_t max_in_flight = 0;
+      /// Bounded admission wait queue: when max_in_flight is saturated,
+      /// up to this many calls wait for a slot instead of failing fast;
+      /// calls beyond it — or whose deadline passes while waiting — are
+      /// shed with Unavailable. 0 (default) keeps pure fail-fast.
+      uint32_t queue_limit = 0;
+      /// Longest a queued call waits for a slot before being shed. The
+      /// effective deadline is the smaller of this and the query's own
+      /// timeout — a query that would blow its budget queueing is shed
+      /// immediately rather than admitted doomed.
+      std::chrono::milliseconds queue_timeout{100};
+    };
+
+    /// Graceful degradation under sustained overload: a sliding window
+    /// of query outcomes (ok / timeout / mem-out / shed) drives a
+    /// degraded mode that sheds the stratum memo and program cache
+    /// (reclaiming memory), halves the effective admission capacity, and
+    /// bypasses new memoization until the bad-outcome ratio falls back
+    /// below exit_ratio — recovery is automatic, no operator action.
+    struct Degrade {
+      /// Off by default; serving deployments (examples/sparql_server)
+      /// turn it on.
+      bool enabled = false;
+      uint32_t window = 64;      ///< outcomes tracked in the ring
+      uint32_t min_events = 16;  ///< outcomes before the ratio is trusted
+      double enter_ratio = 0.5;  ///< bad fraction that enters degraded
+      double exit_ratio = 0.125; ///< bad fraction that exits degraded
     };
 
     /// Incremental EDB maintenance (ApplyUpdate; datalog/incremental.h).
@@ -162,6 +189,7 @@ class Engine {
     Planner planner;
     Fixpoint fixpoint;
     Serving serving;
+    Degrade degrade;
     Update update;
   };
 
@@ -217,8 +245,13 @@ class Engine {
   struct EngineStats {
     uint64_t queries = 0;         ///< admitted Execute calls, completed
     uint64_t failures = 0;        ///< admitted calls that returned !ok
-    uint64_t rejected = 0;        ///< admission-control rejections
+    uint64_t rejected = 0;        ///< admission-control rejections (shed)
     uint64_t in_flight = 0;       ///< currently admitted calls
+    uint64_t queued = 0;          ///< calls that waited in the admission queue
+    // Degraded-mode controller (Options::Degrade).
+    bool degraded = false;        ///< currently in degraded mode
+    uint64_t degrade_entries = 0; ///< times degraded mode was entered
+    uint64_t degrade_exits = 0;   ///< times it recovered automatically
     // Program cache.
     uint64_t program_hits = 0;
     uint64_t program_rebinds = 0;
@@ -339,6 +372,10 @@ class Engine {
   /// Engine-lifetime stats snapshot (atomics; callable from any thread).
   EngineStats stats() const;
 
+  /// True while the degraded-mode controller (Options::Degrade) has the
+  /// engine shedding caches and tightening admission. Lock-free.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+
   datalog::SkolemStore* skolems() const { return &skolems_; }
 
   /// Storage footprint of the materialized EDB (TupleStore arenas, dedup
@@ -380,6 +417,20 @@ class Engine {
     std::atomic<uint64_t> tuples_overdeleted{0};
     std::atomic<uint64_t> tuples_rederived{0};
   };
+
+  /// What an admitted query's completion tells the degrade controller.
+  enum class Outcome : uint8_t { kOk, kTimeout, kMemOut, kShed };
+
+  /// Admission control: admits within the (possibly degraded) in-flight
+  /// cap, waits deadline-aware in the bounded queue when saturated, and
+  /// sheds with Unavailable otherwise. Pairs with ReleaseAdmission.
+  Status Admit(const QueryLimits& limits) const;
+  void ReleaseAdmission() const;
+  /// Feeds one outcome into the sliding window and flips degraded mode
+  /// across the enter/exit thresholds. Lock order: admission_mu_ before
+  /// the (internally synchronized) cache mutexes.
+  void RecordOutcome(Outcome outcome) const;
+  void RecordOutcomeLocked(Outcome outcome) const;
 
   Result<Execution> ExecuteInternal(const sparql::Query& query,
                                     datalog::Database* edb,
@@ -461,6 +512,21 @@ class Engine {
 
   mutable Counters counters_;
   mutable std::atomic<uint32_t> in_flight_{0};
+
+  /// Admission queue + degraded-mode controller. `admission_mu_` guards
+  /// the waiter bookkeeping and the outcome ring; `degraded_` is also
+  /// read lock-free on the query path (memo bypass, /healthz).
+  mutable std::mutex admission_mu_;
+  mutable std::condition_variable admission_cv_;
+  mutable uint32_t queue_waiters_ = 0;
+  mutable std::vector<uint8_t> outcome_ring_;  ///< 1 = bad outcome
+  mutable size_t outcome_pos_ = 0;
+  mutable size_t outcome_count_ = 0;
+  mutable uint32_t outcome_bad_ = 0;
+  mutable std::atomic<bool> degraded_{false};
+  mutable std::atomic<uint64_t> queued_total_{0};
+  mutable std::atomic<uint64_t> degrade_entries_{0};
+  mutable std::atomic<uint64_t> degrade_exits_{0};
 };
 
 }  // namespace sparqlog::core

@@ -83,6 +83,14 @@ class ProgramCache {
   /// least-recently-used entry beyond capacity.
   void Insert(const sparql::QueryShape& shape, Entry entry);
 
+  /// Drops every entry (not counted as evictions). The degraded-mode
+  /// controller calls this to shed memory under sustained overload.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.clear();
+    lru_.clear();
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return index_.size();

@@ -7,11 +7,14 @@
 
 #include "datalog/stride.h"
 #include "datalog/tc_kernel.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace sparqlog::datalog {
 
 namespace {
+
+SPARQLOG_FAILPOINT_DEFINE(g_fp_stratum_begin, "datalog.stratum.begin");
 
 constexpr uint32_t kNoDelta = 0xffffffffu;
 
@@ -588,6 +591,7 @@ Status Evaluator::Evaluate(const Program& program, Database* edb,
   for (uint32_t s = 0; s < strat.num_strata; ++s) {
     const std::vector<uint32_t>& rule_ids = strat.strata_rules[s];
     if (rule_ids.empty()) continue;
+    SPARQLOG_FAILPOINT(g_fp_stratum_begin);
 
     // Head predicates defined in this stratum (delta candidates; also the
     // unit of incremental change tracking).

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/failpoint.h"
+
 namespace sparqlog::datalog {
 
 namespace {
+
+SPARQLOG_FAILPOINT_DEFINE(g_fp_merge_round, "datalog.merge.round");
 
 /// Initial open-addressing table size (power of two).
 constexpr size_t kInitialSlots = 16;
@@ -359,9 +363,11 @@ uint32_t Relation::BulkLoad(const Value* rows, size_t num_rows,
   return loaded;
 }
 
-size_t Relation::RemoveRows(const Value* rows, size_t num_rows) {
+size_t Relation::RemoveRows(const Value* rows, size_t num_rows,
+                            RemovalUndo* undo) {
   const uint32_t k = arity();
   assert(k > 0);
+  if (undo != nullptr) *undo = RemovalUndo{};
   if (num_rows == 0 || store_.size() == 0) return 0;
   // Locate each doomed row through the dedup table and unlink it with
   // backward-shift deletion (linear probe chains stay dense, no
@@ -419,6 +425,20 @@ size_t Relation::RemoveRows(const Value* rows, size_t num_rows) {
     return 0;
   });
   if (removed == 0) return 0;
+  if (undo != nullptr) {
+    // The arena is still pre-removal here (only dedup slots were
+    // unlinked above), so the doomed scan reads original ids and values.
+    undo->prior_rows = store_.size();
+    undo->round_marks = round_marks_;
+    undo->ids.reserve(removed);
+    undo->rows.reserve(removed * k);
+    for (uint32_t id = 0; id < store_.size(); ++id) {
+      if (!doomed[id]) continue;
+      undo->ids.push_back(id);
+      const Value* r = store_.row_data(id);
+      undo->rows.insert(undo->rows.end(), r, r + k);
+    }
+  }
   // When every doomed row sits at the arena tail — the common shape for
   // retracting recently inserted tuples — survivors keep their ids:
   // truncate and stop, touching nothing proportional to the relation.
@@ -470,6 +490,53 @@ size_t Relation::RemoveRows(const Value* rows, size_t num_rows) {
   num_indexes_.store(0, std::memory_order_release);
   overflow_indexes_.clear();
   return removed;
+}
+
+void Relation::RestoreRemoved(const RemovalUndo& undo) {
+  if (undo.empty()) return;
+  const uint32_t k = arity();
+  assert(store_.size() + undo.ids.size() == undo.prior_rows);
+  // Rebuild the pre-removal arena: removed tuples reclaim their original
+  // ids, survivors (currently packed in original relative order) fill
+  // the gaps in sequence.
+  std::vector<Value> arena(static_cast<size_t>(undo.prior_rows) * k);
+  std::vector<char> removed_at(undo.prior_rows, 0);
+  for (size_t i = 0; i < undo.ids.size(); ++i) {
+    const uint32_t id = undo.ids[i];
+    removed_at[id] = 1;
+    std::copy(undo.rows.begin() + i * k, undo.rows.begin() + (i + 1) * k,
+              arena.begin() + static_cast<size_t>(id) * k);
+  }
+  uint32_t src = 0;
+  for (uint32_t id = 0; id < undo.prior_rows; ++id) {
+    if (removed_at[id]) continue;
+    std::copy(store_.arena_.begin() + static_cast<size_t>(src) * k,
+              store_.arena_.begin() + static_cast<size_t>(src + 1) * k,
+              arena.begin() + static_cast<size_t>(id) * k);
+    ++src;
+  }
+  assert(src == store_.size());
+  store_.arena_ = std::move(arena);
+  store_.num_rows_ = undo.prior_rows;
+  store_.Rehash(SlotsFor(undo.prior_rows));
+  round_marks_ = undo.round_marks;
+  for (auto& index : indexes_) index.reset();
+  num_indexes_.store(0, std::memory_order_release);
+  overflow_indexes_.clear();
+}
+
+void Relation::TruncateTo(uint32_t keep_rows) {
+  assert(keep_rows <= store_.size());
+  if (keep_rows == store_.size()) return;
+  store_.num_rows_ = keep_rows;
+  store_.arena_.resize(static_cast<size_t>(keep_rows) * arity());
+  store_.Rehash(SlotsFor(keep_rows));
+  while (!round_marks_.empty() && round_marks_.back().second >= keep_rows) {
+    round_marks_.pop_back();
+  }
+  for (auto& index : indexes_) index.reset();
+  num_indexes_.store(0, std::memory_order_release);
+  overflow_indexes_.clear();
 }
 
 uint32_t Relation::row_round(uint32_t id) const {
@@ -565,6 +632,7 @@ Result<uint64_t> MergeStagedParallel(std::vector<StagedMergeTask>* tasks,
                                      uint32_t round, ThreadPool* pool,
                                      ExecContext* ctx, uint32_t* merge_phases,
                                      uint32_t* fanout_width) {
+  SPARQLOG_FAILPOINT(g_fp_merge_round);
   // Only predicates with staged rows occupy a merge slot; an all-empty
   // barrier costs no worker wake-up at all.
   std::vector<StagedMergeTask*> live;

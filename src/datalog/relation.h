@@ -326,6 +326,19 @@ class Relation {
   /// enables). Single-writer, like Insert.
   void AppendDistinct(const Value* rows, size_t num_rows, uint32_t round);
 
+  /// What a RemoveRows call destroyed, captured before the arena is
+  /// touched so RestoreRemoved can rebuild the exact pre-removal state
+  /// (arena order, round marks). O(delta) to capture; only the rare
+  /// rollback pays O(relation).
+  struct RemovalUndo {
+    std::vector<uint32_t> ids;  ///< removed row ids, ascending, pre-removal
+    std::vector<Value> rows;    ///< their tuples, ids order, arity stride
+    std::vector<std::pair<uint32_t, uint32_t>> round_marks;  ///< pre-removal
+    uint32_t prior_rows = 0;    ///< pre-removal row count
+
+    bool empty() const { return ids.empty(); }
+  };
+
   /// Removes every listed tuple that is present (flat TupleStore layout,
   /// arity() stride); returns the number actually removed. The arena is
   /// compacted preserving the survivors' relative order and the dedup
@@ -333,11 +346,31 @@ class Relation {
   /// round 0 and every built index is dropped (rebuilt lazily on the
   /// next probe). Single-writer, like Insert — the incremental-update
   /// path calls this under the engine's exclusive state lock.
-  size_t RemoveRows(const Value* rows, size_t num_rows);
-  size_t RemoveRows(const std::vector<Value>& rows) {
+  ///
+  /// When `undo` is non-null it is overwritten with what was removed
+  /// (empty if nothing matched), priced O(removed) on this hot path.
+  size_t RemoveRows(const Value* rows, size_t num_rows,
+                    RemovalUndo* undo = nullptr);
+  size_t RemoveRows(const std::vector<Value>& rows,
+                    RemovalUndo* undo = nullptr) {
     assert(arity() > 0 && rows.size() % arity() == 0);
-    return RemoveRows(rows.data(), rows.size() / arity());
+    return RemoveRows(rows.data(), rows.size() / arity(), undo);
   }
+
+  /// Exactly undoes a RemoveRows given its undo record: every removed
+  /// tuple reclaims its original row id, survivors shift back, and the
+  /// pre-removal round marks are reinstated — the arena ends up
+  /// value-identical to the pre-removal arena. O(relation); indexes drop
+  /// and rebuild lazily. Must run on the state RemoveRows left behind
+  /// (after TruncateTo has peeled any later inserts).
+  void RestoreRemoved(const RemovalUndo& undo);
+
+  /// Discards every row with id >= `keep_rows` — the exact inverse of an
+  /// append (Insert / InsertStaged / AppendDistinct) when nothing else
+  /// intervened, which is how the update rollback peels staged inserts.
+  /// Round marks opened at or past the cut are dropped; indexes drop and
+  /// rebuild lazily.
+  void TruncateTo(uint32_t keep_rows);
 
   /// Cursor over all rows in insertion order. Invalidated by inserts.
   TupleCursor rows() const {

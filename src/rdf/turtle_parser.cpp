@@ -4,11 +4,15 @@
 #include <map>
 #include <optional>
 
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace sparqlog::rdf {
 
 namespace {
+
+SPARQLOG_FAILPOINT_DEFINE(g_fp_statement, "rdf.turtle.statement");
+SPARQLOG_FAILPOINT_DEFINE(g_fp_intern, "rdf.intern.term");
 
 /// Recursive-descent Turtle reader over a raw character buffer.
 class TurtleReader {
@@ -21,6 +25,7 @@ class TurtleReader {
     while (true) {
       SkipWs();
       if (AtEnd()) return Status::OK();
+      SPARQLOG_FAILPOINT(g_fp_statement);
       SPARQLOG_RETURN_NOT_OK(Statement());
     }
   }
@@ -246,6 +251,7 @@ class TurtleReader {
   }
 
   Status ReadIriTerm(TermId* out) {
+    SPARQLOG_FAILPOINT(g_fp_intern);
     SkipWs();
     if (Peek() == '<') {
       std::string iri;

@@ -15,10 +15,19 @@
 
 #include "rdf/turtle_parser.h"
 #include "server/json.h"
+#include "util/failpoint.h"
 
 namespace sparqlog::server {
 
 namespace {
+
+// Fired before reading a request off an accepted connection / before
+// writing a response back. The read site turns into the mapped HTTP
+// error for the injected status; the write site drops the response on
+// the floor (client sees a closed connection), exercising client-side
+// retry paths.
+SPARQLOG_FAILPOINT_DEFINE(g_fp_http_read, "server.http.read");
+SPARQLOG_FAILPOINT_DEFINE(g_fp_http_write, "server.http.write");
 
 int HexVal(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -52,15 +61,14 @@ std::string ErrorBody(std::string_view code, std::string_view message) {
   return w.Take();
 }
 
-/// HTTP status + machine-readable code for a failed engine Status.
-std::pair<int, const char*> MapStatus(const Status& st) {
-  if (st.IsParseError()) return {400, "parse_error"};
-  if (st.IsNotSupported()) return {400, "not_supported"};
-  if (st.IsFailedPrecondition()) return {503, "not_loaded"};
-  if (st.IsUnavailable()) return {503, "overloaded"};
-  if (st.IsTimeout()) return {504, "timeout"};
-  if (st.IsResourceExhausted()) return {413, "budget_exceeded"};
-  return {500, "internal"};
+/// Renders a failed engine Status as a complete error response
+/// (status line, JSON body, Retry-After when the mapping carries one).
+HttpResponse ErrorResponse(const Status& st) {
+  HttpStatusMapping m = StatusToHttp(st);
+  HttpResponse response{m.http, "application/json",
+                        ErrorBody(m.code, st.message())};
+  response.retry_after_seconds = m.retry_after_seconds;
+  return response;
 }
 
 const char* ProgramSourceName(core::Engine::ProgramSource source) {
@@ -76,10 +84,18 @@ const char* ProgramSourceName(core::Engine::ProgramSource source) {
 /// Serializes and writes a full HTTP/1.1 response; best-effort (the
 /// client may already be gone, which is fine for a one-shot connection).
 void WriteResponse(int fd, const HttpResponse& response) {
+  // Injected write failure: the response is simply never sent, as if
+  // the kernel buffer errored out mid-write. The connection still gets
+  // closed by the caller, so clients observe a truncated exchange.
+  if (!g_fp_http_write.Check().ok()) return;
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     ReasonPhrase(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.retry_after_seconds > 0) {
+    out += "Retry-After: " + std::to_string(response.retry_after_seconds) +
+           "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   out += response.body;
   size_t sent = 0;
@@ -193,6 +209,38 @@ ReadOutcome ReadRequest(int fd, size_t max_bytes, int timeout_ms,
 }
 
 }  // namespace
+
+HttpStatusMapping StatusToHttp(const Status& st) {
+  // Exhaustive by design: no default case, so adding a StatusCode
+  // without deciding its HTTP rendering breaks the -Wswitch build here
+  // instead of silently becoming a 500. Only genuinely transient
+  // conditions advertise Retry-After — admission shedding clears within
+  // a queue timeout; an unloaded engine is loading and worth a short
+  // client-side pause.
+  switch (st.code()) {
+    case StatusCode::kOk:
+      return {200, "ok", 0};
+    case StatusCode::kInvalidArgument:
+      return {400, "invalid_argument", 0};
+    case StatusCode::kParseError:
+      return {400, "parse_error", 0};
+    case StatusCode::kNotSupported:
+      return {400, "not_supported", 0};
+    case StatusCode::kNotFound:
+      return {404, "not_found", 0};
+    case StatusCode::kTimeout:
+      return {504, "timeout", 0};
+    case StatusCode::kResourceExhausted:
+      return {413, "budget_exceeded", 0};
+    case StatusCode::kFailedPrecondition:
+      return {503, "not_loaded", 1};
+    case StatusCode::kUnavailable:
+      return {503, "overloaded", 1};
+    case StatusCode::kInternal:
+      return {500, "internal", 0};
+  }
+  return {500, "internal", 0};  // unreachable; keeps non-GCC builds happy
+}
 
 std::string UrlDecode(std::string_view in) {
   std::string out;
@@ -320,6 +368,7 @@ void HttpServer::Stop() {
   for (int fd : leftover) {
     HttpResponse busy{503, "application/json",
                       ErrorBody("shutting_down", "server stopping")};
+    busy.retry_after_seconds = 1;
     WriteResponse(fd, busy);
     ::close(fd);
   }
@@ -348,6 +397,7 @@ void HttpServer::AcceptLoop() {
       // Backpressure: reject instead of queueing without bound.
       HttpResponse busy{503, "application/json",
                         ErrorBody("overloaded", "connection queue full")};
+      busy.retry_after_seconds = 1;
       WriteResponse(fd, busy);
       ::close(fd);
     }
@@ -372,6 +422,14 @@ void HttpServer::WorkerLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
+  // Injected read failure: the connection is answered with the mapped
+  // HTTP error without ever touching the socket's receive side —
+  // deterministic stand-in for a client that errors out mid-request.
+  if (Status st = g_fp_http_read.Check(); !st.ok()) {
+    WriteResponse(fd, ErrorResponse(st));
+    ::close(fd);
+    return;
+  }
   HttpRequest request;
   switch (ReadRequest(fd, options_.max_request_bytes,
                       options_.recv_timeout_ms, &request)) {
@@ -454,9 +512,7 @@ HttpResponse HttpServer::Route(const HttpRequest& request) const {
 HttpResponse HttpServer::ExecuteQuery(const std::string& query_text) const {
   auto execution = engine_->ExecuteText(query_text);
   if (!execution.ok()) {
-    auto [http, code] = MapStatus(execution.status());
-    return {http, "application/json",
-            ErrorBody(code, execution.status().message())};
+    return ErrorResponse(execution.status());
   }
   // SPARQL results JSON with a non-standard "stats" sibling — the whole
   // point of the redesigned Execute() is that per-query stats ride the
@@ -503,8 +559,9 @@ HttpResponse HttpServer::UpdateResponse(const HttpRequest& request) const {
   Status parse = rdf::ParseTurtleIntoGraph(request.body, mutable_dict_,
                                            &staged);
   if (!parse.ok()) {
-    auto [http, code] = MapStatus(parse);
-    return {http, "application/json", ErrorBody(code, parse.message())};
+    // The staged graph dies here: nothing reached the engine, so the
+    // dataset, generation, and version counters are untouched.
+    return ErrorResponse(parse);
   }
   std::vector<rdf::Triple> empty;
   const std::vector<rdf::Triple>& triples = staged.triples();
@@ -513,8 +570,7 @@ HttpResponse HttpServer::UpdateResponse(const HttpRequest& request) const {
                   ? mutable_engine_->ApplyUpdate(triples, empty, &us)
                   : mutable_engine_->ApplyUpdate(empty, triples, &us);
   if (!st.ok()) {
-    auto [http, code] = MapStatus(st);
-    return {http, "application/json", ErrorBody(code, st.message())};
+    return ErrorResponse(st);
   }
   JsonWriter w;
   w.BeginObject();
@@ -536,6 +592,10 @@ HttpResponse HttpServer::StatsResponse() const {
   w.Key("failures").Number(s.failures);
   w.Key("rejected").Number(s.rejected);
   w.Key("in_flight").Number(s.in_flight);
+  w.Key("queued").Number(s.queued);
+  w.Key("degraded").Bool(s.degraded);
+  w.Key("degrade_entries").Number(s.degrade_entries);
+  w.Key("degrade_exits").Number(s.degrade_exits);
   w.Key("program_hits").Number(s.program_hits);
   w.Key("program_rebinds").Number(s.program_rebinds);
   w.Key("program_misses").Number(s.program_misses);
@@ -572,12 +632,21 @@ HttpResponse HttpServer::StatsResponse() const {
 }
 
 HttpResponse HttpServer::HealthResponse() const {
+  // Degraded is still serving (shed caches, tightened admission), so it
+  // keeps HTTP 200 — load balancers should not eject a node that is
+  // deliberately riding out an overload — but the status string flips
+  // so operators and probes can see it.
+  const bool loaded = engine_->loaded();
+  const bool degraded = loaded && engine_->degraded();
   JsonWriter w;
   w.BeginObject();
-  w.Key("status").String(engine_->loaded() ? "ok" : "loading");
-  w.Key("loaded").Bool(engine_->loaded());
+  w.Key("status").String(!loaded ? "loading" : degraded ? "degraded" : "ok");
+  w.Key("loaded").Bool(loaded);
+  w.Key("degraded").Bool(degraded);
   w.EndObject();
-  return {engine_->loaded() ? 200 : 503, "application/json", w.Take()};
+  HttpResponse response{loaded ? 200 : 503, "application/json", w.Take()};
+  if (!loaded) response.retry_after_seconds = 1;
+  return response;
 }
 
 }  // namespace sparqlog::server

@@ -34,9 +34,11 @@
 ///                                     "deleted":...,"noop":...,
 ///                                     "incremental":...,"wall_ms":...}`
 ///
-/// Engine failures map onto HTTP statuses: parse/unsupported -> 400,
-/// unloaded engine or admission rejection -> 503, timeout -> 504,
-/// budget exhaustion -> 413, anything else -> 500. Error bodies are
+/// Engine failures map onto HTTP statuses through `StatusToHttp`, an
+/// exhaustive per-StatusCode table: parse/unsupported/invalid -> 400,
+/// not found -> 404, unloaded engine or admission shedding -> 503 with
+/// a Retry-After header, timeout -> 504, budget exhaustion -> 413,
+/// internal -> 500. Error bodies are
 /// `{"error":{"code":...,"message":...}}`.
 ///
 /// A server built over a `const Engine*` never mutates the engine and
@@ -83,7 +85,26 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// When > 0, a `Retry-After: N` header is emitted — set on 503s so
+  /// well-behaved clients back off instead of hammering a shedding
+  /// server (the retry helper in util/retry.h honors it).
+  int retry_after_seconds = 0;
 };
+
+/// Deliberate HTTP rendering of one engine StatusCode: the status line,
+/// a machine-readable error code, and the Retry-After hint (0 = none).
+struct HttpStatusMapping {
+  int http = 500;
+  const char* code = "internal";
+  int retry_after_seconds = 0;
+};
+
+/// Maps every `Status` onto HTTP deliberately — overload → 503 with
+/// Retry-After, client errors → 4xx, never a default 500 for a typed
+/// status. Exhaustive over StatusCode (a new code fails the build here
+/// rather than silently becoming a 500). Public for the table-driven
+/// mapping test.
+HttpStatusMapping StatusToHttp(const Status& st);
 
 /// Percent-decoding for URL query parameters ('+' becomes space).
 std::string UrlDecode(std::string_view in);

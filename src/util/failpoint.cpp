@@ -1,0 +1,301 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace sparqlog::util {
+
+namespace {
+
+/// StatusCode by its snake_case spec name; kOk doubles as the
+/// parse-failure marker since injecting OK is meaningless.
+StatusCode CodeByName(std::string_view name) {
+  if (name == "invalid_argument") return StatusCode::kInvalidArgument;
+  if (name == "parse_error") return StatusCode::kParseError;
+  if (name == "not_supported") return StatusCode::kNotSupported;
+  if (name == "not_found") return StatusCode::kNotFound;
+  if (name == "timeout") return StatusCode::kTimeout;
+  if (name == "resource_exhausted") return StatusCode::kResourceExhausted;
+  if (name == "internal") return StatusCode::kInternal;
+  if (name == "failed_precondition") return StatusCode::kFailedPrecondition;
+  if (name == "unavailable") return StatusCode::kUnavailable;
+  return StatusCode::kOk;
+}
+
+/// Splits "head(args)" into its parts; returns false when `in` has no
+/// parenthesized argument list.
+bool SplitCall(std::string_view in, std::string_view* head,
+               std::string_view* args) {
+  size_t open = in.find('(');
+  if (open == std::string_view::npos || in.empty() || in.back() != ')') {
+    return false;
+  }
+  *head = in.substr(0, open);
+  *args = in.substr(open + 1, in.size() - open - 2);
+  return true;
+}
+
+bool ParseU64(std::string_view in, uint64_t* out) {
+  if (in.empty()) return false;
+  uint64_t v = 0;
+  for (char c : in) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+// --- FailpointSite ----------------------------------------------------------
+
+FailpointSite::FailpointSite(const char* name) : name_(name) {
+  Failpoints::Instance().Register(this);
+}
+
+Status FailpointSite::Eval() {
+  Action action;
+  uint64_t delay_ms = 0;
+  StatusCode code;
+  uint64_t hit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Arm/Disarm raced us to the slow path: treat as disarmed.
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    hit = hits_++;
+    switch (trigger_) {
+      case Trigger::kAlways:
+        break;
+      case Trigger::kOnce:
+        if (hit > 0) return Status::OK();
+        armed_.store(false, std::memory_order_relaxed);
+        break;
+      case Trigger::kAfter:
+        if (hit < n_) return Status::OK();
+        break;
+      case Trigger::kEvery:
+        if ((seed_ + hit) % n_ != 0) return Status::OK();
+        break;
+    }
+    action = action_;
+    delay_ms = delay_ms_;
+    code = code_;
+  }
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  if (action == Action::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return Status::OK();
+  }
+  return Status(code, "failpoint '" + std::string(name_) + "' fired (hit " +
+                          std::to_string(hit) + ")");
+}
+
+void FailpointSite::Configure(Trigger trigger, Action action, uint64_t n,
+                              uint64_t seed, uint64_t delay_ms,
+                              StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trigger_ = trigger;
+  action_ = action;
+  n_ = n;
+  seed_ = seed;
+  delay_ms_ = delay_ms;
+  code_ = code;
+  hits_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FailpointSite::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  hits_ = 0;
+}
+
+// --- Failpoints -------------------------------------------------------------
+
+namespace {
+
+/// A fully parsed activation spec, ready to install on a site.
+struct ParsedSpec {
+  bool disarm = false;  ///< the spec was "off"
+  FailpointSite::Trigger trigger = FailpointSite::Trigger::kAlways;
+  FailpointSite::Action action = FailpointSite::Action::kError;
+  uint64_t n = 0;
+  uint64_t seed = 0;
+  uint64_t delay_ms = 0;
+  StatusCode code = StatusCode::kInternal;
+};
+
+Status ParseSpec(std::string_view spec, ParsedSpec* out) {
+  std::string_view body = spec;
+  size_t colon = body.find(':');
+  if (colon != std::string_view::npos) {
+    std::string_view t = body.substr(0, colon);
+    body = body.substr(colon + 1);
+    std::string_view head;
+    std::string_view args;
+    if (t == "once") {
+      out->trigger = FailpointSite::Trigger::kOnce;
+    } else if (SplitCall(t, &head, &args) && head == "after" &&
+               ParseU64(args, &out->n)) {
+      out->trigger = FailpointSite::Trigger::kAfter;
+    } else if (SplitCall(t, &head, &args) && head == "every") {
+      size_t comma = args.find(',');
+      std::string_view nn =
+          comma == std::string_view::npos ? args : args.substr(0, comma);
+      if (!ParseU64(nn, &out->n) || out->n == 0 ||
+          (comma != std::string_view::npos &&
+           !ParseU64(args.substr(comma + 1), &out->seed))) {
+        return Status::InvalidArgument("failpoint spec: bad trigger '" +
+                                       std::string(t) + "'");
+      }
+      out->trigger = FailpointSite::Trigger::kEvery;
+    } else {
+      return Status::InvalidArgument("failpoint spec: bad trigger '" +
+                                     std::string(t) + "'");
+    }
+  }
+
+  std::string_view head;
+  std::string_view args;
+  if (body == "off") {
+    out->disarm = true;
+  } else if (body == "error") {
+    // defaults hold: kAlways-compatible error(internal)
+  } else if (SplitCall(body, &head, &args) && head == "error") {
+    out->code = CodeByName(args);
+    if (out->code == StatusCode::kOk) {
+      return Status::InvalidArgument("failpoint spec: unknown status code '" +
+                                     std::string(args) + "'");
+    }
+  } else if (SplitCall(body, &head, &args) && head == "delay" &&
+             ParseU64(args, &out->delay_ms)) {
+    out->action = FailpointSite::Action::kDelay;
+  } else {
+    return Status::InvalidArgument("failpoint spec: bad action '" +
+                                   std::string(body) + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Instance() {
+  // Leaked: sites check in from static initializers of arbitrary
+  // translation units and must never observe a destroyed registry.
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+Failpoints::Failpoints() {
+  if (const char* env = std::getenv("SPARQLOG_FAILPOINTS")) {
+    // Best effort: a bad env spec must not abort static initialization.
+    // Well-formed entries before the bad one still arm.
+    (void)ArmFromList(env);
+  }
+}
+
+void Failpoints::Register(FailpointSite* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.push_back(site);
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (it->first != site->name()) continue;
+    // Specs are validated before parking, so this parse cannot fail.
+    ParsedSpec parsed;
+    if (ParseSpec(it->second, &parsed).ok() && !parsed.disarm) {
+      site->Configure(parsed.trigger, parsed.action, parsed.n, parsed.seed,
+                      parsed.delay_ms, parsed.code);
+    }
+    parked_.erase(it);
+    break;
+  }
+}
+
+Status Failpoints::Arm(std::string_view name, std::string_view spec) {
+  ParsedSpec parsed;
+  SPARQLOG_RETURN_NOT_OK(ParseSpec(spec, &parsed));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailpointSite* site : sites_) {
+    if (name != site->name()) continue;
+    if (parsed.disarm) {
+      site->Disarm();
+    } else {
+      site->Configure(parsed.trigger, parsed.action, parsed.n, parsed.seed,
+                      parsed.delay_ms, parsed.code);
+    }
+    return Status::OK();
+  }
+  // The owning translation unit has not initialized yet (env activation
+  // precedes most static init); park the validated spec for Register.
+  for (auto& [parked_name, parked_spec] : parked_) {
+    if (parked_name == name) {
+      parked_spec = std::string(spec);
+      return Status::OK();
+    }
+  }
+  parked_.emplace_back(std::string(name), std::string(spec));
+  return Status::OK();
+}
+
+void Failpoints::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailpointSite* site : sites_) {
+    if (name == site->name()) {
+      site->Disarm();
+      return;
+    }
+  }
+  parked_.erase(
+      std::remove_if(parked_.begin(), parked_.end(),
+                     [&](const auto& p) { return p.first == name; }),
+      parked_.end());
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailpointSite* site : sites_) site->Disarm();
+  parked_.clear();
+}
+
+std::vector<std::string> Failpoints::Sites() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(sites_.size());
+    for (const FailpointSite* site : sites_) names.emplace_back(site->name());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+FailpointSite* Failpoints::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FailpointSite* site : sites_) {
+    if (name == site->name()) return site;
+  }
+  return nullptr;
+}
+
+Status Failpoints::ArmFromList(std::string_view list) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t semi = list.find(';', pos);
+    std::string_view entry = list.substr(
+        pos, semi == std::string_view::npos ? list.size() - pos : semi - pos);
+    if (!entry.empty()) {
+      size_t eq = entry.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument("failpoint list: entry '" +
+                                       std::string(entry) +
+                                       "' is not name=spec");
+      }
+      SPARQLOG_RETURN_NOT_OK(Arm(entry.substr(0, eq), entry.substr(eq + 1)));
+    }
+    if (semi == std::string_view::npos) break;
+    pos = semi + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace sparqlog::util

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file failpoint.h
+/// Deterministic fault injection (the RocksDB/TiKV "failpoint" idiom).
+///
+/// A failpoint is a named site in production code where a test (or an
+/// operator, via the SPARQLOG_FAILPOINTS environment variable) can inject
+/// a failure: an error Status of a chosen code, or a delay. Sites are
+/// compiled in unconditionally — robustness paths must be testable in the
+/// shipped binary — so the disarmed cost has to be negligible: one
+/// relaxed atomic load and a predictable branch. Everything else (trigger
+/// bookkeeping, spec parsing) happens only on the armed slow path, under
+/// the site's mutex.
+///
+/// Sites are defined at namespace scope in the .cpp that owns the code
+/// path and register themselves into a process-wide leaked registry
+/// during static initialization, which makes the registry's enumeration
+/// complete — the full-sweep test iterates `Failpoints::Sites()` and
+/// refuses to pass if a site it does not know how to drive appears.
+///
+///   SPARQLOG_FAILPOINT_DEFINE(g_fp_stage, "engine.update.stage");
+///   ...
+///   Status F() {
+///     SPARQLOG_FAILPOINT(g_fp_stage);   // propagates the injected error
+///     ...
+///   }
+///
+/// Activation specs (programmatic `Failpoints::Arm(name, spec)` or the
+/// env var `SPARQLOG_FAILPOINTS=name=spec;name2=spec2`):
+///
+///   spec    := [ trigger ':' ] action
+///   trigger := once              fire on the first hit only, then disarm
+///            | after(N)          skip the first N hits, fire from then on
+///            | every(N[,seed])   fire when (seed + hit) % N == 0
+///   action  := off               disarm
+///            | error             inject Status::Internal
+///            | error(CODE)       inject the named StatusCode (snake_case,
+///                                e.g. unavailable, timeout, parse_error)
+///            | delay(MS)         sleep MS milliseconds, then continue
+///
+/// No trigger means "fire on every hit". Hit counting is per-site and
+/// deterministic: the same arming over the same execution fires at the
+/// same hits, which is what lets the rollback fuzzer walk a failure
+/// through every stage of a publish.
+
+namespace sparqlog::util {
+
+class Failpoints;
+
+/// One named injection site. Define at namespace scope with
+/// SPARQLOG_FAILPOINT_DEFINE; the constructor registers the site.
+class FailpointSite {
+ public:
+  explicit FailpointSite(const char* name);
+
+  FailpointSite(const FailpointSite&) = delete;
+  FailpointSite& operator=(const FailpointSite&) = delete;
+
+  const char* name() const { return name_; }
+
+  enum class Trigger : uint8_t { kAlways, kOnce, kAfter, kEvery };
+  enum class Action : uint8_t { kError, kDelay };
+
+  /// The hot path: OK immediately (one relaxed load) while disarmed.
+  Status Check() {
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    return Eval();
+  }
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Times this site returned an injected error or ran a delay.
+  uint64_t fired() const { return fired_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Failpoints;
+
+  /// Armed slow path: trigger bookkeeping under the mutex, then the
+  /// configured action.
+  Status Eval();
+  /// Installs a parsed spec (registry lock held by the caller).
+  void Configure(Trigger trigger, Action action, uint64_t n, uint64_t seed,
+                 uint64_t delay_ms, StatusCode code);
+  void Disarm();
+
+  const char* name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> fired_{0};
+
+  std::mutex mu_;  // guards the fields below once armed
+  Trigger trigger_ = Trigger::kAlways;
+  Action action_ = Action::kError;
+  uint64_t n_ = 0;         ///< after(N) / every(N) parameter
+  uint64_t seed_ = 0;      ///< every-phase offset
+  uint64_t delay_ms_ = 0;  ///< delay action parameter
+  uint64_t hits_ = 0;      ///< Check() calls since arming
+  StatusCode code_ = StatusCode::kInternal;
+};
+
+/// Process-wide site registry. A leaked singleton: sites registering from
+/// static initializers in any translation unit always find it alive, and
+/// no static-destruction-order hazard exists at exit.
+class Failpoints {
+ public:
+  /// The registry. First call parses SPARQLOG_FAILPOINTS; specs naming
+  /// sites that have not registered yet are parked and applied when the
+  /// site's translation unit initializes.
+  static Failpoints& Instance();
+
+  /// Arms `name` with `spec` (grammar above). Unknown sites park the
+  /// spec for late registration; malformed specs are InvalidArgument.
+  Status Arm(std::string_view name, std::string_view spec);
+
+  /// Disarms `name` (and drops any parked spec). Unknown names are a
+  /// no-op: tests tear down unconditionally.
+  void Disarm(std::string_view name);
+
+  /// Disarms every site and clears parked specs.
+  void DisarmAll();
+
+  /// Registered site names, sorted — the full-sweep test's ground truth.
+  std::vector<std::string> Sites() const;
+
+  /// Site by name; nullptr when no such site has registered.
+  FailpointSite* Find(std::string_view name) const;
+
+  /// Parses a `name=spec;name=spec` list (the SPARQLOG_FAILPOINTS
+  /// syntax). Empty segments are ignored. Stops at the first bad entry.
+  Status ArmFromList(std::string_view list);
+
+ private:
+  Failpoints();
+
+  void Register(FailpointSite* site);  // called by FailpointSite's ctor
+
+  friend class FailpointSite;
+
+  mutable std::mutex mu_;
+  std::vector<FailpointSite*> sites_;             // registration order
+  std::vector<std::pair<std::string, std::string>> parked_;  // env specs
+};
+
+}  // namespace sparqlog::util
+
+/// Defines a failpoint site object. Place at namespace scope (typically
+/// in an anonymous namespace of the .cpp owning the site).
+#define SPARQLOG_FAILPOINT_DEFINE(var, name) \
+  ::sparqlog::util::FailpointSite var { name }
+
+/// Checks a site and propagates its injected Status from the enclosing
+/// function (which must return Status or Result<T>).
+#define SPARQLOG_FAILPOINT(var) SPARQLOG_RETURN_NOT_OK((var).Check())

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "util/status.h"
+
+/// \file retry.h
+/// Client-side retry with capped exponential backoff and deterministic
+/// jitter — the well-behaved counterpart of the server's admission
+/// shedding. A shed query comes back `kUnavailable` with a Retry-After
+/// hint; retrying it immediately just feeds the overload, while backing
+/// off lets the degraded-mode controller drain the window and recover.
+///
+/// Everything here is deterministic on purpose: jitter comes from a
+/// splitmix64 hash of (seed, attempt), not a global RNG, so a test can
+/// assert the exact sleep schedule and two clients with different seeds
+/// still decorrelate their retries.
+
+namespace sparqlog::util {
+
+/// Backoff schedule: attempt k (0-based) sleeps
+///   min(initial * multiplier^k, max) * (1 - jitter + 2*jitter*u)
+/// where u in [0,1) is the deterministic per-(seed,attempt) hash.
+struct BackoffPolicy {
+  /// Total tries, including the first; 0 behaves as 1 (no retries).
+  uint32_t max_attempts = 4;
+  std::chrono::milliseconds initial_delay{25};
+  std::chrono::milliseconds max_delay{1000};
+  double multiplier = 2.0;
+  /// Fractional spread around the nominal delay, in [0, 1].
+  double jitter = 0.2;
+  /// Decorrelates concurrent clients; same seed => same schedule.
+  uint64_t seed = 0;
+  /// When the server supplied a Retry-After hint (seconds), honor it as
+  /// a lower bound on the computed delay.
+  bool honor_retry_after = true;
+};
+
+/// Deterministic u in [0, 1) for (seed, attempt): splitmix64 finalizer.
+inline double BackoffUnit(uint64_t seed, uint32_t attempt) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (attempt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+/// Delay before retrying after failed attempt `attempt` (0-based).
+/// `retry_after_seconds` is the server's hint (0 = none).
+inline std::chrono::milliseconds BackoffDelay(const BackoffPolicy& policy,
+                                              uint32_t attempt,
+                                              int retry_after_seconds = 0) {
+  double nominal =
+      static_cast<double>(policy.initial_delay.count());
+  for (uint32_t i = 0; i < attempt; ++i) nominal *= policy.multiplier;
+  nominal = std::min(nominal, static_cast<double>(policy.max_delay.count()));
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double u = BackoffUnit(policy.seed, attempt);
+  double ms = nominal * (1.0 - jitter + 2.0 * jitter * u);
+  if (policy.honor_retry_after && retry_after_seconds > 0) {
+    ms = std::max(ms, retry_after_seconds * 1000.0);
+  }
+  if (ms < 0) ms = 0;
+  return std::chrono::milliseconds(static_cast<int64_t>(ms + 0.5));
+}
+
+/// Runs `op` (returning Status or Result<T>) up to `max_attempts`
+/// times, sleeping per BackoffDelay between attempts. Retries only
+/// `kUnavailable` — admission shedding and queue-deadline misses are
+/// transient by construction; every other failure (parse errors,
+/// timeouts that already consumed a full query budget, internal
+/// errors) is returned immediately.
+///
+/// `retry_after` extracts the server's Retry-After hint from the last
+/// failure context when the caller has one (e.g. an HTTP client that
+/// parsed the header); defaults to "no hint".
+template <typename Op, typename HintFn>
+auto RetryWithBackoff(const BackoffPolicy& policy, Op&& op, HintFn&& hint)
+    -> decltype(op()) {
+  const uint32_t attempts = std::max<uint32_t>(policy.max_attempts, 1);
+  auto outcome = op();
+  for (uint32_t attempt = 0; attempt + 1 < attempts; ++attempt) {
+    const Status& st = [&]() -> const Status& {
+      if constexpr (std::is_same_v<decltype(op()), Status>) {
+        return outcome;
+      } else {
+        return outcome.status();
+      }
+    }();
+    if (st.ok() || !st.IsUnavailable()) break;
+    std::this_thread::sleep_for(BackoffDelay(policy, attempt, hint()));
+    outcome = op();
+  }
+  return outcome;
+}
+
+template <typename Op>
+auto RetryWithBackoff(const BackoffPolicy& policy, Op&& op)
+    -> decltype(op()) {
+  return RetryWithBackoff(policy, std::forward<Op>(op), [] { return 0; });
+}
+
+}  // namespace sparqlog::util

@@ -21,6 +21,8 @@
 #include "rdf/turtle_parser.h"
 #include "server/http_server.h"
 #include "server/json.h"
+#include "util/failpoint.h"
+#include "util/retry.h"
 
 namespace sparqlog::server {
 namespace {
@@ -227,6 +229,203 @@ TEST_F(ServerRoutingTest, StatsAndHealthRoutes) {
   HttpResponse health = Get("/healthz");
   EXPECT_EQ(health.status, 200);
   EXPECT_NE(health.body.find("\"loaded\":true"), std::string::npos);
+}
+
+// --- Status -> HTTP mapping ------------------------------------------------
+
+// Table-driven over EVERY StatusCode: each code's HTTP rendering is a
+// deliberate decision, not a default-500 fallthrough. If a new code is
+// added, StatusToHttp's exhaustive switch breaks the build and this
+// table documents what the decision should look like.
+TEST(StatusToHttpTest, EveryStatusCodeMapsDeliberately) {
+  struct Row {
+    Status status;
+    int http;
+    const char* code;
+    int retry_after;
+  };
+  const Row kTable[] = {
+      {Status::OK(), 200, "ok", 0},
+      {Status::InvalidArgument("x"), 400, "invalid_argument", 0},
+      {Status::ParseError("x"), 400, "parse_error", 0},
+      {Status::NotSupported("x"), 400, "not_supported", 0},
+      {Status::NotFound("x"), 404, "not_found", 0},
+      {Status::Timeout("x"), 504, "timeout", 0},
+      {Status::ResourceExhausted("x"), 413, "budget_exceeded", 0},
+      {Status::FailedPrecondition("x"), 503, "not_loaded", 1},
+      {Status::Unavailable("x"), 503, "overloaded", 1},
+      {Status::Internal("x"), 500, "internal", 0},
+  };
+  for (const Row& row : kTable) {
+    HttpStatusMapping m = StatusToHttp(row.status);
+    EXPECT_EQ(m.http, row.http) << row.code;
+    EXPECT_STREQ(m.code, row.code);
+    EXPECT_EQ(m.retry_after_seconds, row.retry_after) << row.code;
+    // Typed statuses never leak as a generic 500.
+    if (row.status.code() != StatusCode::kInternal && !row.status.ok()) {
+      EXPECT_NE(m.http, 500) << row.code;
+    }
+  }
+}
+
+// --- Overload: admission queue, shedding, degraded mode --------------------
+
+class OverloadTest : public ::testing::Test {
+ protected:
+  OverloadTest() : dataset_(&dict_) {
+    auto st = rdf::ParseTurtle(R"(
+      @prefix ex: <http://ex.org/> .
+      ex:a ex:p ex:b . ex:b ex:p ex:c . ex:c ex:p ex:d .
+    )",
+                               &dataset_);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  void TearDown() override { util::Failpoints::Instance().DisarmAll(); }
+
+  /// Engine with one admitted slot, caching off (so every query truly
+  /// evaluates and the delay failpoint is hit deterministically).
+  std::unique_ptr<core::Engine> MakeEngine(core::Engine::Options options) {
+    options.caching.program_cache = false;
+    options.caching.stratum_memo = false;
+    auto engine = std::make_unique<core::Engine>(&dataset_, &dict_, options);
+    EXPECT_TRUE(engine->Load().ok());
+    return engine;
+  }
+
+  /// Starts a thread holding the single in-flight slot for ~hold_ms (a
+  /// delay failpoint inside stratum evaluation) and waits until the
+  /// engine has actually admitted it.
+  std::thread HoldSlot(core::Engine* engine, int hold_ms) {
+    auto spec = "once:delay(" + std::to_string(hold_ms) + ")";
+    EXPECT_TRUE(util::Failpoints::Instance()
+                    .Arm("datalog.stratum.begin", spec)
+                    .ok());
+    std::thread holder([engine] {
+      EXPECT_TRUE(engine->ExecuteText("ASK { ?s ?p ?o }").ok());
+    });
+    while (engine->stats().in_flight == 0) {
+      std::this_thread::yield();
+    }
+    return holder;
+  }
+
+  rdf::TermDictionary dict_;
+  rdf::Dataset dataset_;
+};
+
+TEST_F(OverloadTest, QueueAdmitsWhenSlotFreesWithinDeadline) {
+  core::Engine::Options options;
+  options.serving.max_in_flight = 1;
+  options.serving.queue_limit = 4;
+  options.serving.queue_timeout = std::chrono::milliseconds(5000);
+  auto engine = MakeEngine(options);
+
+  std::thread holder = HoldSlot(engine.get(), 100);
+  // The slot is taken; this call queues, then runs when the holder
+  // finishes well inside the deadline.
+  auto queued = engine->ExecuteText("ASK { ?s ?p ?o }");
+  EXPECT_TRUE(queued.ok()) << queued.status().ToString();
+  holder.join();
+  EXPECT_EQ(engine->stats().rejected, 0u);
+  EXPECT_GE(engine->stats().queued, 1u);
+}
+
+TEST_F(OverloadTest, QueueShedsPastDeadlineWith503AndRetryAfter) {
+  core::Engine::Options options;
+  options.serving.max_in_flight = 1;
+  options.serving.queue_limit = 4;
+  options.serving.queue_timeout = std::chrono::milliseconds(30);
+  auto engine = MakeEngine(options);
+  HttpServer server(engine.get(), &dict_);
+
+  std::thread holder = HoldSlot(engine.get(), 400);
+  // Queues for 30ms, then is shed: the deadline passes long before the
+  // holder's 400ms delay releases the slot.
+  HttpRequest r;
+  r.method = "POST";
+  r.path = "/sparql";
+  r.body = "ASK { ?s ?p ?o }";
+  HttpResponse shed = server.Route(r);
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_NE(shed.body.find("overloaded"), std::string::npos) << shed.body;
+  EXPECT_NE(shed.body.find("deadline"), std::string::npos) << shed.body;
+  EXPECT_EQ(shed.retry_after_seconds, 1);
+  holder.join();
+  EXPECT_GE(engine->stats().rejected, 1u);
+}
+
+TEST_F(OverloadTest, RetryWithBackoffRidesOutTransientShedding) {
+  core::Engine::Options options;
+  options.serving.max_in_flight = 1;
+  options.serving.queue_limit = 0;  // fail fast, so the first try sheds
+  auto engine = MakeEngine(options);
+
+  std::thread holder = HoldSlot(engine.get(), 100);
+  // One-shot call sheds; the backoff client retries past the holder's
+  // 100ms window and lands the query.
+  EXPECT_TRUE(
+      engine->ExecuteText("ASK { ?s ?p ?o }").status().IsUnavailable());
+  util::BackoffPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_delay = std::chrono::milliseconds(25);
+  policy.seed = 1;
+  Status st = util::RetryWithBackoff(policy, [&] {
+    return engine->ExecuteText("ASK { ?s ?p ?o }").status();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  holder.join();
+}
+
+TEST_F(OverloadTest, SustainedSheddingEntersDegradedModeAndRecovers) {
+  core::Engine::Options options;
+  options.serving.max_in_flight = 1;
+  options.serving.queue_limit = 0;  // fail fast: every overflow is a shed
+  options.degrade.enabled = true;
+  options.degrade.window = 16;
+  options.degrade.min_events = 4;
+  auto engine = MakeEngine(options);
+  HttpServer server(engine.get(), &dict_);
+  HttpRequest health;
+  health.method = "GET";
+  health.path = "/healthz";
+  HttpRequest stats;
+  stats.method = "GET";
+  stats.path = "/stats";
+
+  EXPECT_FALSE(engine->degraded());
+
+  std::thread holder = HoldSlot(engine.get(), 400);
+  // Sustained overload: every one of these is shed while the slot is
+  // held, driving the outcome window past the enter threshold.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(
+        engine->ExecuteText("ASK { ?s ?p ?o }").status().IsUnavailable());
+  }
+  EXPECT_TRUE(engine->degraded());
+
+  // Degraded is visible on both surfaces, and /healthz stays 200 —
+  // the node is degraded, not dead.
+  HttpResponse h = server.Route(health);
+  EXPECT_EQ(h.status, 200);
+  EXPECT_NE(h.body.find("\"status\":\"degraded\""), std::string::npos)
+      << h.body;
+  HttpResponse s = server.Route(stats);
+  EXPECT_NE(s.body.find("\"degraded\":true"), std::string::npos) << s.body;
+  EXPECT_NE(s.body.find("\"degrade_entries\":1"), std::string::npos)
+      << s.body;
+  holder.join();
+
+  // Load drops: successful queries wash the bad outcomes out of the
+  // window and the engine exits degraded mode on its own.
+  for (int i = 0; i < 32 && engine->degraded(); ++i) {
+    EXPECT_TRUE(engine->ExecuteText("ASK { ?s ?p ?o }").ok());
+  }
+  EXPECT_FALSE(engine->degraded());
+  h = server.Route(health);
+  EXPECT_NE(h.body.find("\"status\":\"ok\""), std::string::npos) << h.body;
+  s = server.Route(stats);
+  EXPECT_NE(s.body.find("\"degrade_exits\":1"), std::string::npos) << s.body;
 }
 
 // --- Live socket round trip ------------------------------------------------

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
 #include "util/exec_context.h"
 #include "util/hash.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -239,6 +241,69 @@ TEST(ThreadPoolTest, ZeroRequestClampsToOne) {
   int runs = 0;
   pool.RunOnWorkers([&](size_t) { ++runs; });
   EXPECT_EQ(runs, 1);
+}
+
+TEST(RetryTest, BackoffDelayIsDeterministicCappedAndJittered) {
+  util::BackoffPolicy policy;
+  policy.initial_delay = std::chrono::milliseconds(100);
+  policy.max_delay = std::chrono::milliseconds(400);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.2;
+  policy.seed = 7;
+
+  // Same (seed, attempt) -> same delay, every time.
+  EXPECT_EQ(util::BackoffDelay(policy, 0), util::BackoffDelay(policy, 0));
+  // Each attempt's delay lands within the +/- jitter band of the
+  // nominal exponential value, and the cap binds from attempt 2 on
+  // (100 * 2^2 = 400 = max).
+  for (uint32_t attempt = 0; attempt < 5; ++attempt) {
+    double nominal = std::min(100.0 * std::pow(2.0, attempt), 400.0);
+    auto d = util::BackoffDelay(policy, attempt);
+    EXPECT_GE(d.count(), static_cast<int64_t>(nominal * 0.8) - 1) << attempt;
+    EXPECT_LE(d.count(), static_cast<int64_t>(nominal * 1.2) + 1) << attempt;
+  }
+  // Different seeds decorrelate the schedule.
+  util::BackoffPolicy other = policy;
+  other.seed = 8;
+  EXPECT_NE(util::BackoffDelay(policy, 0), util::BackoffDelay(other, 0));
+  // A server Retry-After hint is a lower bound.
+  EXPECT_GE(util::BackoffDelay(policy, 0, /*retry_after_seconds=*/1).count(),
+            1000);
+}
+
+TEST(RetryTest, RetriesOnlyUnavailableAndStopsAtMaxAttempts) {
+  util::BackoffPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_delay = std::chrono::milliseconds(1);
+  policy.max_delay = std::chrono::milliseconds(1);
+
+  // Transient unavailability: fails twice, succeeds on the third try.
+  int calls = 0;
+  Status st = util::RetryWithBackoff(policy, [&] {
+    ++calls;
+    return calls < 3 ? Status::Unavailable("shed") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+
+  // Permanent unavailability: gives up after max_attempts.
+  calls = 0;
+  st = util::RetryWithBackoff(policy, [&] {
+    ++calls;
+    return Status::Unavailable("shed");
+  });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(calls, 3);
+
+  // Non-transient failures are never retried: a parse error will not
+  // fix itself, and retrying it would just add load.
+  calls = 0;
+  st = util::RetryWithBackoff(policy, [&] {
+    ++calls;
+    return Status::ParseError("bad query");
+  });
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(HashTest, HashRangeDiffersOnContent) {
